@@ -1,0 +1,57 @@
+//! Criterion benches for the string measures and matcher ensembles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smn_matchers::matcher::{match_network, PairMatcher};
+use smn_matchers::{ensemble, text};
+use smn_schema::SchemaId;
+
+const PAIRS: [(&str, &str); 5] = [
+    ("releaseDate", "screenDate"),
+    ("supplier_address_line_1", "SupplierAddr1"),
+    ("productionDate", "date"),
+    ("purchaseOrderNumber", "po_num"),
+    ("applicantFirstName", "first_name"),
+];
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("text");
+    group.bench_function("levenshtein", |b| {
+        b.iter(|| PAIRS.iter().map(|(x, y)| text::levenshtein_similarity(x, y)).sum::<f64>());
+    });
+    group.bench_function("jaro-winkler", |b| {
+        b.iter(|| PAIRS.iter().map(|(x, y)| text::jaro_winkler(x, y)).sum::<f64>());
+    });
+    group.bench_function("qgram-jaccard", |b| {
+        b.iter(|| PAIRS.iter().map(|(x, y)| text::qgram_jaccard(x, y, 3)).sum::<f64>());
+    });
+    group.bench_function("monge-elkan", |b| {
+        b.iter(|| PAIRS.iter().map(|(x, y)| text::monge_elkan(x, y)).sum::<f64>());
+    });
+    group.bench_function("tokenize", |b| {
+        b.iter(|| PAIRS.iter().map(|(x, _)| text::tokenize(x).len()).sum::<usize>());
+    });
+    group.finish();
+}
+
+fn bench_ensembles(c: &mut Criterion) {
+    let d = smn_datasets::bp(1);
+    let mut group = c.benchmark_group("ensemble");
+    group.sample_size(20);
+    group.bench_function("coma-like/pair", |b| {
+        let m = ensemble::coma_like();
+        b.iter(|| m.match_pair(&d.catalog, SchemaId(0), SchemaId(1)).len());
+    });
+    group.bench_function("amc-like/pair", |b| {
+        let m = ensemble::amc_like(&d.catalog);
+        b.iter(|| m.match_pair(&d.catalog, SchemaId(0), SchemaId(1)).len());
+    });
+    group.bench_function("coma-like/network", |b| {
+        let m = ensemble::coma_like();
+        let g = d.complete_graph();
+        b.iter(|| match_network(&m, &d.catalog, &g).unwrap().len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures, bench_ensembles);
+criterion_main!(benches);

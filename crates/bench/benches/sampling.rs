@@ -1,0 +1,111 @@
+//! Criterion benches for Algorithm 3 sampling, including the
+//! simulated-annealing ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smn_bench::{matched_network, MatcherKind};
+use smn_core::feedback::Feedback;
+use smn_core::sampling::{SampleStore, SamplerConfig};
+use smn_core::MatchingNetwork;
+use smn_datasets::{DatasetSpec, SharingModel, Vocabulary};
+
+fn network(schemas: usize, attrs: usize, seed: u64) -> MatchingNetwork {
+    let d = DatasetSpec {
+        name: "bench".into(),
+        vocabulary: Vocabulary::business_partner(),
+        schema_count: schemas,
+        attrs_min: attrs,
+        attrs_max: attrs,
+        sharing: SharingModel::RankBiased { alpha: 0.6 },
+    }
+    .generate(seed);
+    let g = d.complete_graph();
+    matched_network(&d, &g, MatcherKind::perturbation(seed)).0
+}
+
+fn bench_sample_emission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling/emission");
+    for (schemas, attrs) in [(3usize, 20usize), (4, 40), (6, 60)] {
+        let net = network(schemas, attrs, 7);
+        let n = net.candidate_count();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("C{n}")), &net, |b, net| {
+            let feedback = Feedback::new(net.candidate_count());
+            b.iter(|| {
+                let cfg = SamplerConfig {
+                    n_samples: 50,
+                    walk_steps: 4,
+                    n_min: 1,
+                    seed: 3,
+                    anneal: true,
+                };
+                SampleStore::new(net, &feedback, cfg).len()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: annealing acceptance vs always-accept random walk — measures
+/// both the wall time and (via the returned distinct count) the coverage
+/// value of the acceptance rule.
+fn bench_annealing_ablation(c: &mut Criterion) {
+    let net = network(4, 40, 7);
+    let feedback = Feedback::new(net.candidate_count());
+    let mut group = c.benchmark_group("sampling/annealing");
+    for anneal in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if anneal { "anneal" } else { "always-accept" }),
+            &anneal,
+            |b, &anneal| {
+                b.iter(|| {
+                    let cfg = SamplerConfig {
+                        n_samples: 50,
+                        walk_steps: 4,
+                        n_min: 1,
+                        seed: 3,
+                        anneal,
+                    };
+                    SampleStore::new(&net, &feedback, cfg).len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// View maintenance (one assertion) vs resampling from scratch.
+fn bench_view_maintenance(c: &mut Criterion) {
+    use smn_schema::CandidateId;
+    let net = network(4, 40, 7);
+    let cfg = SamplerConfig { n_samples: 400, walk_steps: 4, n_min: 150, seed: 3, anneal: true };
+    let feedback = Feedback::new(net.candidate_count());
+    let store = SampleStore::new(&net, &feedback, cfg);
+    // pick a candidate contained in some but not all samples
+    let probe = (0..net.candidate_count())
+        .map(CandidateId::from_index)
+        .find(|&cand| {
+            let k = store.samples().iter().filter(|s| s.contains(cand)).count();
+            k > 0 && k < store.len()
+        })
+        .expect("some uncertain candidate");
+    let mut group = c.benchmark_group("sampling/assertion");
+    group.bench_function("view-maintenance", |b| {
+        b.iter(|| {
+            let mut st = store.clone();
+            let mut fb = Feedback::new(net.candidate_count());
+            fb.approve(probe);
+            st.maintain(&net, &fb, probe, true);
+            st.len()
+        });
+    });
+    group.bench_function("resample-from-scratch", |b| {
+        b.iter(|| {
+            let mut fb = Feedback::new(net.candidate_count());
+            fb.approve(probe);
+            SampleStore::new(&net, &fb, cfg).len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_emission, bench_annealing_ablation, bench_view_maintenance);
+criterion_main!(benches);

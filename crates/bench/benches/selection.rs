@@ -1,0 +1,61 @@
+//! Criterion benches for the selection strategies of §IV-D: the cost of
+//! one select step, and the batch information-gain computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smn_bench::{matched_network, standard_sampler, MatcherKind};
+use smn_core::selection::{
+    ConfidenceOrderSelection, InformationGainSelection, MaxEntropySelection, RandomSelection,
+    SelectionStrategy,
+};
+use smn_core::ProbabilisticNetwork;
+
+fn bp_network() -> ProbabilisticNetwork {
+    let d = smn_datasets::bp(1);
+    let g = d.complete_graph();
+    let (net, _) = matched_network(&d, &g, MatcherKind::Coma);
+    ProbabilisticNetwork::new(net, standard_sampler(1))
+}
+
+fn bench_select_step(c: &mut Criterion) {
+    let pn = bp_network();
+    let mut group = c.benchmark_group("selection/step");
+    group.bench_function("random", |b| {
+        let mut s = RandomSelection::new(1);
+        b.iter(|| s.select(&pn));
+    });
+    group.bench_function("information-gain", |b| {
+        let mut s = InformationGainSelection::new(1);
+        b.iter(|| s.select(&pn));
+    });
+    group.bench_function("information-gain-limit32", |b| {
+        let mut s = InformationGainSelection::new(1).with_limit(32);
+        b.iter(|| s.select(&pn));
+    });
+    group.bench_function("max-entropy", |b| {
+        let mut s = MaxEntropySelection;
+        b.iter(|| s.select(&pn));
+    });
+    group.bench_function("confidence-order", |b| {
+        let mut s = ConfidenceOrderSelection;
+        b.iter(|| s.select(&pn));
+    });
+    group.finish();
+}
+
+fn bench_information_gains_batch(c: &mut Criterion) {
+    let pn = bp_network();
+    let pool = pn.uncertain_candidates();
+    let mut group = c.benchmark_group("selection/information-gains");
+    group.bench_with_input(BenchmarkId::from_parameter(pool.len()), &pool, |b, pool| {
+        b.iter(|| pn.information_gains(pool));
+    });
+    // the per-candidate path the batch API replaces (first 16 candidates
+    // only — it is quadratically slower)
+    group.bench_function("single-candidate-x16", |b| {
+        b.iter(|| pool.iter().take(16).map(|&c| pn.information_gain(c)).sum::<f64>());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_select_step, bench_information_gains_batch);
+criterion_main!(benches);

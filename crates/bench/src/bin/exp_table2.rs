@@ -1,0 +1,58 @@
+//! Table II — dataset statistics.
+//!
+//! Prints `#Schemas` and `#Attributes (Min/Max)` for the four synthetic
+//! dataset reproductions; the shape statistics match the paper's Table II
+//! by construction.
+//!
+//! Run: `cargo run --release -p smn-bench --bin exp_table2`
+
+use serde::Serialize;
+use smn_bench::{save_json, Table};
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    schemas: usize,
+    attrs_min: usize,
+    attrs_max: usize,
+    paper_schemas: usize,
+    paper_min: usize,
+    paper_max: usize,
+}
+
+fn main() {
+    let seed = 1;
+    let paper = [("BP", 3, 80, 106), ("PO", 10, 35, 408), ("UAF", 15, 65, 228), ("WebForm", 89, 10, 120)];
+    let datasets = [
+        smn_datasets::bp(seed),
+        smn_datasets::po(seed),
+        smn_datasets::uaf(seed),
+        smn_datasets::webform(seed),
+    ];
+    let mut table = Table::new(["Dataset", "#Schemas", "#Attributes(Min/Max)", "paper"]);
+    let mut rows = Vec::new();
+    for (d, (pname, ps, pmin, pmax)) in datasets.iter().zip(paper) {
+        let (schemas, lo, hi) = d.statistics();
+        assert_eq!(d.name, pname);
+        table.row([
+            d.name.clone(),
+            schemas.to_string(),
+            format!("{lo}/{hi}"),
+            format!("{ps} × {pmin}/{pmax}"),
+        ]);
+        rows.push(Row {
+            dataset: d.name.clone(),
+            schemas,
+            attrs_min: lo,
+            attrs_max: hi,
+            paper_schemas: ps,
+            paper_min: pmin,
+            paper_max: pmax,
+        });
+    }
+    println!("Table II — real datasets (synthetic reproduction, seed {seed})");
+    table.print();
+    if let Ok(p) = save_json("table2", &rows) {
+        println!("\nwrote {}", p.display());
+    }
+}

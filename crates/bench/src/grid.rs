@@ -1,0 +1,104 @@
+//! Mapping reconciliation traces onto fixed effort grids.
+//!
+//! The figures plot quality measures against user-effort *percentages*;
+//! individual runs produce traces indexed by assertion count. The grid
+//! samples each trace at fixed effort fractions (carrying the last value
+//! forward) so runs of different lengths can be averaged point-wise.
+
+/// A fixed grid of effort fractions with per-point accumulators.
+#[derive(Debug, Clone)]
+pub struct EffortGrid {
+    points: Vec<f64>,
+    sums: Vec<f64>,
+    counts: Vec<usize>,
+}
+
+impl EffortGrid {
+    /// A grid over the given effort fractions (ascending, in `[0, 1]`).
+    pub fn new(points: impl IntoIterator<Item = f64>) -> Self {
+        let points: Vec<f64> = points.into_iter().collect();
+        assert!(points.windows(2).all(|w| w[0] <= w[1]), "grid must be ascending");
+        let n = points.len();
+        Self { points, sums: vec![0.0; n], counts: vec![0; n] }
+    }
+
+    /// A percent grid `0, step, 2·step, …, 100`.
+    pub fn percent(step: usize) -> Self {
+        assert!(step > 0 && step <= 100);
+        Self::new((0..=100 / step).map(|i| (i * step) as f64 / 100.0))
+    }
+
+    /// The grid points (effort fractions).
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Adds one run's trajectory: `(effort, value)` pairs with ascending
+    /// effort, plus the value at zero effort. Each grid point receives the
+    /// last trajectory value at or before it.
+    pub fn add_run(&mut self, value_at_zero: f64, trajectory: &[(f64, f64)]) {
+        debug_assert!(trajectory.windows(2).all(|w| w[0].0 <= w[1].0));
+        let mut idx = 0usize;
+        let mut last = value_at_zero;
+        for (gi, &g) in self.points.iter().enumerate() {
+            while idx < trajectory.len() && trajectory[idx].0 <= g + 1e-12 {
+                last = trajectory[idx].1;
+                idx += 1;
+            }
+            self.sums[gi] += last;
+            self.counts[gi] += 1;
+        }
+    }
+
+    /// Point-wise means over the added runs (`None` before any run).
+    pub fn means(&self) -> Option<Vec<f64>> {
+        if self.counts.contains(&0) {
+            return None;
+        }
+        Some(self.sums.iter().zip(&self.counts).map(|(s, &c)| s / c as f64).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_grid_shape() {
+        let g = EffortGrid::percent(25);
+        assert_eq!(g.points(), &[0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn carries_last_value_forward() {
+        let mut g = EffortGrid::percent(25);
+        // one run: entropy 1.0 at zero, drops to 0.4 at 30% and 0.1 at 80%
+        g.add_run(1.0, &[(0.3, 0.4), (0.8, 0.1)]);
+        let m = g.means().unwrap();
+        assert_eq!(m, vec![1.0, 1.0, 0.4, 0.4, 0.1]);
+    }
+
+    #[test]
+    fn averages_across_runs() {
+        let mut g = EffortGrid::percent(50);
+        g.add_run(1.0, &[(0.5, 0.5), (1.0, 0.0)]);
+        g.add_run(0.5, &[(0.5, 0.3), (1.0, 0.1)]);
+        let m = g.means().unwrap();
+        assert!((m[0] - 0.75).abs() < 1e-12);
+        assert!((m[1] - 0.4).abs() < 1e-12);
+        assert!((m[2] - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means_none_before_any_run() {
+        let g = EffortGrid::percent(10);
+        assert!(g.means().is_none());
+    }
+
+    #[test]
+    fn exact_grid_hits_are_included() {
+        let mut g = EffortGrid::new([0.0, 0.5, 1.0]);
+        g.add_run(2.0, &[(0.5, 1.0)]);
+        assert_eq!(g.means().unwrap(), vec![2.0, 1.0, 1.0]);
+    }
+}

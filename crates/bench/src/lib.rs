@@ -1,0 +1,29 @@
+//! # smn-bench
+//!
+//! Experiment harness for the ICDE 2014 evaluation (§VI). Each binary in
+//! `src/bin/` regenerates one table or figure of the paper:
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `exp_table2` | Table II — dataset statistics |
+//! | `exp_table3` | Table III — constraint violations per matcher |
+//! | `exp_fig6` | Fig. 6 — sampling time vs network size |
+//! | `exp_fig7` | Fig. 7 — sampling effectiveness (K-L ratio) |
+//! | `exp_fig8` | Fig. 8 — probability vs correctness histogram |
+//! | `exp_fig9` | Fig. 9 — uncertainty reduction vs user effort |
+//! | `exp_fig10` | Fig. 10 — ordering strategies vs instantiation quality |
+//! | `exp_fig11` | Fig. 11 — likelihood criterion in instantiation |
+//!
+//! Binaries print the paper's rows/series to stdout and write
+//! machine-readable JSON to `results/`. Criterion micro-benchmarks (incl.
+//! the ablations listed in DESIGN.md) live under `benches/`.
+
+pub mod grid;
+pub mod report;
+pub mod runner;
+pub mod setup;
+
+pub use grid::EffortGrid;
+pub use report::{save_json, Table};
+pub use runner::parallel_runs;
+pub use setup::{matched_network, standard_sampler, MatcherKind};

@@ -1,0 +1,275 @@
+//! A dense fixed-capacity bitset over candidate ids.
+//!
+//! Matching instances `I ⊆ C` are represented as bitsets so that the
+//! sampler's clone-heavy random walk, the co-occurrence counting behind
+//! information gain, and consistency checks are all word-parallel. The type
+//! is deliberately minimal — exactly the operations the stack needs — and
+//! lives here so every crate above `smn-constraints` shares one
+//! representation.
+
+use serde::{Deserialize, Serialize};
+use smn_schema::CandidateId;
+
+const WORD_BITS: usize = 64;
+
+/// Fixed-capacity bitset indexed by [`CandidateId`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set with capacity for `len` candidates.
+    pub fn new(len: usize) -> Self {
+        Self { len, words: vec![0; len.div_ceil(WORD_BITS)] }
+    }
+
+    /// Creates a set with every bit in `0..len` set.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    /// Builds a set from an iterator of ids.
+    pub fn from_ids(len: usize, ids: impl IntoIterator<Item = CandidateId>) -> Self {
+        let mut s = Self::new(len);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    #[inline]
+    fn trim(&mut self) {
+        let extra = self.words.len() * WORD_BITS - self.len;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+
+    /// Capacity (the universe size `|C|`, not the number of set bits).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts an id. Returns whether it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, id: CandidateId) -> bool {
+        let i = id.index();
+        debug_assert!(i < self.len, "bit {i} out of capacity {}", self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes an id. Returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, id: CandidateId) -> bool {
+        let i = id.index();
+        debug_assert!(i < self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: CandidateId) -> bool {
+        let i = id.index();
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / WORD_BITS] & (1 << (i % WORD_BITS)) != 0
+    }
+
+    /// Number of set bits (`|I|`).
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears all bits, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Size of the intersection with `other`.
+    ///
+    /// Used for the symmetric-difference distance `Δ` of Algorithm 3 and for
+    /// co-occurrence counting in information gain.
+    #[inline]
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
+    }
+
+    /// Size of the symmetric difference `|A \ B| + |B \ A|` (the paper's
+    /// repair-distance metric `Δ(A, B)` between instances).
+    #[inline]
+    pub fn symmetric_difference_count(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether the two sets share no element.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.intersection_count(other) == 0
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterates over set bits in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = CandidateId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(CandidateId::from_index(wi * WORD_BITS + b))
+            })
+        })
+    }
+
+    /// Collects the set bits into a vector.
+    pub fn to_vec(&self) -> Vec<CandidateId> {
+        self.iter().collect()
+    }
+
+    /// Raw word access for word-parallel algorithms (e.g. co-occurrence
+    /// counting in `smn-core`). Bits beyond `capacity()` are always zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<CandidateId> {
+        v.iter().map(|&i| CandidateId(i)).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(CandidateId(0)));
+        assert!(s.insert(CandidateId(64)));
+        assert!(s.insert(CandidateId(129)));
+        assert!(!s.insert(CandidateId(129)), "second insert is a no-op");
+        assert!(s.contains(CandidateId(64)));
+        assert!(!s.contains(CandidateId(63)));
+        assert_eq!(s.count(), 3);
+        assert!(s.remove(CandidateId(64)));
+        assert!(!s.remove(CandidateId(64)));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn out_of_capacity_contains_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(CandidateId(1000)));
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert_eq!(s.iter().count(), 70);
+        let s = BitSet::full(64);
+        assert_eq!(s.count(), 64);
+        let s = BitSet::full(0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let s = BitSet::from_ids(200, ids(&[5, 199, 64, 63, 0]));
+        assert_eq!(s.to_vec(), ids(&[0, 5, 63, 64, 199]));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_ids(100, ids(&[1, 2, 3, 70]));
+        let b = BitSet::from_ids(100, ids(&[2, 3, 4]));
+        assert_eq!(a.intersection_count(&b), 2);
+        assert_eq!(a.symmetric_difference_count(&b), 3);
+        assert!(!a.is_subset(&b));
+        assert!(BitSet::from_ids(100, ids(&[2, 3])).is_subset(&b));
+        assert!(BitSet::new(100).is_subset(&b));
+        assert!(a.is_disjoint(&BitSet::from_ids(100, ids(&[9]))));
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), ids(&[1, 2, 3, 4, 70]));
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), ids(&[1, 70]));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = BitSet::from_ids(100, ids(&[1, 2]));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 100);
+    }
+
+    #[test]
+    fn symmetric_difference_is_metric_like() {
+        let a = BitSet::from_ids(50, ids(&[1, 2]));
+        let b = BitSet::from_ids(50, ids(&[3, 4]));
+        assert_eq!(a.symmetric_difference_count(&a), 0);
+        assert_eq!(a.symmetric_difference_count(&b), 4);
+        assert_eq!(b.symmetric_difference_count(&a), 4);
+    }
+
+    #[test]
+    fn words_expose_raw_bits() {
+        let s = BitSet::from_ids(65, ids(&[0, 64]));
+        assert_eq!(s.words().len(), 2);
+        assert_eq!(s.words()[0], 1);
+        assert_eq!(s.words()[1], 1);
+    }
+}

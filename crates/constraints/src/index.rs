@@ -1,0 +1,522 @@
+//! The pre-computed conflict index.
+//!
+//! [`ConflictIndex::build`] enumerates, once per network, every *potential*
+//! violation among the candidate set `C`:
+//!
+//! * pair conflicts (one-to-one): stored as adjacency lists, and
+//! * triple conflicts (cycle, per interaction-graph triangle): stored as a
+//!   flat table of `[CandidateId; 3]` with a per-candidate posting list.
+//!
+//! Whether an actual violation exists in a concrete instance `I ⊆ C` is then
+//! a matter of checking which pre-computed conflicts are fully contained in
+//! `I`. All hot queries of the sampler (`can_add`), the repair routine
+//! (`conflicts_of_in`) and the instantiation search run in time proportional
+//! to the local conflict degree of the touched candidate rather than `|C|`.
+
+use crate::bitset::BitSet;
+use crate::violation::{Violation, ViolationCounts, ViolationKind};
+use serde::{Deserialize, Serialize};
+use smn_schema::{CandidateId, CandidateSet, Catalog, InteractionGraph};
+
+/// Which constraints the index enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstraintConfig {
+    /// Enforce the one-to-one constraint.
+    pub one_to_one: bool,
+    /// Enforce the cycle constraint along interaction-graph triangles.
+    pub cycle: bool,
+}
+
+impl Default for ConstraintConfig {
+    /// Both constraints on — the configuration used throughout the paper's
+    /// evaluation (§VI-A "we consider two well-known constraints").
+    fn default() -> Self {
+        Self { one_to_one: true, cycle: true }
+    }
+}
+
+impl ConstraintConfig {
+    /// Only the one-to-one constraint (the setting of Theorem 1).
+    pub fn one_to_one_only() -> Self {
+        Self { one_to_one: true, cycle: false }
+    }
+}
+
+/// Pre-computed conflict structure of one candidate set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConflictIndex {
+    config: ConstraintConfig,
+    candidate_count: usize,
+    /// `pair_conflicts[c]` = candidates forming a one-to-one violation with `c`.
+    pair_conflicts: Vec<Vec<CandidateId>>,
+    /// All potential cycle violations, each a sorted triple.
+    triples: Vec<[CandidateId; 3]>,
+    /// `triples_of[c]` = indices into `triples` that involve `c`.
+    triples_of: Vec<Vec<u32>>,
+}
+
+impl ConflictIndex {
+    /// Builds the index for `candidates` over `catalog` and `graph`.
+    pub fn build(
+        catalog: &Catalog,
+        graph: &InteractionGraph,
+        candidates: &CandidateSet,
+        config: ConstraintConfig,
+    ) -> Self {
+        let n = candidates.len();
+        let mut index = Self {
+            config,
+            candidate_count: n,
+            pair_conflicts: vec![Vec::new(); n],
+            triples: Vec::new(),
+            triples_of: vec![Vec::new(); n],
+        };
+        if config.one_to_one {
+            index.build_pairs(catalog, candidates);
+        }
+        if config.cycle {
+            index.build_triples(catalog, graph, candidates);
+        }
+        index
+    }
+
+    /// One-to-one: for every attribute, any two incident candidates whose
+    /// *other* endpoints are in the same schema conflict.
+    fn build_pairs(&mut self, catalog: &Catalog, candidates: &CandidateSet) {
+        for attr in catalog.attributes() {
+            let incident = candidates.incident(attr.id);
+            for (i, &x) in incident.iter().enumerate() {
+                let ox = candidates.corr(x).other(attr.id).expect("incident candidate");
+                for &y in &incident[i + 1..] {
+                    let oy = candidates.corr(y).other(attr.id).expect("incident candidate");
+                    if catalog.schema_of(ox) == catalog.schema_of(oy) {
+                        self.pair_conflicts[x.index()].push(y);
+                        self.pair_conflicts[y.index()].push(x);
+                    }
+                }
+            }
+        }
+        // deduplicate: two candidates can share at most one attribute, so no
+        // duplicates arise, but keep the lists sorted for determinism.
+        for list in &mut self.pair_conflicts {
+            list.sort_unstable();
+            list.dedup();
+        }
+    }
+
+    /// Cycle: for every interaction-graph triangle `(A, B, C)` and every
+    /// triple with one candidate per triangle edge, the triple conflicts iff
+    /// it closes at exactly two of the three junctions (an open 3-path).
+    ///
+    /// The enumeration below visits each family (mismatch at `A`, `B` or `C`)
+    /// once, so each violating triple is generated exactly once.
+    fn build_triples(
+        &mut self,
+        catalog: &Catalog,
+        graph: &InteractionGraph,
+        candidates: &CandidateSet,
+    ) {
+        for (sa, sb, sc) in graph.triangles() {
+            let ab = candidates.for_edge(sa, sb);
+            let bc = candidates.for_edge(sb, sc);
+            let ac = candidates.for_edge(sa, sc);
+            if ab.is_empty() && bc.is_empty() && ac.is_empty() {
+                continue;
+            }
+            // endpoint of candidate `c` lying in schema `s`
+            let end = |c: CandidateId, s| {
+                let corr = candidates.corr(c);
+                let [x, y] = corr.endpoints();
+                if catalog.schema_of(x) == s {
+                    x
+                } else {
+                    debug_assert_eq!(catalog.schema_of(y), s);
+                    y
+                }
+            };
+            // family 1: junctions at B and C match, mismatch at A
+            for &e2 in bc {
+                let (b, c) = (end(e2, sb), end(e2, sc));
+                for &e1 in candidates.incident(b) {
+                    if !ab.contains(&e1) {
+                        continue;
+                    }
+                    let a1 = end(e1, sa);
+                    for &e3 in candidates.incident(c) {
+                        if !ac.contains(&e3) {
+                            continue;
+                        }
+                        if end(e3, sa) != a1 {
+                            self.push_triple(e1, e2, e3);
+                        }
+                    }
+                }
+            }
+            // family 2: junctions at A and C match, mismatch at B
+            for &e3 in ac {
+                let (a, c) = (end(e3, sa), end(e3, sc));
+                for &e1 in candidates.incident(a) {
+                    if !ab.contains(&e1) {
+                        continue;
+                    }
+                    let b1 = end(e1, sb);
+                    for &e2 in candidates.incident(c) {
+                        if !bc.contains(&e2) {
+                            continue;
+                        }
+                        if end(e2, sb) != b1 {
+                            self.push_triple(e1, e2, e3);
+                        }
+                    }
+                }
+            }
+            // family 3: junctions at A and B match, mismatch at C
+            for &e1 in ab {
+                let (a, b) = (end(e1, sa), end(e1, sb));
+                for &e2 in candidates.incident(b) {
+                    if !bc.contains(&e2) {
+                        continue;
+                    }
+                    let c1 = end(e2, sc);
+                    for &e3 in candidates.incident(a) {
+                        if !ac.contains(&e3) {
+                            continue;
+                        }
+                        if end(e3, sc) != c1 {
+                            self.push_triple(e1, e2, e3);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_triple(&mut self, x: CandidateId, y: CandidateId, z: CandidateId) {
+        let mut t = [x, y, z];
+        t.sort_unstable();
+        let idx = u32::try_from(self.triples.len()).expect("triple index overflow");
+        self.triples.push(t);
+        for m in t {
+            self.triples_of[m.index()].push(idx);
+        }
+    }
+
+    /// The constraint configuration this index was built with.
+    pub fn config(&self) -> ConstraintConfig {
+        self.config
+    }
+
+    /// Number of candidates the index covers.
+    pub fn candidate_count(&self) -> usize {
+        self.candidate_count
+    }
+
+    /// Candidates that pairwise conflict with `c`.
+    #[inline]
+    pub fn pair_conflicts(&self, c: CandidateId) -> &[CandidateId] {
+        &self.pair_conflicts[c.index()]
+    }
+
+    /// Potential cycle triples involving `c` (as index triples).
+    pub fn triples_involving(&self, c: CandidateId) -> impl Iterator<Item = [CandidateId; 3]> + '_ {
+        self.triples_of[c.index()].iter().map(move |&i| self.triples[i as usize])
+    }
+
+    /// Total number of potential pair conflicts (each counted once).
+    pub fn potential_pair_count(&self) -> usize {
+        self.pair_conflicts.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Total number of potential cycle triples.
+    pub fn potential_triple_count(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether adding `c` to the consistent instance `set` introduces no
+    /// violation.
+    #[inline]
+    pub fn can_add(&self, set: &BitSet, c: CandidateId) -> bool {
+        if self.pair_conflicts[c.index()].iter().any(|&x| set.contains(x)) {
+            return false;
+        }
+        self.triples_of[c.index()].iter().all(|&t| {
+            let [x, y, z] = self.triples[t as usize];
+            // the triple fires only if the other two members are present
+            !(other_two(x, y, z, c).into_iter().all(|m| set.contains(m)))
+        })
+    }
+
+    /// Number of violations that adding `c` to `set` would introduce
+    /// (`c ∉ set` expected; members of `set` only).
+    pub fn violations_introduced(&self, set: &BitSet, c: CandidateId) -> usize {
+        let pairs = self.pair_conflicts[c.index()].iter().filter(|&&x| set.contains(x)).count();
+        let triples = self
+            .triples_of[c.index()]
+            .iter()
+            .filter(|&&t| {
+                let [x, y, z] = self.triples[t as usize];
+                other_two(x, y, z, c).into_iter().all(|m| set.contains(m))
+            })
+            .count();
+        pairs + triples
+    }
+
+    /// Number of violations *within* `set` that `c ∈ set` participates in —
+    /// the `I.getConflict(c_i, Γ)` primitive of Algorithm 4.
+    pub fn conflicts_of_in(&self, set: &BitSet, c: CandidateId) -> usize {
+        debug_assert!(set.contains(c));
+        let pairs = self.pair_conflicts[c.index()].iter().filter(|&&x| set.contains(x)).count();
+        let triples = self
+            .triples_of[c.index()]
+            .iter()
+            .filter(|&&t| self.triples[t as usize].into_iter().all(|m| set.contains(m)))
+            .count();
+        pairs + triples
+    }
+
+    /// Whether `set` satisfies all configured constraints (`I |= Γ`).
+    pub fn is_consistent(&self, set: &BitSet) -> bool {
+        for c in set.iter() {
+            if self.pair_conflicts[c.index()].iter().any(|&x| x > c && set.contains(x)) {
+                return false;
+            }
+        }
+        self.triples.iter().all(|t| !t.iter().all(|&m| set.contains(m)))
+    }
+
+    /// Enumerates the concrete violations inside `set`.
+    pub fn violations_in(&self, set: &BitSet) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for c in set.iter() {
+            for &x in &self.pair_conflicts[c.index()] {
+                if x > c && set.contains(x) {
+                    out.push(Violation::one_to_one(c, x));
+                }
+            }
+        }
+        for t in &self.triples {
+            if t.iter().all(|&m| set.contains(m)) {
+                out.push(Violation::cycle(t[0], t[1], t[2]));
+            }
+        }
+        out
+    }
+
+    /// Violations inside `set` that involve `c`. After adding `c` to a
+    /// previously consistent instance, *all* violations involve `c`, so this
+    /// is the work list of the repair routine.
+    pub fn violations_involving(&self, set: &BitSet, c: CandidateId) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for &x in &self.pair_conflicts[c.index()] {
+            if set.contains(x) {
+                out.push(Violation::one_to_one(c, x));
+            }
+        }
+        for &t in &self.triples_of[c.index()] {
+            let tr = self.triples[t as usize];
+            if tr.iter().all(|&m| set.contains(m)) {
+                out.push(Violation::cycle(tr[0], tr[1], tr[2]));
+            }
+        }
+        out
+    }
+
+    /// Per-constraint violation totals inside `set` (Table III numbers when
+    /// `set` is the full candidate set).
+    pub fn count_violations(&self, set: &BitSet) -> ViolationCounts {
+        let mut counts = ViolationCounts::default();
+        for v in self.violations_in(set) {
+            match v.kind {
+                ViolationKind::OneToOne => counts.one_to_one += 1,
+                ViolationKind::Cycle => counts.cycle += 1,
+            }
+        }
+        counts
+    }
+
+    /// Whether `set` is *maximal*: no candidate outside `set ∪ forbidden`
+    /// can be added without violating a constraint (Definition 1).
+    pub fn is_maximal(&self, set: &BitSet, forbidden: &BitSet) -> bool {
+        (0..self.candidate_count).map(CandidateId::from_index).all(|c| {
+            set.contains(c) || forbidden.contains(c) || !self.can_add(set, c)
+        })
+    }
+}
+
+#[inline]
+fn other_two(x: CandidateId, y: CandidateId, z: CandidateId, c: CandidateId) -> [CandidateId; 2] {
+    if x == c {
+        [y, z]
+    } else if y == c {
+        [x, z]
+    } else {
+        debug_assert_eq!(z, c);
+        [x, y]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smn_schema::{AttributeId, CatalogBuilder};
+
+    /// The motivating example of §II-A / Fig. 1: three video providers.
+    ///
+    /// Attributes: a0 = productionDate (EoverI), a1 = date (BBC),
+    /// a2 = releaseDate (DVDizzy), a3 = screenDate (DVDizzy).
+    /// Candidates: c0 = a0–a1, c1 = a1–a2, c2 = a0–a2, c3 = a1–a3, c4 = a0–a3.
+    ///
+    /// With one-to-one + cycle constraints the only two maximal instances
+    /// are {c0, c1, c2} and {c0, c3, c4} (Example 1 of the paper, relabeled).
+    fn fig1() -> (Catalog, InteractionGraph, CandidateSet, ConflictIndex) {
+        let mut b = CatalogBuilder::new();
+        b.add_schema_with_attributes("EoverI", ["productionDate"]).unwrap();
+        b.add_schema_with_attributes("BBC", ["date"]).unwrap();
+        b.add_schema_with_attributes("DVDizzy", ["releaseDate", "screenDate"]).unwrap();
+        let cat = b.build();
+        let g = InteractionGraph::complete(3);
+        let mut cs = CandidateSet::new(&cat);
+        let a = AttributeId;
+        cs.add(&cat, Some(&g), a(0), a(1), 0.9).unwrap(); // c0
+        cs.add(&cat, Some(&g), a(1), a(2), 0.8).unwrap(); // c1
+        cs.add(&cat, Some(&g), a(0), a(2), 0.8).unwrap(); // c2
+        cs.add(&cat, Some(&g), a(1), a(3), 0.7).unwrap(); // c3
+        cs.add(&cat, Some(&g), a(0), a(3), 0.7).unwrap(); // c4
+        let idx = ConflictIndex::build(&cat, &g, &cs, ConstraintConfig::default());
+        (cat, g, cs, idx)
+    }
+
+    fn set(n: usize, ids: &[u32]) -> BitSet {
+        BitSet::from_ids(n, ids.iter().map(|&i| CandidateId(i)))
+    }
+
+    #[test]
+    fn fig1_pair_conflicts() {
+        let (_, _, _, idx) = fig1();
+        // c1 (a1–a2) vs c3 (a1–a3): share a1, others in DVDizzy → 1-1 conflict
+        assert_eq!(idx.pair_conflicts(CandidateId(1)), &[CandidateId(3)]);
+        // c2 (a0–a2) vs c4 (a0–a3): share a0, others in DVDizzy → 1-1 conflict
+        assert_eq!(idx.pair_conflicts(CandidateId(2)), &[CandidateId(4)]);
+        // c0 conflicts with nobody pairwise
+        assert!(idx.pair_conflicts(CandidateId(0)).is_empty());
+    }
+
+    #[test]
+    fn fig1_cycle_triples() {
+        let (_, _, _, idx) = fig1();
+        let mut triples: Vec<_> = idx.triples.clone();
+        triples.sort();
+        // open 3-paths: {c0,c1,c4} (closes at a1 and ... ) and {c0,c2,c3}
+        assert_eq!(
+            triples,
+            vec![
+                [CandidateId(0), CandidateId(1), CandidateId(4)],
+                [CandidateId(0), CandidateId(2), CandidateId(3)],
+            ]
+        );
+    }
+
+    #[test]
+    fn fig1_consistency_of_known_instances() {
+        let (_, _, cs, idx) = fig1();
+        let n = cs.len();
+        let i1 = set(n, &[0, 1, 2]);
+        let i2 = set(n, &[0, 3, 4]);
+        assert!(idx.is_consistent(&i1));
+        assert!(idx.is_consistent(&i2));
+        // the full candidate set is inconsistent
+        assert!(!idx.is_consistent(&BitSet::full(n)));
+        // mixed picks are inconsistent
+        assert!(!idx.is_consistent(&set(n, &[0, 1, 3]))); // 1-1 on a1
+        assert!(!idx.is_consistent(&set(n, &[0, 1, 4]))); // open cycle
+        assert!(!idx.is_consistent(&set(n, &[0, 2, 3]))); // open cycle
+    }
+
+    #[test]
+    fn fig1_maximality() {
+        let (_, _, cs, idx) = fig1();
+        let n = cs.len();
+        let none = BitSet::new(n);
+        assert!(idx.is_maximal(&set(n, &[0, 1, 2]), &none));
+        assert!(idx.is_maximal(&set(n, &[0, 3, 4]), &none));
+        // {c0} alone is not maximal — c1 can still be added
+        assert!(!idx.is_maximal(&set(n, &[0]), &none));
+        // but becomes maximal if everything else is forbidden
+        assert!(idx.is_maximal(&set(n, &[0]), &set(n, &[1, 2, 3, 4])));
+    }
+
+    #[test]
+    fn fig1_can_add_and_introduced() {
+        let (_, _, cs, idx) = fig1();
+        let n = cs.len();
+        let i = set(n, &[0, 1]);
+        assert!(idx.can_add(&i, CandidateId(2)));
+        assert!(!idx.can_add(&i, CandidateId(3))); // 1-1 with c1
+        assert!(!idx.can_add(&i, CandidateId(4))); // open cycle with c0, c1
+        assert_eq!(idx.violations_introduced(&i, CandidateId(3)), 1);
+        assert_eq!(idx.violations_introduced(&i, CandidateId(4)), 1);
+        assert_eq!(idx.violations_introduced(&i, CandidateId(2)), 0);
+    }
+
+    #[test]
+    fn fig1_violation_enumeration_and_counts() {
+        let (_, _, cs, idx) = fig1();
+        let full = BitSet::full(cs.len());
+        let viols = idx.violations_in(&full);
+        let counts = idx.count_violations(&full);
+        assert_eq!(counts.one_to_one, 2);
+        assert_eq!(counts.cycle, 2);
+        assert_eq!(counts.total(), viols.len());
+        // every violation involving c0 is a cycle violation
+        let involving0 = idx.violations_involving(&full, CandidateId(0));
+        assert_eq!(involving0.len(), 2);
+        assert!(involving0.iter().all(|v| v.kind == ViolationKind::Cycle));
+    }
+
+    #[test]
+    fn conflicts_of_in_counts_local_violations() {
+        let (_, _, cs, idx) = fig1();
+        let full = BitSet::full(cs.len());
+        // c0 participates in both cycle triples
+        assert_eq!(idx.conflicts_of_in(&full, CandidateId(0)), 2);
+        // c1: 1-1 with c3, cycle {c0,c1,c4}
+        assert_eq!(idx.conflicts_of_in(&full, CandidateId(1)), 2);
+    }
+
+    #[test]
+    fn one_to_one_only_config_ignores_cycles() {
+        let (cat, g, cs, _) = fig1();
+        let idx = ConflictIndex::build(&cat, &g, &cs, ConstraintConfig::one_to_one_only());
+        assert_eq!(idx.potential_triple_count(), 0);
+        assert_eq!(idx.potential_pair_count(), 2);
+        // the open 3-path is now allowed
+        assert!(idx.is_consistent(&set(cs.len(), &[0, 1, 4])));
+    }
+
+    #[test]
+    fn empty_set_is_consistent_but_not_maximal() {
+        let (_, _, cs, idx) = fig1();
+        let n = cs.len();
+        let empty = BitSet::new(n);
+        assert!(idx.is_consistent(&empty));
+        assert!(!idx.is_maximal(&empty, &BitSet::new(n)));
+    }
+
+    #[test]
+    fn no_triangle_graph_has_no_triples() {
+        // A—B—C path: no triangle, so no cycle conflicts even with the
+        // cycle constraint enabled.
+        let mut b = CatalogBuilder::new();
+        b.add_schema_with_attributes("A", ["a"]).unwrap();
+        b.add_schema_with_attributes("B", ["b"]).unwrap();
+        b.add_schema_with_attributes("C", ["c"]).unwrap();
+        let cat = b.build();
+        let g = InteractionGraph::path(3);
+        let mut cs = CandidateSet::new(&cat);
+        cs.add(&cat, Some(&g), AttributeId(0), AttributeId(1), 0.5).unwrap();
+        cs.add(&cat, Some(&g), AttributeId(1), AttributeId(2), 0.5).unwrap();
+        let idx = ConflictIndex::build(&cat, &g, &cs, ConstraintConfig::default());
+        assert_eq!(idx.potential_triple_count(), 0);
+        assert!(idx.is_consistent(&BitSet::full(2)));
+    }
+}

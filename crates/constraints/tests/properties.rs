@@ -1,0 +1,151 @@
+//! Property-based tests for the constraint engine.
+
+use proptest::prelude::*;
+use smn_constraints::{BitSet, ClosureChecker, ConflictIndex, ConstraintConfig};
+use smn_schema::{AttributeId, CandidateId, CandidateSet, Catalog, CatalogBuilder, InteractionGraph};
+
+/// Builds a 3-schema catalog with `sizes` attributes per schema and a random
+/// candidate subset of all cross-schema pairs, selected by `mask` bits.
+fn three_schema_network(sizes: [usize; 3], mask: u64) -> (Catalog, InteractionGraph, CandidateSet) {
+    let mut b = CatalogBuilder::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let attrs: Vec<String> = (0..n).map(|j| format!("a{i}_{j}")).collect();
+        b.add_schema_with_attributes(format!("s{i}"), attrs).unwrap();
+    }
+    let cat = b.build();
+    let g = InteractionGraph::complete(3);
+    let mut cs = CandidateSet::new(&cat);
+    let mut bit = 0u32;
+    for x in 0..cat.attribute_count() {
+        for y in (x + 1)..cat.attribute_count() {
+            let (ax, ay) = (AttributeId::from_index(x), AttributeId::from_index(y));
+            if cat.schema_of(ax) == cat.schema_of(ay) {
+                continue;
+            }
+            if mask & (1 << (bit % 64)) != 0 {
+                cs.add(&cat, Some(&g), ax, ay, 0.5).unwrap();
+            }
+            bit += 1;
+        }
+    }
+    (cat, g, cs)
+}
+
+fn subset_from_mask(n: usize, mask: u64) -> BitSet {
+    BitSet::from_ids(n, (0..n).filter(|i| mask & (1 << (i % 64)) != 0).map(CandidateId::from_index))
+}
+
+proptest! {
+    /// On three-schema complete networks, triangle-based cycle checking plus
+    /// one-to-one is exactly closure consistency (see DESIGN.md: longer
+    /// violating walks always contain a 1-1 violation or a triangle).
+    #[test]
+    fn triangle_plus_one_to_one_equals_closure_on_three_schemas(
+        cand_mask in any::<u64>(),
+        inst_mask in any::<u64>(),
+        sizes in prop::array::uniform3(1usize..4),
+    ) {
+        let (cat, g, cs) = three_schema_network(sizes, cand_mask);
+        let idx = ConflictIndex::build(&cat, &g, &cs, ConstraintConfig::default());
+        let closure = ClosureChecker::new(&cat, &cs);
+        let inst = subset_from_mask(cs.len(), inst_mask);
+        prop_assert_eq!(idx.is_consistent(&inst), closure.is_consistent(&inst));
+    }
+
+    /// `can_add` agrees with `violations_introduced == 0`, and adding an
+    /// allowed candidate preserves consistency.
+    #[test]
+    fn can_add_is_violations_introduced_zero(
+        cand_mask in any::<u64>(),
+        inst_mask in any::<u64>(),
+        sizes in prop::array::uniform3(1usize..4),
+    ) {
+        let (cat, g, cs) = three_schema_network(sizes, cand_mask);
+        let idx = ConflictIndex::build(&cat, &g, &cs, ConstraintConfig::default());
+        // build a consistent instance greedily from the mask
+        let mut inst = BitSet::new(cs.len());
+        for i in 0..cs.len() {
+            let c = CandidateId::from_index(i);
+            if inst_mask & (1 << (i % 64)) != 0 && idx.can_add(&inst, c) {
+                inst.insert(c);
+            }
+        }
+        prop_assert!(idx.is_consistent(&inst));
+        for i in 0..cs.len() {
+            let c = CandidateId::from_index(i);
+            if inst.contains(c) { continue; }
+            let can = idx.can_add(&inst, c);
+            prop_assert_eq!(can, idx.violations_introduced(&inst, c) == 0);
+            if can {
+                let mut bigger = inst.clone();
+                bigger.insert(c);
+                prop_assert!(idx.is_consistent(&bigger));
+            }
+        }
+    }
+
+    /// Violation counts computed by enumeration match the per-kind totals,
+    /// and each enumerated violation really is inconsistent on its own.
+    #[test]
+    fn enumerated_violations_are_minimal_witnesses(
+        cand_mask in any::<u64>(),
+        sizes in prop::array::uniform3(1usize..4),
+    ) {
+        let (cat, g, cs) = three_schema_network(sizes, cand_mask);
+        let idx = ConflictIndex::build(&cat, &g, &cs, ConstraintConfig::default());
+        let full = BitSet::full(cs.len());
+        let viols = idx.violations_in(&full);
+        let counts = idx.count_violations(&full);
+        prop_assert_eq!(viols.len(), counts.total());
+        for v in &viols {
+            let witness = BitSet::from_ids(cs.len(), v.members.iter().copied());
+            prop_assert!(!idx.is_consistent(&witness), "violation members alone must violate");
+            // removing any one member restores consistency (minimality)
+            for &m in &v.members {
+                let mut sub = witness.clone();
+                sub.remove(m);
+                prop_assert!(idx.is_consistent(&sub));
+            }
+        }
+    }
+
+    /// Greedy completion always yields maximal consistent instances.
+    #[test]
+    fn greedy_completion_is_maximal(
+        cand_mask in any::<u64>(),
+        sizes in prop::array::uniform3(1usize..4),
+    ) {
+        let (cat, g, cs) = three_schema_network(sizes, cand_mask);
+        let idx = ConflictIndex::build(&cat, &g, &cs, ConstraintConfig::default());
+        let mut inst = BitSet::new(cs.len());
+        for i in 0..cs.len() {
+            let c = CandidateId::from_index(i);
+            if idx.can_add(&inst, c) {
+                inst.insert(c);
+            }
+        }
+        prop_assert!(idx.is_consistent(&inst));
+        prop_assert!(idx.is_maximal(&inst, &BitSet::new(cs.len())));
+    }
+
+    /// BitSet algebra: symmetric difference is |A|+|B|−2|A∩B|; subset and
+    /// union/difference behave like the std set operations.
+    #[test]
+    fn bitset_algebra(a_mask in any::<u64>(), b_mask in any::<u64>(), n in 1usize..100) {
+        let a = subset_from_mask(n, a_mask);
+        let b = subset_from_mask(n, b_mask);
+        let inter = a.intersection_count(&b);
+        prop_assert_eq!(
+            a.symmetric_difference_count(&b),
+            a.count() + b.count() - 2 * inter
+        );
+        let mut u = a.clone();
+        u.union_with(&b);
+        prop_assert_eq!(u.count(), a.count() + b.count() - inter);
+        prop_assert!(a.is_subset(&u) && b.is_subset(&u));
+        let mut d = a.clone();
+        d.difference_with(&b);
+        prop_assert_eq!(d.count(), a.count() - inter);
+        prop_assert!(d.is_disjoint(&b));
+    }
+}

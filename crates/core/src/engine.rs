@@ -1,0 +1,231 @@
+//! The pay-as-you-go session: the user-facing facade over the three
+//! framework steps (Fig. 2 of the paper).
+//!
+//! A [`Session`] wraps a [`ProbabilisticNetwork`] with a selection strategy
+//! and exposes the interactive loop an application drives:
+//!
+//! ```text
+//! let mut session = Session::new(network, SessionConfig::default());
+//! while let Some(question) = session.next_question() {
+//!     let verdict = ask_the_expert(question);
+//!     session.answer(question.candidate, verdict)?;
+//!     let matching = session.instantiate_default(); // usable at any time
+//! }
+//! ```
+
+use crate::feedback::Assertion;
+use crate::instantiate::{instantiate, Instantiation, InstantiationConfig};
+use crate::network::MatchingNetwork;
+use crate::oracle::Oracle;
+use crate::probability::{InconsistentApproval, ProbabilisticNetwork};
+use crate::reconcile::{reconcile, ReconciliationGoal, TracePoint};
+use crate::sampling::SamplerConfig;
+use crate::selection::{InformationGainSelection, RandomSelection, SelectionStrategy};
+use smn_schema::{CandidateId, Correspondence};
+
+/// Which built-in selection strategy a session uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Random ordering (baseline).
+    Random,
+    /// Information-gain ordering (the paper's heuristic).
+    InformationGain,
+}
+
+/// Session configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Sampler parameters for probability computation.
+    pub sampler: SamplerConfig,
+    /// Selection strategy.
+    pub strategy: Strategy,
+    /// Seed for strategy randomness (tie breaking / random baseline).
+    pub strategy_seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            sampler: SamplerConfig::default(),
+            strategy: Strategy::InformationGain,
+            strategy_seed: 0xACE,
+        }
+    }
+}
+
+/// A question the session wants answered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Question {
+    /// Candidate id to pass back to [`Session::answer`].
+    pub candidate: CandidateId,
+    /// The attribute pair behind it.
+    pub correspondence: Correspondence,
+    /// Current probability of the candidate.
+    pub probability: f64,
+}
+
+/// An interactive pay-as-you-go reconciliation session.
+pub struct Session {
+    pn: ProbabilisticNetwork,
+    strategy: Box<dyn SelectionStrategy>,
+    asked: Vec<Assertion>,
+}
+
+impl Session {
+    /// Creates a session: builds the probabilistic network (initial
+    /// sampling) and installs the selection strategy.
+    pub fn new(network: MatchingNetwork, config: SessionConfig) -> Self {
+        let strategy: Box<dyn SelectionStrategy> = match config.strategy {
+            Strategy::Random => Box::new(RandomSelection::new(config.strategy_seed)),
+            Strategy::InformationGain => {
+                Box::new(InformationGainSelection::new(config.strategy_seed))
+            }
+        };
+        Self { pn: ProbabilisticNetwork::new(network, config.sampler), strategy, asked: Vec::new() }
+    }
+
+    /// Creates a session with a custom selection strategy.
+    pub fn with_strategy(
+        network: MatchingNetwork,
+        sampler: SamplerConfig,
+        strategy: Box<dyn SelectionStrategy>,
+    ) -> Self {
+        Self { pn: ProbabilisticNetwork::new(network, sampler), strategy, asked: Vec::new() }
+    }
+
+    /// The probabilistic network state.
+    pub fn network(&self) -> &ProbabilisticNetwork {
+        &self.pn
+    }
+
+    /// The next correspondence the expert should assert, or `None` when the
+    /// network is fully reconciled.
+    pub fn next_question(&mut self) -> Option<Question> {
+        let candidate = self.strategy.select(&self.pn)?;
+        Some(Question {
+            candidate,
+            correspondence: self.pn.network().corr(candidate),
+            probability: self.pn.probability(candidate),
+        })
+    }
+
+    /// Integrates the expert's answer for a candidate.
+    pub fn answer(&mut self, candidate: CandidateId, approved: bool) -> Result<(), InconsistentApproval> {
+        let assertion = Assertion { candidate, approved };
+        self.pn.assert_candidate(assertion)?;
+        self.asked.push(assertion);
+        Ok(())
+    }
+
+    /// Runs the reconciliation loop against an oracle until the goal holds
+    /// (Algorithm 1). Returns the trace.
+    pub fn run(&mut self, oracle: &mut dyn Oracle, goal: ReconciliationGoal) -> Vec<TracePoint> {
+        let trace = reconcile(&mut self.pn, self.strategy.as_mut(), oracle, goal);
+        self.asked.extend(
+            trace.iter().map(|t| Assertion { candidate: t.candidate, approved: t.approved }),
+        );
+        trace
+    }
+
+    /// Instantiates a trusted matching from the current state
+    /// (Algorithm 2); available at any time — the "pay-as-you-go" promise.
+    pub fn instantiate(&self, config: InstantiationConfig) -> Instantiation {
+        instantiate(&self.pn, config)
+    }
+
+    /// [`Session::instantiate`] with default parameters.
+    pub fn instantiate_default(&self) -> Instantiation {
+        self.instantiate(InstantiationConfig::default())
+    }
+
+    /// Current network uncertainty (bits).
+    pub fn entropy(&self) -> f64 {
+        self.pn.entropy()
+    }
+
+    /// Current user effort `E`.
+    pub fn effort(&self) -> f64 {
+        self.pn.effort()
+    }
+
+    /// All assertions integrated so far, in order.
+    pub fn history(&self) -> &[Assertion] {
+        &self.asked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GroundTruthOracle;
+    use crate::testutil::fig1_network;
+    use smn_schema::AttributeId;
+
+    fn config() -> SessionConfig {
+        SessionConfig {
+            sampler: SamplerConfig { anneal: true, n_samples: 200, walk_steps: 3, n_min: 50, seed: 5 },
+            strategy: Strategy::InformationGain,
+            strategy_seed: 9,
+        }
+    }
+
+    fn fig1_truth() -> Vec<Correspondence> {
+        let a = AttributeId;
+        vec![
+            Correspondence::new(a(0), a(1)),
+            Correspondence::new(a(1), a(3)),
+            Correspondence::new(a(0), a(3)),
+        ]
+    }
+
+    #[test]
+    fn interactive_loop_reconciles() {
+        let mut session = Session::new(fig1_network(), config());
+        let oracle = GroundTruthOracle::new(fig1_truth());
+        let mut steps = 0;
+        while let Some(q) = session.next_question() {
+            session.answer(q.candidate, oracle.is_true(q.correspondence)).unwrap();
+            steps += 1;
+            assert!(steps < 10, "must terminate");
+        }
+        assert_eq!(session.entropy(), 0.0);
+        assert_eq!(session.history().len(), steps);
+        let m = session.instantiate_default();
+        assert_eq!(m.instance.count(), 3);
+        assert!(m.instance.contains(CandidateId(0)));
+        assert!(m.instance.contains(CandidateId(3)));
+        assert!(m.instance.contains(CandidateId(4)));
+    }
+
+    #[test]
+    fn run_with_oracle_and_budget() {
+        let mut session = Session::new(fig1_network(), config());
+        let mut oracle = GroundTruthOracle::new(fig1_truth());
+        let trace = session.run(&mut oracle, ReconciliationGoal::Budget(1));
+        assert_eq!(trace.len(), 1);
+        assert_eq!(session.history().len(), 1);
+        assert!((session.effort() - 0.2).abs() < 1e-12);
+        // instantiation works mid-way (pay-as-you-go)
+        let m = session.instantiate_default();
+        assert!(session.network().network().index().is_consistent(&m.instance));
+    }
+
+    #[test]
+    fn question_carries_probability() {
+        let mut session = Session::new(fig1_network(), config());
+        let q = session.next_question().unwrap();
+        assert!((q.probability - 0.5).abs() < 1e-12);
+        assert_eq!(session.network().network().corr(q.candidate), q.correspondence);
+    }
+
+    #[test]
+    fn random_strategy_session_also_terminates() {
+        let mut session = Session::new(
+            fig1_network(),
+            SessionConfig { strategy: Strategy::Random, ..config() },
+        );
+        let mut oracle = GroundTruthOracle::new(fig1_truth());
+        session.run(&mut oracle, ReconciliationGoal::Complete);
+        assert_eq!(session.entropy(), 0.0);
+    }
+}

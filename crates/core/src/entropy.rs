@@ -1,0 +1,73 @@
+//! Network uncertainty as Shannon entropy (Eq. 3).
+//!
+//! Each candidate's inclusion in the selective matching is a Bernoulli
+//! variable with parameter `p_c`; network uncertainty is the sum of the
+//! binary entropies (in bits, matching Example 1 of the paper where a
+//! network with four `p = 0.5` candidates has `H = 4`).
+
+/// Binary entropy `h(p) = −p·log₂p − (1−p)·log₂(1−p)`, with
+/// `h(0) = h(1) = 0`.
+pub fn binary_entropy(p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    let mut h = 0.0;
+    if p > 0.0 {
+        h -= p * p.log2();
+    }
+    if p < 1.0 {
+        h -= (1.0 - p) * (1.0 - p).log2();
+    }
+    h
+}
+
+/// Network uncertainty `H(C, P) = Σ_c h(p_c)` (Eq. 3).
+///
+/// Certain candidates (`p ∈ {0, 1}`) contribute nothing, so
+/// `H(C, P) = H({c | 0 < p_c < 1}, P)` as the paper notes.
+pub fn entropy_of(probabilities: &[f64]) -> f64 {
+    probabilities.iter().copied().map(binary_entropy).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_are_certain() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+    }
+
+    #[test]
+    fn max_at_half() {
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        assert!(binary_entropy(0.3) < 1.0);
+        assert!(binary_entropy(0.3) > 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        for p in [0.1, 0.25, 0.4] {
+            assert!((binary_entropy(p) - binary_entropy(1.0 - p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn example1_of_the_paper() {
+        // one certain candidate plus four fifty-fifty ones → H = 4 bits
+        let probs = [1.0, 0.5, 0.5, 0.5, 0.5];
+        assert!((entropy_of(&probs) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        let probs = [0.2, 0.9, 0.5, 0.0, 1.0];
+        let h = entropy_of(&probs);
+        assert!(h >= 0.0);
+        assert!(h <= probs.len() as f64);
+    }
+
+    #[test]
+    fn empty_network_has_zero_uncertainty() {
+        assert_eq!(entropy_of(&[]), 0.0);
+    }
+}

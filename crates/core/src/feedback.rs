@@ -1,0 +1,149 @@
+//! User feedback `F = ⟨F+, F−⟩`.
+
+use smn_constraints::BitSet;
+use smn_schema::CandidateId;
+
+/// A single expert assertion on a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assertion {
+    /// The asserted candidate.
+    pub candidate: CandidateId,
+    /// `true` = approved (`F+`), `false` = disapproved (`F−`).
+    pub approved: bool,
+}
+
+/// The accumulated expert input: disjoint approved/disapproved sets.
+///
+/// Per the paper, "user assertions are assumed to be always right": `F+`
+/// must be contained in and `F−` excluded from every matching instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Feedback {
+    approved: BitSet,
+    disapproved: BitSet,
+}
+
+impl Feedback {
+    /// Empty feedback for a network with `n` candidates.
+    pub fn new(n: usize) -> Self {
+        Self { approved: BitSet::new(n), disapproved: BitSet::new(n) }
+    }
+
+    /// Records an assertion.
+    ///
+    /// # Panics
+    /// Panics if the candidate was already asserted the other way (an
+    /// expert cannot approve and disapprove the same correspondence).
+    pub fn assert(&mut self, assertion: Assertion) {
+        let Assertion { candidate, approved } = assertion;
+        if approved {
+            assert!(!self.disapproved.contains(candidate), "{candidate} already disapproved");
+            self.approved.insert(candidate);
+        } else {
+            assert!(!self.approved.contains(candidate), "{candidate} already approved");
+            self.disapproved.insert(candidate);
+        }
+    }
+
+    /// Convenience for [`Feedback::assert`].
+    pub fn approve(&mut self, c: CandidateId) {
+        self.assert(Assertion { candidate: c, approved: true });
+    }
+
+    /// Convenience for [`Feedback::assert`].
+    pub fn disapprove(&mut self, c: CandidateId) {
+        self.assert(Assertion { candidate: c, approved: false });
+    }
+
+    /// `F+` as a bitset.
+    pub fn approved(&self) -> &BitSet {
+        &self.approved
+    }
+
+    /// `F−` as a bitset.
+    pub fn disapproved(&self) -> &BitSet {
+        &self.disapproved
+    }
+
+    /// Whether `c` has been asserted either way.
+    pub fn is_asserted(&self, c: CandidateId) -> bool {
+        self.approved.contains(c) || self.disapproved.contains(c)
+    }
+
+    /// Whether an instance respects this feedback
+    /// (`F+ ⊆ I ∧ F− ∩ I = ∅`).
+    pub fn respected_by(&self, instance: &BitSet) -> bool {
+        self.approved.is_subset(instance) && self.disapproved.is_disjoint(instance)
+    }
+
+    /// Number of assertions `|F+ ∪ F−|`.
+    pub fn len(&self) -> usize {
+        self.approved.count() + self.disapproved.count()
+    }
+
+    /// Whether no assertion has been made.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The paper's user-effort measure `E = |F+ ∪ F−| / |C|`.
+    pub fn effort(&self, candidate_count: usize) -> f64 {
+        if candidate_count == 0 {
+            0.0
+        } else {
+            self.len() as f64 / candidate_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approve_disapprove_disjoint() {
+        let mut f = Feedback::new(10);
+        f.approve(CandidateId(1));
+        f.disapprove(CandidateId(2));
+        assert!(f.is_asserted(CandidateId(1)));
+        assert!(f.is_asserted(CandidateId(2)));
+        assert!(!f.is_asserted(CandidateId(3)));
+        assert_eq!(f.len(), 2);
+        assert!((f.effort(10) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "already disapproved")]
+    fn conflicting_assertions_panic() {
+        let mut f = Feedback::new(10);
+        f.disapprove(CandidateId(4));
+        f.approve(CandidateId(4));
+    }
+
+    #[test]
+    fn repeated_same_assertion_is_idempotent() {
+        let mut f = Feedback::new(10);
+        f.approve(CandidateId(4));
+        f.approve(CandidateId(4));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn respected_by_checks_both_sides() {
+        let mut f = Feedback::new(5);
+        f.approve(CandidateId(0));
+        f.disapprove(CandidateId(1));
+        let good = BitSet::from_ids(5, [CandidateId(0), CandidateId(2)]);
+        let missing_approved = BitSet::from_ids(5, [CandidateId(2)]);
+        let has_disapproved = BitSet::from_ids(5, [CandidateId(0), CandidateId(1)]);
+        assert!(f.respected_by(&good));
+        assert!(!f.respected_by(&missing_approved));
+        assert!(!f.respected_by(&has_disapproved));
+    }
+
+    #[test]
+    fn effort_handles_empty_network() {
+        let f = Feedback::new(0);
+        assert_eq!(f.effort(0), 0.0);
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Instance-level primitives: the greedy repair of Algorithm 4 and the
+//! maximization pass that upgrades consistent sets to matching instances
+//! (Definition 1).
+
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::Rng;
+use smn_constraints::{BitSet, ConflictIndex, Violation};
+use smn_schema::CandidateId;
+
+/// Algorithm 4: repairs `instance` after `added` was inserted into a
+/// previously consistent set.
+///
+/// Because the set was consistent before, every violation involves `added`;
+/// the work list is computed once and shrinks monotonically. The
+/// correspondence participating in the most remaining violations is removed
+/// greedily; ties are broken *uniformly at random*. (The paper leaves tie
+/// handling unspecified. Random tie-breaking matters for the Algorithm 3
+/// walk: with a deterministic rule, instances whose only entry paths
+/// require the non-preferred victim have zero in-degree in the walk's
+/// transition graph and are never sampled — we observed exactly that
+/// coverage gap before randomizing; see DESIGN.md.)
+///
+/// Approved correspondences and `added` itself are never removal
+/// candidates — if at some point only they participate in remaining
+/// violations, `added` itself is removed as a fallback (the paper's
+/// Algorithm 4 would otherwise not terminate).
+///
+/// Returns the removed candidates.
+pub fn repair(
+    index: &ConflictIndex,
+    instance: &mut BitSet,
+    added: CandidateId,
+    approved: &BitSet,
+    rng: &mut impl Rng,
+) -> Vec<CandidateId> {
+    debug_assert!(instance.contains(added));
+    let mut violations: Vec<Violation> = index.violations_involving(instance, added);
+    let mut removed = Vec::new();
+    let mut candidates: Vec<CandidateId> = Vec::new();
+    while !violations.is_empty() {
+        // count involvement per removable candidate; collect the argmax set
+        let mut best_count = 0usize;
+        candidates.clear();
+        let mut seen: Vec<CandidateId> = Vec::new();
+        for v in &violations {
+            for &m in &v.members {
+                if m == added || approved.contains(m) || seen.contains(&m) {
+                    continue;
+                }
+                seen.push(m);
+                let count = violations.iter().filter(|w| w.involves(m)).count();
+                match count.cmp(&best_count) {
+                    std::cmp::Ordering::Greater => {
+                        best_count = count;
+                        candidates.clear();
+                        candidates.push(m);
+                    }
+                    std::cmp::Ordering::Equal => candidates.push(m),
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+        }
+        let victim = match candidates.as_slice() {
+            [] => added, // only `added` and approved members remain
+            list => *list.choose(rng).expect("non-empty"),
+        };
+        instance.remove(victim);
+        removed.push(victim);
+        violations.retain(|v| !v.involves(victim));
+        if victim == added {
+            debug_assert!(violations.is_empty());
+            break;
+        }
+    }
+    debug_assert!(index.is_consistent(instance));
+    removed
+}
+
+/// Completes `instance` to a *maximal* consistent set: candidates outside
+/// `instance ∪ forbidden` are tried in random order and inserted when they
+/// introduce no violation. Constraints are monotone (adding candidates only
+/// ever adds violations), so one pass suffices for maximality.
+pub fn maximize(
+    index: &ConflictIndex,
+    instance: &mut BitSet,
+    forbidden: &BitSet,
+    rng: &mut impl Rng,
+) {
+    let mut order: Vec<CandidateId> = (0..index.candidate_count())
+        .map(CandidateId::from_index)
+        .filter(|&c| !instance.contains(c) && !forbidden.contains(c))
+        .collect();
+    order.shuffle(rng);
+    for c in order {
+        if index.can_add(instance, c) {
+            instance.insert(c);
+        }
+    }
+    debug_assert!(index.is_maximal(instance, forbidden));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fig1_network;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ids(v: &[u32]) -> impl Iterator<Item = CandidateId> + '_ {
+        v.iter().map(|&i| CandidateId(i))
+    }
+
+    #[test]
+    fn repair_resolves_one_to_one() {
+        let net = fig1_network();
+        let n = net.candidate_count();
+        // {c0, c1} + add c3 (1-1 conflict with c1)
+        let mut inst = BitSet::from_ids(n, ids(&[0, 1, 3]));
+        let mut rng = StdRng::seed_from_u64(0);
+        let removed = repair(net.index(), &mut inst, CandidateId(3), &BitSet::new(n), &mut rng);
+        assert_eq!(removed, vec![CandidateId(1)], "c1 is the only removable participant");
+        assert!(inst.contains(CandidateId(3)));
+        assert!(net.index().is_consistent(&inst));
+    }
+
+    #[test]
+    fn repair_respects_approved() {
+        let net = fig1_network();
+        let n = net.candidate_count();
+        let mut approved = BitSet::new(n);
+        approved.insert(CandidateId(1));
+        // adding c3 conflicts with approved c1 → c3 itself must go
+        let mut inst = BitSet::from_ids(n, ids(&[0, 1, 3]));
+        let mut rng = StdRng::seed_from_u64(0);
+        let removed = repair(net.index(), &mut inst, CandidateId(3), &approved, &mut rng);
+        assert_eq!(removed, vec![CandidateId(3)]);
+        assert!(inst.contains(CandidateId(1)));
+    }
+
+    #[test]
+    fn repair_resolves_cycle_violation() {
+        let net = fig1_network();
+        let n = net.candidate_count();
+        // {c1, c4} is consistent; adding c0 completes the open cycle
+        let mut inst = BitSet::from_ids(n, ids(&[0, 1, 4]));
+        let mut rng = StdRng::seed_from_u64(0);
+        let removed = repair(net.index(), &mut inst, CandidateId(0), &BitSet::new(n), &mut rng);
+        assert_eq!(removed.len(), 1);
+        assert!(net.index().is_consistent(&inst));
+        assert!(inst.contains(CandidateId(0)), "added candidate preferred over others");
+    }
+
+    #[test]
+    fn repair_on_already_consistent_is_noop() {
+        let net = fig1_network();
+        let n = net.candidate_count();
+        let mut inst = BitSet::from_ids(n, ids(&[0, 1, 2]));
+        let mut rng = StdRng::seed_from_u64(0);
+        let removed = repair(net.index(), &mut inst, CandidateId(2), &BitSet::new(n), &mut rng);
+        assert!(removed.is_empty());
+        assert_eq!(inst.count(), 3);
+    }
+
+    #[test]
+    fn maximize_reaches_known_instances() {
+        let net = fig1_network();
+        let n = net.candidate_count();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..60 {
+            let mut inst = BitSet::new(n);
+            maximize(net.index(), &mut inst, &BitSet::new(n), &mut rng);
+            assert!(net.index().is_consistent(&inst));
+            assert!(net.index().is_maximal(&inst, &BitSet::new(n)));
+            seen.insert(inst.to_vec());
+        }
+        // all four maximal instances of the Fig. 1 network are reachable
+        assert!(seen.len() >= 3, "expected to see several distinct instances, got {seen:?}");
+    }
+
+    #[test]
+    fn maximize_respects_forbidden() {
+        let net = fig1_network();
+        let n = net.candidate_count();
+        let forbidden = BitSet::from_ids(n, ids(&[0]));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let mut inst = BitSet::new(n);
+            maximize(net.index(), &mut inst, &forbidden, &mut rng);
+            assert!(!inst.contains(CandidateId(0)));
+            assert!(net.index().is_maximal(&inst, &forbidden));
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Instantiation of an approximation of the selective matching
+//! (Algorithm 2, §V).
+//!
+//! The instantiation problem — a matching instance with minimal repair
+//! distance `Δ(I, C) = |C| − |I|`, tie-broken by maximal likelihood
+//! `u(I) = Π_{c∈I} p_c` — is NP-complete (Theorem 1, by reduction from
+//! maximum independent set). The heuristic here follows Algorithm 2:
+//!
+//! 1. **Initialization**: greedily pick the best sampled instance
+//!    (smallest repair distance, then largest likelihood).
+//! 2. **Optimization**: randomized local search — roulette-wheel select a
+//!    candidate proportionally to its probability, insert it, repair the
+//!    violations it causes (Algorithm 4), re-maximize, and keep the best
+//!    instance seen. A fixed-size tabu queue prevents proposing the same
+//!    candidate repeatedly.
+
+use crate::instance::{maximize, repair};
+use crate::probability::ProbabilisticNetwork;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smn_constraints::BitSet;
+use smn_schema::CandidateId;
+use std::collections::VecDeque;
+
+/// How local-search insertions are proposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proposal {
+    /// Fitness-proportionate (roulette-wheel) selection over probabilities,
+    /// as in Algorithm 2 — "the chosen correspondence has a high chance of
+    /// being consistent with the others".
+    RouletteWheel,
+    /// Uniform selection among eligible candidates (ablation baseline).
+    Uniform,
+}
+
+/// Configuration of Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstantiationConfig {
+    /// Local-search iterations (`k` of Algorithm 2).
+    pub iterations: usize,
+    /// Tabu-queue capacity (0 disables the tabu list — ablation).
+    pub tabu_size: usize,
+    /// Whether likelihood is used as the secondary criterion (Fig. 11
+    /// compares instantiation with and without it).
+    pub use_likelihood: bool,
+    /// Insertion-proposal rule.
+    pub proposal: Proposal,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for InstantiationConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 200,
+            tabu_size: 24,
+            use_likelihood: true,
+            proposal: Proposal::RouletteWheel,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// The instantiated matching and its quality measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instantiation {
+    /// The matching instance `H`.
+    pub instance: BitSet,
+    /// `Δ(H, C) = |C| − |H|`.
+    pub repair_distance: usize,
+    /// `ln u(H) = Σ_{c∈H} ln p_c` (`−∞` if any member has probability 0,
+    /// which cannot happen for sampled members).
+    pub log_likelihood: f64,
+}
+
+/// Runs Algorithm 2 on the current state of the probabilistic network.
+pub fn instantiate(pn: &ProbabilisticNetwork, config: InstantiationConfig) -> Instantiation {
+    let network = pn.network();
+    let index = network.index();
+    let n = network.candidate_count();
+    let probs = pn.probabilities();
+    let forbidden = pn.feedback().disapproved();
+    let approved = pn.feedback().approved();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let log_likelihood = |inst: &BitSet| -> f64 {
+        inst.iter().map(|c| probs[c.index()].max(f64::MIN_POSITIVE).ln()).sum()
+    };
+    // lexicographic: smaller Δ (= larger instance) first, then larger u
+    let better = |cand: &BitSet, cand_ll: f64, best: &BitSet, best_ll: f64| -> bool {
+        match cand.count().cmp(&best.count()) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => config.use_likelihood && cand_ll > best_ll,
+        }
+    };
+
+    // Step 1: greedy pick among the samples
+    let mut best: Option<(BitSet, f64)> = None;
+    for s in pn.samples() {
+        let ll = log_likelihood(s);
+        match &best {
+            None => best = Some((s.clone(), ll)),
+            Some((b, bll)) => {
+                if better(s, ll, b, *bll) {
+                    best = Some((s.clone(), ll));
+                }
+            }
+        }
+    }
+    let (mut best_inst, mut best_ll) = best.unwrap_or_else(|| {
+        // no samples (empty network / contradictory feedback): start from
+        // the maximized approved set
+        let mut seed_inst = approved.clone();
+        maximize(index, &mut seed_inst, forbidden, &mut rng);
+        let ll = log_likelihood(&seed_inst);
+        (seed_inst, ll)
+    });
+
+    // Step 2: randomized local search with tabu
+    let mut current = best_inst.clone();
+    let mut tabu: VecDeque<CandidateId> = VecDeque::with_capacity(config.tabu_size);
+    for _ in 0..config.iterations {
+        let proposed = match config.proposal {
+            Proposal::RouletteWheel => {
+                roulette_wheel(n, probs, &current, forbidden, &tabu, &mut rng)
+            }
+            Proposal::Uniform => uniform_proposal(n, probs, &current, forbidden, &tabu, &mut rng),
+        };
+        let Some(chosen) = proposed else {
+            break; // nothing addable
+        };
+        current.insert(chosen);
+        if tabu.len() == config.tabu_size && config.tabu_size > 0 {
+            tabu.pop_front();
+        }
+        if config.tabu_size > 0 {
+            tabu.push_back(chosen);
+        }
+        repair(index, &mut current, chosen, approved, &mut rng);
+        maximize(index, &mut current, forbidden, &mut rng);
+        let ll = log_likelihood(&current);
+        if better(&current, ll, &best_inst, best_ll) {
+            best_inst = current.clone();
+            best_ll = ll;
+        }
+    }
+    debug_assert!(index.is_consistent(&best_inst));
+    debug_assert!(pn.feedback().respected_by(&best_inst));
+    Instantiation {
+        repair_distance: n - best_inst.count(),
+        log_likelihood: best_ll,
+        instance: best_inst,
+    }
+}
+
+/// Fitness-proportionate selection over
+/// `{⟨c, p_c⟩ | c ∈ C \ F− \ I \ tabu}`. Candidates with zero probability
+/// never enter a matching instance, so they are excluded; if all weights
+/// vanish there is nothing useful to propose.
+fn roulette_wheel(
+    n: usize,
+    probs: &[f64],
+    current: &BitSet,
+    forbidden: &BitSet,
+    tabu: &VecDeque<CandidateId>,
+    rng: &mut StdRng,
+) -> Option<CandidateId> {
+    let eligible = |c: CandidateId| {
+        !current.contains(c) && !forbidden.contains(c) && !tabu.contains(&c) && probs[c.index()] > 0.0
+    };
+    let total: f64 = (0..n)
+        .map(CandidateId::from_index)
+        .filter(|&c| eligible(c))
+        .map(|c| probs[c.index()])
+        .sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut spin = rng.random_range(0.0..total);
+    for (i, &p) in probs.iter().enumerate() {
+        let c = CandidateId::from_index(i);
+        if !eligible(c) {
+            continue;
+        }
+        spin -= p;
+        if spin <= 0.0 {
+            return Some(c);
+        }
+    }
+    // float round-off: return the last eligible candidate
+    (0..n).rev().map(CandidateId::from_index).find(|&c| eligible(c))
+}
+
+/// Uniform proposal among the same eligibility set (ablation baseline for
+/// [`Proposal::Uniform`]).
+fn uniform_proposal(
+    n: usize,
+    probs: &[f64],
+    current: &BitSet,
+    forbidden: &BitSet,
+    tabu: &VecDeque<CandidateId>,
+    rng: &mut StdRng,
+) -> Option<CandidateId> {
+    use rand::seq::IndexedRandom;
+    let eligible: Vec<CandidateId> = (0..n)
+        .map(CandidateId::from_index)
+        .filter(|&c| {
+            !current.contains(c)
+                && !forbidden.contains(c)
+                && !tabu.contains(&c)
+                && probs[c.index()] > 0.0
+        })
+        .collect();
+    eligible.choose(rng).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::Assertion;
+    use crate::sampling::SamplerConfig;
+    use crate::testutil::{fig1_network, perturbed_network};
+
+    fn fig1_pn() -> ProbabilisticNetwork {
+        ProbabilisticNetwork::new(
+            fig1_network(),
+            SamplerConfig { anneal: true, n_samples: 200, walk_steps: 3, n_min: 50, seed: 5 },
+        )
+    }
+
+    #[test]
+    fn picks_a_minimal_repair_instance_on_fig1() {
+        let pn = fig1_pn();
+        let inst = instantiate(&pn, InstantiationConfig::default());
+        // the largest instances have 3 members → Δ = 2
+        assert_eq!(inst.repair_distance, 2);
+        assert_eq!(inst.instance.count(), 3);
+        assert!(pn.network().index().is_consistent(&inst.instance));
+    }
+
+    #[test]
+    fn respects_feedback() {
+        let mut pn = fig1_pn();
+        pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: true }).unwrap();
+        let inst = instantiate(&pn, InstantiationConfig::default());
+        assert!(inst.instance.contains(CandidateId(2)));
+        // c4 is impossible once c2 is approved
+        assert!(!inst.instance.contains(CandidateId(4)));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let pn = fig1_pn();
+        let a = instantiate(&pn, InstantiationConfig { seed: 1, ..Default::default() });
+        let b = instantiate(&pn, InstantiationConfig { seed: 1, ..Default::default() });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn local_search_never_worse_than_greedy_pick() {
+        let (net, _) = perturbed_network(4, 8, 0.6, 0.9, 11);
+        let pn = ProbabilisticNetwork::new(
+            net,
+            SamplerConfig { anneal: true, n_samples: 150, walk_steps: 3, n_min: 60, seed: 12 },
+        );
+        let greedy_only =
+            instantiate(&pn, InstantiationConfig { iterations: 0, ..Default::default() });
+        let full = instantiate(&pn, InstantiationConfig::default());
+        assert!(full.repair_distance <= greedy_only.repair_distance);
+    }
+
+    #[test]
+    fn likelihood_tie_break_prefers_probable_instances() {
+        let mut pn = fig1_pn();
+        // skew probabilities: approve nothing but disapprove nothing either;
+        // instead reconcile partially so probabilities differ across the
+        // two triangles: approving c2 leaves {c0,c1,c2} (Δ=2) vs {c2,c3} (Δ=3)
+        pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: true }).unwrap();
+        let with = instantiate(&pn, InstantiationConfig::default());
+        assert_eq!(with.instance.to_vec(), vec![CandidateId(0), CandidateId(1), CandidateId(2)]);
+    }
+
+    #[test]
+    fn without_likelihood_still_minimizes_repair_distance() {
+        let pn = fig1_pn();
+        let inst = instantiate(
+            &pn,
+            InstantiationConfig { use_likelihood: false, ..Default::default() },
+        );
+        assert_eq!(inst.repair_distance, 2);
+    }
+
+    #[test]
+    fn zero_probability_candidates_are_never_added() {
+        let mut pn = fig1_pn();
+        pn.assert_candidate(Assertion { candidate: CandidateId(0), approved: false }).unwrap();
+        let inst = instantiate(&pn, InstantiationConfig::default());
+        assert!(!inst.instance.contains(CandidateId(0)));
+    }
+
+    #[test]
+    fn instantiation_is_maximal() {
+        let (net, _) = perturbed_network(3, 10, 0.7, 0.8, 21);
+        let pn = ProbabilisticNetwork::new(
+            net,
+            SamplerConfig { anneal: true, n_samples: 200, walk_steps: 4, n_min: 80, seed: 3 },
+        );
+        let inst = instantiate(&pn, InstantiationConfig::default());
+        assert!(pn
+            .network()
+            .index()
+            .is_maximal(&inst.instance, pn.feedback().disapproved()));
+    }
+}

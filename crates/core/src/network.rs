@@ -1,0 +1,96 @@
+//! The (non-probabilistic) matching network `N = ⟨S, G_S, Γ, C⟩`.
+
+use smn_constraints::{BitSet, ConflictIndex, ConstraintConfig, ViolationCounts};
+use smn_schema::{CandidateId, CandidateSet, Catalog, Correspondence, InteractionGraph};
+
+/// A network of schemas: catalog, interaction graph, candidate
+/// correspondences and the (pre-indexed) integrity constraints.
+///
+/// This is the immutable substrate; all reconciliation state (feedback,
+/// probabilities, samples) lives in
+/// [`ProbabilisticNetwork`](crate::probability::ProbabilisticNetwork).
+#[derive(Debug, Clone)]
+pub struct MatchingNetwork {
+    catalog: Catalog,
+    graph: InteractionGraph,
+    candidates: CandidateSet,
+    index: ConflictIndex,
+}
+
+impl MatchingNetwork {
+    /// Assembles a network and builds its conflict index.
+    pub fn new(
+        catalog: Catalog,
+        graph: InteractionGraph,
+        candidates: CandidateSet,
+        config: ConstraintConfig,
+    ) -> Self {
+        let index = ConflictIndex::build(&catalog, &graph, &candidates, config);
+        Self { catalog, graph, candidates, index }
+    }
+
+    /// The schemas.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The interaction graph `G_S`.
+    pub fn graph(&self) -> &InteractionGraph {
+        &self.graph
+    }
+
+    /// The candidate set `C`.
+    pub fn candidates(&self) -> &CandidateSet {
+        &self.candidates
+    }
+
+    /// The pre-computed conflict index over `Γ`.
+    pub fn index(&self) -> &ConflictIndex {
+        &self.index
+    }
+
+    /// `|C|`.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Correspondence of a candidate id.
+    pub fn corr(&self, c: CandidateId) -> Correspondence {
+        self.candidates.corr(c)
+    }
+
+    /// Violation totals among the *full* candidate set (the Table III
+    /// numbers for this network).
+    pub fn initial_violations(&self) -> ViolationCounts {
+        self.index.count_violations(&BitSet::full(self.candidates.len()))
+    }
+
+    /// An empty instance sized for this network.
+    pub fn empty_instance(&self) -> BitSet {
+        BitSet::new(self.candidates.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::testutil::fig1_network;
+
+    #[test]
+    fn accessors_are_consistent() {
+        let net = fig1_network();
+        assert_eq!(net.candidate_count(), 5);
+        assert_eq!(net.candidates().len(), 5);
+        assert_eq!(net.index().candidate_count(), 5);
+        assert_eq!(net.catalog().schema_count(), 3);
+        assert_eq!(net.graph().edge_count(), 3);
+        assert_eq!(net.empty_instance().capacity(), 5);
+    }
+
+    #[test]
+    fn initial_violations_match_fig1() {
+        let net = fig1_network();
+        let v = net.initial_violations();
+        assert_eq!(v.one_to_one, 2);
+        assert_eq!(v.cycle, 2);
+    }
+}

@@ -1,0 +1,403 @@
+//! Non-uniform sampling of matching instances (Algorithm 3) and the
+//! view-maintained sample store (§III-B).
+//!
+//! The sampler explores the instance space with a random walk: from the
+//! current instance, a random unasserted candidate is added, the resulting
+//! violations are repaired (Algorithm 4), and the instance is re-maximized
+//! (Definition 1 demands maximality; see DESIGN.md). The jump is *accepted*
+//! with probability `1 − e^{−Δ}` where `Δ` is the symmetric difference to
+//! the previous instance — the simulated-annealing rule of the paper that
+//! prefers long jumps and so escapes high-density regions.
+//!
+//! [`SampleStore`] keeps the *distinct* instances found (Ω\*). Under a new
+//! assertion it is view-maintained rather than resampled: approval of `c`
+//! retains the instances containing `c`, disapproval those without it.
+//! (The paper prints the same right-hand side for both cases — an obvious
+//! typo; we implement the semantically correct filter.) When fewer than
+//! `n_min` samples survive, the store is refilled; if two consecutive
+//! refills both fail to reach `n_min`, the store concludes `Ω* = Ω` and
+//! marks itself *exhausted* — probabilities are then exact (Eq. 1).
+
+use crate::feedback::Feedback;
+use crate::instance::{maximize, repair};
+use crate::network::MatchingNetwork;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+use smn_constraints::BitSet;
+use smn_schema::CandidateId;
+use std::collections::HashMap;
+
+/// Configuration of the Algorithm 3 sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerConfig {
+    /// Number of sample emissions per (re)fill (`n` of Algorithm 3).
+    pub n_samples: usize,
+    /// Random-walk steps per emission (`k` of Algorithm 3).
+    pub walk_steps: usize,
+    /// Tolerance threshold: refill when fewer distinct samples survive view
+    /// maintenance.
+    pub n_min: usize,
+    /// RNG seed (sampling is deterministic given the seed and the
+    /// assertion sequence).
+    pub seed: u64,
+    /// Simulated-annealing acceptance (`1 − e^{−Δ}`). Disabling it accepts
+    /// every jump — a pure random walk; ablation benches quantify what the
+    /// acceptance rule buys.
+    pub anneal: bool,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        Self { n_samples: 1000, walk_steps: 4, n_min: 200, seed: 0xC0FFEE, anneal: true }
+    }
+}
+
+/// The view-maintained set Ω\* of distinct sampled matching instances,
+/// with per-instance visit counts kept as a mixing diagnostic.
+///
+/// Probability estimation treats the discovered instances uniformly (see
+/// [`weights`](SampleStore::weights)); once the store is
+/// [exhausted](SampleStore::is_exhausted) — `Ω* = Ω` — that estimate is
+/// exactly Eq. 1.
+#[derive(Debug, Clone)]
+pub struct SampleStore {
+    samples: Vec<BitSet>,
+    counts: Vec<u64>,
+    seen: HashMap<BitSet, usize>,
+    exhausted: bool,
+    config: SamplerConfig,
+    rng: StdRng,
+}
+
+impl SampleStore {
+    /// Creates an empty store and fills it for the given network/feedback.
+    pub fn new(network: &MatchingNetwork, feedback: &Feedback, config: SamplerConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        let mut store = Self {
+            samples: Vec::new(),
+            counts: Vec::new(),
+            seen: HashMap::new(),
+            exhausted: false,
+            config,
+            rng,
+        };
+        store.fill(network, feedback);
+        store
+    }
+
+    /// Records one emission of `inst`. Returns whether it was new.
+    fn record(&mut self, inst: &BitSet) -> bool {
+        if let Some(&pos) = self.seen.get(inst) {
+            self.counts[pos] += 1;
+            false
+        } else {
+            self.seen.insert(inst.clone(), self.samples.len());
+            self.samples.push(inst.clone());
+            self.counts.push(1);
+            true
+        }
+    }
+
+    /// The distinct sampled instances.
+    pub fn samples(&self) -> &[BitSet] {
+        &self.samples
+    }
+
+    /// The sampling weight of each instance, aligned with
+    /// [`samples`](SampleStore::samples).
+    ///
+    /// Weights are uniform: Eq. 1 targets the *uniform* distribution over
+    /// matching instances, and empirically the walk's occupancy frequencies
+    /// deviate from it far more than the discovered-set uniform does (the
+    /// annealing rule promotes coverage, not uniform occupancy). Visit
+    /// counts are still tracked — see [`visit_counts`](SampleStore::visit_counts)
+    /// — as a mixing diagnostic.
+    pub fn weights(&self) -> Vec<f64> {
+        vec![1.0; self.samples.len()]
+    }
+
+    /// How often each distinct instance was emitted by the walk (mixing
+    /// diagnostic; aligned with [`samples`](SampleStore::samples)).
+    pub fn visit_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of distinct samples `|Ω*|`.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the store holds no samples (only possible for empty
+    /// networks or contradictory feedback).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Whether the store has concluded `Ω* = Ω` (all matching instances
+    /// enumerated; probabilities are exact and resampling is pointless).
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// One emission of Algorithm 3: `walk_steps` random-walk steps from
+    /// `current`, each adding a random candidate, repairing, re-maximizing,
+    /// and accepting with probability `1 − e^{−Δ}`.
+    fn walk(&mut self, network: &MatchingNetwork, feedback: &Feedback, current: &mut BitSet) {
+        let index = network.index();
+        let n = network.candidate_count();
+        for _ in 0..self.config.walk_steps {
+            // `Rand(C \ F− \ I_i)`: rejection-sample a few times (cheap when
+            // most candidates qualify), then fall back to a full scan
+            let valid =
+                |c: CandidateId| !feedback.disapproved().contains(c) && !current.contains(c);
+            let mut pick: Option<CandidateId> = None;
+            for _ in 0..24 {
+                let c = CandidateId::from_index(self.rng.random_range(0..n));
+                if valid(c) {
+                    pick = Some(c);
+                    break;
+                }
+            }
+            if pick.is_none() {
+                let addable: Vec<CandidateId> =
+                    (0..n).map(CandidateId::from_index).filter(|&c| valid(c)).collect();
+                pick = addable.choose(&mut self.rng).copied();
+            }
+            let Some(c) = pick else {
+                return; // instance already covers every assertable candidate
+            };
+            let mut next = current.clone();
+            next.insert(c);
+            repair(index, &mut next, c, feedback.approved(), &mut self.rng);
+            maximize(index, &mut next, feedback.disapproved(), &mut self.rng);
+            let accept = if self.config.anneal {
+                let delta = current.symmetric_difference_count(&next);
+                1.0 - (-(delta as f64)).exp()
+            } else {
+                1.0
+            };
+            if self.rng.random_bool(accept.clamp(0.0, 1.0)) {
+                *current = next;
+            }
+        }
+    }
+
+    /// Runs one sampling pass (`n_samples` emissions), inserting distinct
+    /// instances. Returns how many new distinct instances were found.
+    fn sample_pass(&mut self, network: &MatchingNetwork, feedback: &Feedback) -> usize {
+        let index = network.index();
+        // start from a surviving sample if any, else from maximized F+
+        let mut current = match self.samples.last() {
+            Some(s) => s.clone(),
+            None => {
+                let mut seed_inst = feedback.approved().clone();
+                debug_assert!(index.is_consistent(&seed_inst), "approved set must be consistent");
+                maximize(index, &mut seed_inst, feedback.disapproved(), &mut self.rng);
+                seed_inst
+            }
+        };
+        let mut found = 0usize;
+        // the chain start is itself a valid instance — record it
+        if self.record(&current.clone()) {
+            found += 1;
+        }
+        for _ in 0..self.config.n_samples {
+            self.walk(network, feedback, &mut current);
+            if self.record(&current.clone()) {
+                found += 1;
+            }
+        }
+        found
+    }
+
+    /// Fills the store until `n_min` distinct samples exist or two
+    /// consecutive passes fail to reach it (→ exhausted).
+    fn fill(&mut self, network: &MatchingNetwork, feedback: &Feedback) {
+        if self.exhausted {
+            return;
+        }
+        if network.candidate_count() == 0 {
+            self.exhausted = true;
+            return;
+        }
+        for _pass in 0..2 {
+            if self.samples.len() >= self.config.n_min {
+                return;
+            }
+            self.sample_pass(network, feedback);
+        }
+        if self.samples.len() < self.config.n_min {
+            // two consecutive passes could not reach n_min: per §III-B the
+            // store concludes that all matching instances were generated
+            self.exhausted = true;
+        }
+    }
+
+    /// View maintenance for a new assertion: filters the surviving samples
+    /// and refills if necessary.
+    ///
+    /// Filtering is *exact* for approvals: every instance of the new Ω
+    /// contains the candidate, was an instance before, and thus survives.
+    ///
+    /// For disapprovals, plain filtering (what the paper describes)
+    /// under-approximates: an instance that was non-maximal solely because
+    /// the now-disapproved `c` was addable becomes a matching instance yet
+    /// is absent from the store. Such instances are, however, exactly the
+    /// sets `J \ {c}` for dying instances `J ∋ c` that are maximal under
+    /// the new feedback — any other newly-maximal `I` would have a legal
+    /// single-candidate extension inside `J \ {c}`, contradicting its
+    /// maximality. Re-inserting those keeps disapproval maintenance exact
+    /// too (an improvement over the paper's filter; see DESIGN.md), so an
+    /// exhausted store stays exhausted.
+    pub fn maintain(
+        &mut self,
+        network: &MatchingNetwork,
+        feedback: &Feedback,
+        candidate: CandidateId,
+        approved: bool,
+    ) {
+        let index = network.index();
+        let old: Vec<(BitSet, u64)> =
+            self.samples.drain(..).zip(self.counts.drain(..)).collect();
+        self.seen.clear();
+        let mut dying: Vec<(BitSet, u64)> = Vec::new();
+        for (inst, count) in old {
+            if inst.contains(candidate) == approved {
+                self.seen.insert(inst.clone(), self.samples.len());
+                self.samples.push(inst);
+                self.counts.push(count);
+            } else {
+                dying.push((inst, count));
+            }
+        }
+        if !approved {
+            for (mut inst, count) in dying {
+                inst.remove(candidate);
+                if index.is_maximal(&inst, feedback.disapproved())
+                    && !self.seen.contains_key(&inst)
+                {
+                    // the shrunken instance inherits its ancestor's weight
+                    self.seen.insert(inst.clone(), self.samples.len());
+                    self.samples.push(inst);
+                    self.counts.push(count);
+                }
+            }
+        }
+        if !self.exhausted && self.samples.len() < self.config.n_min {
+            self.fill(network, feedback);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fig1_network;
+
+    fn small_config() -> SamplerConfig {
+        SamplerConfig { anneal: true, n_samples: 200, walk_steps: 3, n_min: 50, seed: 7 }
+    }
+
+    #[test]
+    fn finds_all_fig1_instances_and_exhausts() {
+        let net = fig1_network();
+        let fb = Feedback::new(5);
+        let store = SampleStore::new(&net, &fb, small_config());
+        // only 4 instances exist < n_min → store must detect exhaustion
+        assert!(store.is_exhausted());
+        assert_eq!(store.len(), 4, "all four maximal instances found");
+        for s in store.samples() {
+            assert!(net.index().is_consistent(s));
+            assert!(net.index().is_maximal(s, fb.disapproved()));
+        }
+    }
+
+    #[test]
+    fn samples_are_distinct() {
+        let net = fig1_network();
+        let store = SampleStore::new(&net, &Feedback::new(5), small_config());
+        let mut seen = std::collections::HashSet::new();
+        for s in store.samples() {
+            assert!(seen.insert(s.clone()), "duplicate sample");
+        }
+    }
+
+    #[test]
+    fn maintain_approval_keeps_only_containing() {
+        let net = fig1_network();
+        let mut fb = Feedback::new(5);
+        let mut store = SampleStore::new(&net, &fb, small_config());
+        fb.approve(CandidateId(2));
+        store.maintain(&net, &fb, CandidateId(2), true);
+        for s in store.samples() {
+            assert!(s.contains(CandidateId(2)));
+        }
+        // instances containing c2: {c0,c1,c2} and {c2,c3}
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn maintain_disapproval_keeps_only_excluding_and_remaximizes() {
+        let net = fig1_network();
+        let mut fb = Feedback::new(5);
+        let mut store = SampleStore::new(&net, &fb, small_config());
+        fb.disapprove(CandidateId(0));
+        store.maintain(&net, &fb, CandidateId(0), false);
+        for s in store.samples() {
+            assert!(!s.contains(CandidateId(0)));
+            assert!(net.index().is_maximal(s, fb.disapproved()));
+        }
+        // without c0: {c1,c2}, {c1,c4}, {c2,c3}, {c3,c4}
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn respects_feedback_in_fresh_sampling() {
+        let net = fig1_network();
+        let mut fb = Feedback::new(5);
+        fb.approve(CandidateId(0));
+        fb.disapprove(CandidateId(3));
+        let store = SampleStore::new(&net, &fb, small_config());
+        assert!(!store.is_empty());
+        for s in store.samples() {
+            assert!(s.contains(CandidateId(0)));
+            assert!(!s.contains(CandidateId(3)));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let net = fig1_network();
+        let fb = Feedback::new(5);
+        let a = SampleStore::new(&net, &fb, small_config());
+        let b = SampleStore::new(&net, &fb, small_config());
+        assert_eq!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn empty_network_is_trivially_exhausted() {
+        use smn_constraints::ConstraintConfig;
+        use smn_schema::{CandidateSet, CatalogBuilder, InteractionGraph};
+        let mut b = CatalogBuilder::new();
+        b.add_schema_with_attributes("A", ["x"]).unwrap();
+        b.add_schema_with_attributes("B", ["y"]).unwrap();
+        let cat = b.build();
+        let cs = CandidateSet::new(&cat);
+        let net = MatchingNetwork::new(cat, InteractionGraph::complete(2), cs, ConstraintConfig::default());
+        let store = SampleStore::new(&net, &Feedback::new(0), small_config());
+        assert!(store.is_exhausted());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn larger_network_reaches_n_min() {
+        let (net, _truth) = crate::testutil::perturbed_network(4, 8, 0.7, 0.9, 3);
+        let store = SampleStore::new(&net, &Feedback::new(net.candidate_count()), small_config());
+        assert!(
+            store.is_exhausted() || store.len() >= 50,
+            "either exhausted or reached n_min, got {}",
+            store.len()
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Correspondence-selection strategies — implementations of the `select`
+//! routine of Algorithm 1 (§IV-D).
+//!
+//! * [`RandomSelection`] — the paper's baseline: a uniformly random
+//!   uncertain candidate ("an expert working without any support tools").
+//! * [`InformationGainSelection`] — the paper's heuristic: the candidate
+//!   with maximal expected uncertainty reduction (Eq. 5), ties broken
+//!   randomly.
+//! * [`MaxEntropySelection`] — ablation: the candidate whose own
+//!   probability is closest to ½ (maximal marginal entropy). Much cheaper
+//!   than information gain but blind to correlations between candidates.
+//! * [`ConfidenceOrderSelection`] — ablation: ascending matcher confidence,
+//!   the classic pairwise post-matching review order.
+
+use crate::probability::ProbabilisticNetwork;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+use smn_schema::CandidateId;
+
+/// Picks the next candidate to show the expert.
+pub trait SelectionStrategy {
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Selects an uncertain candidate, or `None` when every candidate is
+    /// certain (reconciliation finished).
+    fn select(&mut self, pn: &ProbabilisticNetwork) -> Option<CandidateId>;
+}
+
+/// Uniformly random *unasserted* candidate — the paper's baseline of
+/// §VI-C: "an expert working without any support tools" reviews
+/// correspondences in arbitrary order, including ones the probabilistic
+/// model already considers certain (the expert cannot know). This is what
+/// makes the baseline's uncertainty curve stretch towards 100% effort in
+/// Fig. 9.
+#[derive(Debug)]
+pub struct RandomSelection {
+    rng: StdRng,
+}
+
+impl RandomSelection {
+    /// Creates the strategy with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl SelectionStrategy for RandomSelection {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn select(&mut self, pn: &ProbabilisticNetwork) -> Option<CandidateId> {
+        let unasserted: Vec<CandidateId> = (0..pn.network().candidate_count())
+            .map(CandidateId::from_index)
+            .filter(|&c| !pn.feedback().is_asserted(c))
+            .collect();
+        unasserted.choose(&mut self.rng).copied()
+    }
+}
+
+/// Maximal information gain (the paper's heuristic, §IV-D).
+#[derive(Debug)]
+pub struct InformationGainSelection {
+    rng: StdRng,
+    /// Optional cap: evaluate the (expensive) gain only on the `limit`
+    /// candidates with the highest marginal entropy. `None` evaluates all
+    /// uncertain candidates, as the paper does.
+    pub limit: Option<usize>,
+}
+
+impl InformationGainSelection {
+    /// Creates the strategy with a deterministic tie-breaking seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), limit: None }
+    }
+
+    /// Caps the number of gain evaluations per step (scaling knob).
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+}
+
+impl SelectionStrategy for InformationGainSelection {
+    fn name(&self) -> &'static str {
+        "information-gain"
+    }
+
+    fn select(&mut self, pn: &ProbabilisticNetwork) -> Option<CandidateId> {
+        let mut pool = pn.uncertain_candidates();
+        if pool.is_empty() {
+            // no uncertainty left: every further assertion has zero gain,
+            // but the expert can still validate certain candidates (this is
+            // what lets the heuristic's precision curve continue towards
+            // 100% effort in Figs. 9/10). Pick a random unasserted one.
+            let unasserted: Vec<CandidateId> = (0..pn.network().candidate_count())
+                .map(CandidateId::from_index)
+                .filter(|&c| !pn.feedback().is_asserted(c))
+                .collect();
+            return unasserted.choose(&mut self.rng).copied();
+        }
+        if let Some(limit) = self.limit {
+            if pool.len() > limit {
+                pool.sort_by(|&a, &b| {
+                    let ha = crate::entropy::binary_entropy(pn.probability(a));
+                    let hb = crate::entropy::binary_entropy(pn.probability(b));
+                    hb.total_cmp(&ha).then(a.cmp(&b))
+                });
+                pool.truncate(limit);
+            }
+        }
+        let gains = pn.information_gains(&pool);
+        let mut best_gain = f64::NEG_INFINITY;
+        let mut best: Vec<CandidateId> = Vec::new();
+        for (&c, &gain) in pool.iter().zip(&gains) {
+            if gain > best_gain + 1e-12 {
+                best_gain = gain;
+                best.clear();
+                best.push(c);
+            } else if (gain - best_gain).abs() <= 1e-12 {
+                best.push(c);
+            }
+        }
+        // "if the highest information gain is observed for multiple
+        // correspondences, one is randomly chosen"
+        best.choose(&mut self.rng).copied()
+    }
+}
+
+/// Maximal marginal entropy: probability closest to ½ (ablation strategy).
+#[derive(Debug, Default)]
+pub struct MaxEntropySelection;
+
+impl SelectionStrategy for MaxEntropySelection {
+    fn name(&self) -> &'static str {
+        "max-entropy"
+    }
+
+    fn select(&mut self, pn: &ProbabilisticNetwork) -> Option<CandidateId> {
+        pn.uncertain_candidates().into_iter().max_by(|&a, &b| {
+            let ha = crate::entropy::binary_entropy(pn.probability(a));
+            let hb = crate::entropy::binary_entropy(pn.probability(b));
+            ha.total_cmp(&hb).then(b.cmp(&a))
+        })
+    }
+}
+
+/// Ascending matcher confidence among uncertain candidates (ablation
+/// strategy: review the least confident matches first, ignoring the
+/// network structure entirely).
+#[derive(Debug, Default)]
+pub struct ConfidenceOrderSelection;
+
+impl SelectionStrategy for ConfidenceOrderSelection {
+    fn name(&self) -> &'static str {
+        "confidence-order"
+    }
+
+    fn select(&mut self, pn: &ProbabilisticNetwork) -> Option<CandidateId> {
+        pn.uncertain_candidates().into_iter().min_by(|&a, &b| {
+            let ca = pn.network().candidates().confidence(a);
+            let cb = pn.network().candidates().confidence(b);
+            ca.total_cmp(&cb).then(a.cmp(&b))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::Assertion;
+    use crate::sampling::SamplerConfig;
+    use crate::testutil::fig1_network;
+    use crate::ProbabilisticNetwork;
+
+    fn pn() -> ProbabilisticNetwork {
+        ProbabilisticNetwork::new(
+            fig1_network(),
+            SamplerConfig { anneal: true, n_samples: 200, walk_steps: 3, n_min: 50, seed: 5 },
+        )
+    }
+
+    #[test]
+    fn information_gain_avoids_uninformative_candidate() {
+        // In the Fig. 1 network IG(c0) = 1 while IG(c1..c4) = 2 (see
+        // probability::tests::example1_ordering_effect) — the heuristic
+        // must never pick c0 first.
+        let mut strat = InformationGainSelection::new(1);
+        for seed in 0..10 {
+            let mut s = InformationGainSelection::new(seed);
+            let picked = s.select(&pn()).unwrap();
+            assert_ne!(picked, CandidateId(0), "c0 has strictly lower gain");
+        }
+        assert!(strat.select(&pn()).is_some());
+    }
+
+    #[test]
+    fn random_selection_picks_unasserted_including_certain() {
+        let mut pn = pn();
+        pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: true }).unwrap();
+        // c4 is now certain (p = 0) but unasserted — the unassisted expert
+        // may still review it
+        let mut strat = RandomSelection::new(3);
+        let mut picked = std::collections::HashSet::new();
+        for _ in 0..60 {
+            let c = strat.select(&pn).unwrap();
+            assert_ne!(c, CandidateId(2), "asserted candidates are never re-selected");
+            picked.insert(c);
+        }
+        assert!(picked.contains(&CandidateId(4)), "certain-but-unasserted is eligible");
+    }
+
+    #[test]
+    fn random_and_ig_fall_back_to_certain_candidates() {
+        let mut pn = pn();
+        pn.assert_candidate(Assertion { candidate: CandidateId(3), approved: true }).unwrap();
+        pn.assert_candidate(Assertion { candidate: CandidateId(4), approved: true }).unwrap();
+        assert_eq!(pn.entropy(), 0.0);
+        // c0, c1, c2 are certain but unasserted: both strategies keep going
+        let c = RandomSelection::new(0).select(&pn).unwrap();
+        assert!(!pn.feedback().is_asserted(c));
+        let c = InformationGainSelection::new(0).select(&pn).unwrap();
+        assert!(!pn.feedback().is_asserted(c));
+        // the uncertainty-only ablation strategies stop here
+        assert!(MaxEntropySelection.select(&pn).is_none());
+        assert!(ConfidenceOrderSelection.select(&pn).is_none());
+    }
+
+    #[test]
+    fn strategies_return_none_when_everything_asserted() {
+        let mut pn = pn();
+        pn.assert_candidate(Assertion { candidate: CandidateId(3), approved: true }).unwrap();
+        pn.assert_candidate(Assertion { candidate: CandidateId(4), approved: true }).unwrap();
+        for c in [0u32, 1, 2] {
+            let approved = pn.probability(CandidateId(c)) == 1.0;
+            pn.assert_candidate(Assertion { candidate: CandidateId(c), approved }).unwrap();
+        }
+        assert!(RandomSelection::new(0).select(&pn).is_none());
+        assert!(InformationGainSelection::new(0).select(&pn).is_none());
+    }
+
+    #[test]
+    fn confidence_order_picks_least_confident() {
+        let pn = pn();
+        // fig1 confidences: c0=0.9, c1=c2=0.8, c3=c4=0.7 → picks c3 (lowest
+        // id among the 0.7 pair)
+        let mut strat = ConfidenceOrderSelection;
+        assert_eq!(strat.select(&pn), Some(CandidateId(3)));
+    }
+
+    #[test]
+    fn limit_restricts_evaluations_but_still_selects() {
+        let mut strat = InformationGainSelection::new(0).with_limit(2);
+        let c = strat.select(&pn()).unwrap();
+        assert!(c.index() < 5);
+    }
+
+    #[test]
+    fn max_entropy_picks_an_uncertain_candidate() {
+        let mut pn = pn();
+        pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: true }).unwrap();
+        let c = MaxEntropySelection.select(&pn).unwrap();
+        let p = pn.probability(c);
+        assert!(p > 0.0 && p < 1.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Shared test fixtures.
+
+use crate::network::MatchingNetwork;
+use smn_constraints::ConstraintConfig;
+use smn_schema::{AttributeId, CandidateSet, CatalogBuilder, InteractionGraph};
+
+/// The motivating example of §II-A / Fig. 1, also used by Example 1.
+///
+/// Attributes: a0 = productionDate (EoverI), a1 = date (BBC),
+/// a2 = releaseDate (DVDizzy), a3 = screenDate (DVDizzy).
+/// Candidates: c0 = a0–a1, c1 = a1–a2, c2 = a0–a2, c3 = a1–a3, c4 = a0–a3.
+///
+/// Under the one-to-one + (triangle) cycle constraints the maximal matching
+/// instances are exactly:
+///
+/// * `{c0, c1, c2}` and `{c0, c3, c4}` (the paper's I1 and I2), and
+/// * `{c1, c4}` and `{c2, c3}` (mixed instances the paper's Example 1
+///   glosses over: they are consistent and nothing can be added — adding
+///   `c0` would complete an open cycle, anything else violates 1-1).
+///
+/// All exact probabilities are therefore 0.5 and the exact network entropy
+/// is 5 bits.
+pub fn fig1_network() -> MatchingNetwork {
+    let mut b = CatalogBuilder::new();
+    b.add_schema_with_attributes("EoverI", ["productionDate"]).unwrap();
+    b.add_schema_with_attributes("BBC", ["date"]).unwrap();
+    b.add_schema_with_attributes("DVDizzy", ["releaseDate", "screenDate"]).unwrap();
+    let cat = b.build();
+    let g = InteractionGraph::complete(3);
+    let mut cs = CandidateSet::new(&cat);
+    let a = AttributeId;
+    cs.add(&cat, Some(&g), a(0), a(1), 0.9).unwrap(); // c0
+    cs.add(&cat, Some(&g), a(1), a(2), 0.8).unwrap(); // c1
+    cs.add(&cat, Some(&g), a(0), a(2), 0.8).unwrap(); // c2
+    cs.add(&cat, Some(&g), a(1), a(3), 0.7).unwrap(); // c3
+    cs.add(&cat, Some(&g), a(0), a(3), 0.7).unwrap(); // c4
+    MatchingNetwork::new(cat, g, cs, ConstraintConfig::default())
+}
+
+/// A small random-ish network: `k` schemas in a complete graph, `m`
+/// attributes each, candidates from a perturbed identity ground truth.
+/// Deterministic in `seed`. Returns the network and the ground truth as
+/// candidate-id sets is not possible (truth may be missing from C), so the
+/// truth correspondences are returned.
+pub fn perturbed_network(
+    k: usize,
+    m: usize,
+    precision: f64,
+    recall: f64,
+    seed: u64,
+) -> (MatchingNetwork, Vec<smn_schema::Correspondence>) {
+    use smn_matchers::matcher::match_network;
+    use smn_matchers::PerturbationMatcher;
+    let mut b = CatalogBuilder::new();
+    for s in 0..k {
+        b.add_schema_with_attributes(format!("s{s}"), (0..m).map(|i| format!("a{s}_{i}"))).unwrap();
+    }
+    let cat = b.build();
+    let g = InteractionGraph::complete(k);
+    // identity ground truth: attribute i of every schema denotes concept i
+    let mut truth = Vec::new();
+    for s1 in 0..k {
+        for s2 in (s1 + 1)..k {
+            for i in 0..m {
+                truth.push(smn_schema::Correspondence::new(
+                    AttributeId::from_index(s1 * m + i),
+                    AttributeId::from_index(s2 * m + i),
+                ));
+            }
+        }
+    }
+    let matcher = PerturbationMatcher::new(truth.iter().copied(), precision, recall, seed);
+    let cs = match_network(&matcher, &cat, &g).expect("valid candidates");
+    (MatchingNetwork::new(cat, g, cs, ConstraintConfig::default()), truth)
+}

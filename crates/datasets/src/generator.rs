@@ -1,0 +1,318 @@
+//! The dataset generator.
+//!
+//! Given a [`DatasetSpec`] (domain vocabulary, schema count, attribute
+//! range, concept-sharing model) and a seed, [`DatasetSpec::generate`]
+//! produces a [`Dataset`]:
+//!
+//! 1. Schema sizes are drawn from `[attrs_min, attrs_max]`, with one schema
+//!    pinned to each bound so the generated Table II row matches the paper
+//!    exactly.
+//! 2. Each schema samples its concepts *without replacement* using
+//!    rank-biased weights (`w_i = 1/(1+i)^α`, Efraimidis–Spirakis weighted
+//!    reservoir keys): low-id concepts are "popular" and appear in most
+//!    schemas, which controls how much ground truth overlaps between
+//!    schemas.
+//! 3. Each schema renders its concepts through a sampled [`NamingStyle`];
+//!    name collisions fall back to progressively more canonical renderings.
+
+use crate::dataset::Dataset;
+use crate::variants::NamingStyle;
+use crate::vocab::Vocabulary;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How concepts are shared across schemas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SharingModel {
+    /// Concept `i` is sampled with weight `1/(1+i)^alpha`. Larger `alpha`
+    /// concentrates schemas on the popular concepts (more overlap, larger
+    /// selective matching); `alpha = 0` is uniform sampling.
+    RankBiased {
+        /// Popularity decay exponent.
+        alpha: f64,
+    },
+    /// Topical clustering: the concept pool is split into `clusters`
+    /// contiguous blocks and schema `s` samples mostly from block
+    /// `s % clusters`, with out-of-cluster weights damped by `leak`.
+    /// Models heterogeneous corpora like the WebForm dataset, where a
+    /// flight-search form and a movie catalog share only generic concepts
+    /// — pairwise overlap (and with it candidate/violation counts) stays
+    /// low even in large networks.
+    Clustered {
+        /// Number of topical clusters.
+        clusters: usize,
+        /// Popularity decay exponent within the reachable pool.
+        alpha: f64,
+        /// Multiplier (< 1) on out-of-cluster concept weights.
+        leak: f64,
+    },
+}
+
+/// Specification of a dataset to generate.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Dataset label.
+    pub name: String,
+    /// Domain vocabulary (concept pool).
+    pub vocabulary: Vocabulary,
+    /// Number of schemas (Table II `#Schemas`).
+    pub schema_count: usize,
+    /// Smallest schema size (Table II min).
+    pub attrs_min: usize,
+    /// Largest schema size (Table II max).
+    pub attrs_max: usize,
+    /// Concept-sharing model.
+    pub sharing: SharingModel,
+}
+
+impl DatasetSpec {
+    /// Generates the dataset deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics if the vocabulary is smaller than `attrs_max` or the bounds
+    /// are inconsistent.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        assert!(self.schema_count >= 1, "need at least one schema");
+        assert!(self.attrs_min >= 1 && self.attrs_min <= self.attrs_max, "bad attribute bounds");
+        assert!(
+            self.vocabulary.len() >= self.attrs_max,
+            "vocabulary ({}) smaller than largest schema ({})",
+            self.vocabulary.len(),
+            self.attrs_max
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // 1. schema sizes: pin the bounds, draw the rest, shuffle
+        let mut sizes = Vec::with_capacity(self.schema_count);
+        sizes.push(self.attrs_min);
+        if self.schema_count >= 2 {
+            sizes.push(self.attrs_max);
+        }
+        while sizes.len() < self.schema_count {
+            sizes.push(rng.random_range(self.attrs_min..=self.attrs_max));
+        }
+        sizes.shuffle(&mut rng);
+
+        let pool = self.vocabulary.len();
+        let mut builder = smn_schema::CatalogBuilder::new();
+        let mut concept_of: Vec<u32> = Vec::new();
+        for (si, &size) in sizes.iter().enumerate() {
+            let weights: Vec<f64> = match self.sharing {
+                SharingModel::RankBiased { alpha } => {
+                    (0..pool).map(|i| 1.0 / (1.0 + i as f64).powf(alpha)).collect()
+                }
+                SharingModel::Clustered { clusters, alpha, leak } => {
+                    let clusters = clusters.max(1);
+                    let mine = si % clusters;
+                    (0..pool)
+                        .map(|i| {
+                            let cluster = i * clusters / pool;
+                            let base = 1.0 / (1.0 + i as f64).powf(alpha);
+                            if cluster == mine {
+                                base
+                            } else {
+                                leak * base
+                            }
+                        })
+                        .collect()
+                }
+            };
+            let schema = builder
+                .add_schema(format!("{}_{:02}", self.name.to_lowercase(), si))
+                .expect("generated schema names are unique");
+            let style = NamingStyle::sample(&mut rng);
+            let concepts = sample_without_replacement(&weights, size, &mut rng);
+            let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+            for cid in concepts {
+                let concept = self.vocabulary.concept(cid);
+                let name = self.unique_name(&style, concept, &mut used, &mut rng);
+                builder.add_attribute(schema, name).expect("name uniqueness enforced");
+                concept_of.push(cid);
+            }
+        }
+        Dataset::new(self.name.clone(), builder.build(), concept_of)
+    }
+
+    /// Renders a collision-free attribute name: styled rendering (three
+    /// attempts), then canonical tokens in the schema's case, then
+    /// canonical snake_case, then an id-suffixed last resort.
+    fn unique_name(
+        &self,
+        style: &NamingStyle,
+        concept: &crate::vocab::Concept,
+        used: &mut std::collections::HashSet<String>,
+        rng: &mut StdRng,
+    ) -> String {
+        for _ in 0..3 {
+            let name = style.render(&self.vocabulary, &concept.tokens, rng);
+            if used.insert(name.clone()) {
+                return name;
+            }
+        }
+        let canonical_cased = style.case.join(&concept.tokens);
+        if used.insert(canonical_cased.clone()) {
+            return canonical_cased;
+        }
+        let canonical = concept.tokens.join("_");
+        if used.insert(canonical.clone()) {
+            return canonical;
+        }
+        let fallback = format!("{}_{}", concept.tokens.join("_"), concept.id);
+        assert!(used.insert(fallback.clone()), "id-suffixed names are unique");
+        fallback
+    }
+}
+
+/// Weighted sampling of `k` indices without replacement
+/// (Efraimidis–Spirakis: take the `k` largest `u^(1/w)` keys).
+fn sample_without_replacement(weights: &[f64], k: usize, rng: &mut impl Rng) -> Vec<u32> {
+    debug_assert!(k <= weights.len());
+    let mut keyed: Vec<(f64, u32)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            (u.powf(1.0 / w), u32::try_from(i).expect("index fits u32"))
+        })
+        .collect();
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut out: Vec<u32> = keyed.into_iter().take(k).map(|(_, i)| i).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(n: usize, lo: usize, hi: usize, alpha: f64) -> DatasetSpec {
+        DatasetSpec {
+            name: "T".into(),
+            vocabulary: Vocabulary::business_partner(),
+            schema_count: n,
+            attrs_min: lo,
+            attrs_max: hi,
+            sharing: SharingModel::RankBiased { alpha },
+        }
+    }
+
+    #[test]
+    fn statistics_match_spec_exactly() {
+        let d = spec(5, 20, 60, 0.6).generate(1);
+        assert_eq!(d.statistics(), (5, 20, 60));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = spec(4, 10, 30, 0.5).generate(9);
+        let b = spec(4, 10, 30, 0.5).generate(9);
+        assert_eq!(a.catalog, b.catalog);
+        let c = spec(4, 10, 30, 0.5).generate(10);
+        assert_ne!(a.catalog, c.catalog);
+    }
+
+    #[test]
+    fn concepts_unique_within_schema() {
+        let d = spec(6, 30, 80, 0.8).generate(3);
+        for s in d.catalog.schemas() {
+            let mut seen = std::collections::HashSet::new();
+            for &a in &s.attributes {
+                assert!(seen.insert(d.concept_of(a)), "duplicate concept in schema {}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_sharing_reduces_cross_cluster_overlap() {
+        let clustered = DatasetSpec {
+            sharing: SharingModel::Clustered { clusters: 4, alpha: 0.4, leak: 0.02 },
+            ..spec(8, 30, 40, 0.4)
+        }
+        .generate(5);
+        let pooled = spec(8, 30, 40, 0.4).generate(5);
+        let g = clustered.complete_graph();
+        let t_clustered = clustered.selective_matching(&g).len();
+        let t_pooled = pooled.selective_matching(&g).len();
+        assert!(
+            t_clustered < t_pooled,
+            "clustering should shrink ground-truth overlap: {t_clustered} vs {t_pooled}"
+        );
+        // same-cluster pairs (0,4) share much more than cross-cluster (0,1)
+        use crate::stats::DatasetStats;
+        use smn_schema::SchemaId;
+        let same = DatasetStats::shared_concepts(&clustered, SchemaId(0), SchemaId(4));
+        let cross = DatasetStats::shared_concepts(&clustered, SchemaId(0), SchemaId(1));
+        assert!(same > cross, "same-cluster {same} vs cross-cluster {cross}");
+    }
+
+    #[test]
+    fn higher_alpha_increases_overlap() {
+        let low = spec(4, 50, 80, 0.0).generate(5);
+        let high = spec(4, 50, 80, 1.2).generate(5);
+        let g = low.complete_graph();
+        let t_low = low.selective_matching(&g).len();
+        let t_high = high.selective_matching(&g).len();
+        assert!(
+            t_high > t_low,
+            "rank bias should increase ground-truth overlap: {t_high} vs {t_low}"
+        );
+    }
+
+    #[test]
+    fn ground_truth_is_one_to_one_consistent() {
+        // each concept appears once per schema → per edge, an attribute has
+        // at most one true partner
+        let d = spec(5, 20, 40, 0.7).generate(11);
+        let truth = d.selective_matching(&d.complete_graph());
+        let mut seen_pairs = std::collections::HashSet::new();
+        for c in &truth {
+            let (sa, sb) = (d.catalog.schema_of(c.a()), d.catalog.schema_of(c.b()));
+            assert!(seen_pairs.insert((c.a(), sb)), "attribute matched twice into one schema");
+            assert!(seen_pairs.insert((c.b(), sa)), "attribute matched twice into one schema");
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_respects_k_and_uniqueness() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let weights: Vec<f64> = (0..100).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let s = sample_without_replacement(&weights, 30, &mut rng);
+        assert_eq!(s.len(), 30);
+        let mut dedup = s.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 30, "sorted output must be duplicate-free");
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_items() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights: Vec<f64> = (0..50).map(|i| 1.0 / (1.0 + i as f64).powf(1.5)).collect();
+        let mut hits0 = 0;
+        let mut hits49 = 0;
+        for _ in 0..200 {
+            let s = sample_without_replacement(&weights, 5, &mut rng);
+            if s.contains(&0) {
+                hits0 += 1;
+            }
+            if s.contains(&49) {
+                hits49 += 1;
+            }
+        }
+        assert!(hits0 > hits49 * 3, "item 0 ({hits0}) should dominate item 49 ({hits49})");
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary")]
+    fn oversized_schema_rejected() {
+        let _ = spec(2, 10, 100_000, 0.5).generate(0);
+    }
+
+    #[test]
+    fn single_schema_dataset() {
+        let d = spec(1, 15, 40, 0.5).generate(7);
+        // with one schema the single size drawn is the min bound
+        assert_eq!(d.catalog.schema_count(), 1);
+        assert_eq!(d.catalog.schema(smn_schema::SchemaId(0)).len(), 15);
+    }
+}

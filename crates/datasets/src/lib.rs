@@ -1,0 +1,40 @@
+//! # smn-datasets
+//!
+//! Synthetic reproductions of the four real-world datasets used in the
+//! paper's evaluation (Table II):
+//!
+//! | Dataset | #Schemas | #Attributes (Min/Max) | Domain |
+//! |---------|----------|-----------------------|--------|
+//! | BP      | 3        | 80 / 106              | business partners |
+//! | PO      | 10       | 35 / 408              | purchase orders |
+//! | UAF     | 15       | 65 / 228              | university application forms |
+//! | WebForm | 89       | 10 / 120              | assorted web forms |
+//!
+//! The original datasets were hosted at a now-defunct EPFL URL and are not
+//! redistributable, so this crate *generates* datasets with the same shape:
+//!
+//! * schema counts and attribute min/max match Table II exactly,
+//! * schemas share domain **concepts** (drawn from hand-curated vocabularies
+//!   expanded combinatorially as *entity × property*), which defines an
+//!   exact, constraint-consistent ground-truth selective matching,
+//! * each schema renders its concepts through an idiosyncratic **naming
+//!   style** (case convention, abbreviation, synonyms), so first-party
+//!   string matchers genuinely err — reproducing the error profile the
+//!   paper's experiments depend on (§VI-B reports candidate precision
+//!   ≈ 0.67 on BP).
+//!
+//! Everything is deterministic in the seed.
+
+pub mod dataset;
+pub mod generator;
+pub mod presets;
+pub mod stats;
+pub mod variants;
+pub mod vocab;
+
+pub use dataset::Dataset;
+pub use generator::{DatasetSpec, SharingModel};
+pub use presets::{bp, po, uaf, webform};
+pub use stats::DatasetStats;
+pub use variants::{CaseStyle, NamingStyle};
+pub use vocab::{Concept, Vocabulary};

@@ -1,0 +1,144 @@
+//! Dataset diagnostics: concept sharing and ground-truth geometry.
+//!
+//! These measures explain *why* a generated dataset behaves the way it
+//! does in reconciliation experiments: the pairwise concept overlap decides
+//! the selective-matching size, and the popularity histogram shows how the
+//! rank-biased sharing model distributes concepts across schemas.
+
+use crate::dataset::Dataset;
+use smn_schema::SchemaId;
+use std::collections::{HashMap, HashSet};
+
+/// Summary statistics of a dataset's concept structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of distinct concepts used by at least one schema.
+    pub distinct_concepts: usize,
+    /// For each concept in use, in how many schemas it appears
+    /// (descending).
+    pub concept_popularity: Vec<usize>,
+    /// Mean pairwise concept overlap (Jaccard) across all schema pairs.
+    pub mean_pairwise_overlap: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics for a dataset.
+    pub fn of(dataset: &Dataset) -> Self {
+        let catalog = &dataset.catalog;
+        let mut per_schema: Vec<HashSet<u32>> = vec![HashSet::new(); catalog.schema_count()];
+        let mut usage: HashMap<u32, usize> = HashMap::new();
+        for a in catalog.attributes() {
+            let concept = dataset.concept_of(a.id);
+            if per_schema[a.schema.index()].insert(concept) {
+                *usage.entry(concept).or_insert(0) += 1;
+            }
+        }
+        let mut concept_popularity: Vec<usize> = usage.values().copied().collect();
+        concept_popularity.sort_unstable_by(|a, b| b.cmp(a));
+
+        let n = catalog.schema_count();
+        let mut overlap_sum = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let inter = per_schema[i].intersection(&per_schema[j]).count();
+                let union = per_schema[i].len() + per_schema[j].len() - inter;
+                if union > 0 {
+                    overlap_sum += inter as f64 / union as f64;
+                }
+                pairs += 1;
+            }
+        }
+        Self {
+            distinct_concepts: usage.len(),
+            concept_popularity,
+            mean_pairwise_overlap: if pairs == 0 { 0.0 } else { overlap_sum / pairs as f64 },
+        }
+    }
+
+    /// Expected selective-matching size on a complete graph: the sum over
+    /// concepts of `C(popularity, 2)` (each schema pair sharing a concept
+    /// contributes one correspondence).
+    pub fn complete_graph_truth_size(&self) -> usize {
+        self.concept_popularity.iter().map(|&k| k * (k - 1) / 2).sum()
+    }
+
+    /// Concepts shared by two specific schemas.
+    pub fn shared_concepts(dataset: &Dataset, s1: SchemaId, s2: SchemaId) -> usize {
+        let set1: HashSet<u32> = dataset
+            .catalog
+            .schema(s1)
+            .attributes
+            .iter()
+            .map(|&a| dataset.concept_of(a))
+            .collect();
+        dataset
+            .catalog
+            .schema(s2)
+            .attributes
+            .iter()
+            .filter(|&&a| set1.contains(&dataset.concept_of(a)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{DatasetSpec, SharingModel};
+    use crate::vocab::Vocabulary;
+
+    fn dataset(alpha: f64, seed: u64) -> Dataset {
+        DatasetSpec {
+            name: "S".into(),
+            vocabulary: Vocabulary::business_partner(),
+            schema_count: 4,
+            attrs_min: 20,
+            attrs_max: 40,
+            sharing: SharingModel::RankBiased { alpha },
+        }
+        .generate(seed)
+    }
+
+    #[test]
+    fn truth_size_prediction_matches_generator() {
+        let d = dataset(0.7, 3);
+        let stats = DatasetStats::of(&d);
+        let predicted = stats.complete_graph_truth_size();
+        let actual = d.selective_matching(&d.complete_graph()).len();
+        assert_eq!(predicted, actual);
+    }
+
+    #[test]
+    fn popularity_is_bounded_by_schema_count() {
+        let d = dataset(0.9, 5);
+        let stats = DatasetStats::of(&d);
+        assert!(!stats.concept_popularity.is_empty());
+        assert!(stats.concept_popularity.iter().all(|&k| (1..=4).contains(&k)));
+        // descending order
+        assert!(stats.concept_popularity.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn higher_alpha_increases_overlap_statistic() {
+        let lo = DatasetStats::of(&dataset(0.0, 7)).mean_pairwise_overlap;
+        let hi = DatasetStats::of(&dataset(1.2, 7)).mean_pairwise_overlap;
+        assert!(hi > lo, "rank bias should raise overlap: {hi} vs {lo}");
+    }
+
+    #[test]
+    fn shared_concepts_symmetry() {
+        let d = dataset(0.6, 11);
+        let a = DatasetStats::shared_concepts(&d, SchemaId(0), SchemaId(1));
+        let b = DatasetStats::shared_concepts(&d, SchemaId(1), SchemaId(0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_concepts_at_most_vocabulary() {
+        let d = dataset(0.5, 13);
+        let stats = DatasetStats::of(&d);
+        assert!(stats.distinct_concepts <= Vocabulary::business_partner().len());
+        assert!(stats.distinct_concepts >= 40, "four schemas of ≥20 attributes");
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the dataset generator.
+
+use proptest::prelude::*;
+use smn_datasets::{DatasetSpec, DatasetStats, SharingModel, Vocabulary};
+
+fn spec(n: usize, lo: usize, hi: usize, sharing: SharingModel) -> DatasetSpec {
+    DatasetSpec {
+        name: "P".into(),
+        vocabulary: Vocabulary::web_form(),
+        schema_count: n,
+        attrs_min: lo,
+        attrs_max: hi,
+        sharing,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid spec yields exactly the requested shape statistics, dense
+    /// unique ids, and a concept assignment that is injective per schema.
+    #[test]
+    fn generated_shape_matches_spec(
+        seed in 0u64..10_000,
+        n in 1usize..8,
+        lo in 2usize..20,
+        extra in 0usize..30,
+        alpha in 0.0f64..1.5,
+    ) {
+        let hi = lo + extra;
+        let d = spec(n, lo, hi, SharingModel::RankBiased { alpha }).generate(seed);
+        let (schemas, min_a, max_a) = d.statistics();
+        prop_assert_eq!(schemas, n);
+        if n >= 2 {
+            prop_assert_eq!((min_a, max_a), (lo, hi));
+        } else {
+            prop_assert_eq!(min_a, lo);
+        }
+        for s in d.catalog.schemas() {
+            let mut names = std::collections::HashSet::new();
+            let mut concepts = std::collections::HashSet::new();
+            for &a in &s.attributes {
+                prop_assert!(names.insert(d.catalog.attribute(a).name.clone()));
+                prop_assert!(concepts.insert(d.concept_of(a)));
+            }
+        }
+    }
+
+    /// The selective matching is symmetric-consistent: its size equals the
+    /// concept-popularity prediction and never exceeds the pairwise bound.
+    #[test]
+    fn truth_size_is_predicted_by_stats(
+        seed in 0u64..5_000,
+        n in 2usize..7,
+        alpha in 0.0f64..1.2,
+    ) {
+        let d = spec(n, 8, 24, SharingModel::RankBiased { alpha }).generate(seed);
+        let stats = DatasetStats::of(&d);
+        let truth = d.selective_matching(&d.complete_graph());
+        prop_assert_eq!(truth.len(), stats.complete_graph_truth_size());
+        // bound: every pair shares at most min(|s1|, |s2|) concepts
+        let max_pairwise: usize = {
+            let sizes: Vec<usize> = d.catalog.schemas().iter().map(|s| s.len()).collect();
+            let mut total = 0;
+            for i in 0..sizes.len() {
+                for j in (i + 1)..sizes.len() {
+                    total += sizes[i].min(sizes[j]);
+                }
+            }
+            total
+        };
+        prop_assert!(truth.len() <= max_pairwise);
+    }
+
+    /// Clustered sharing is well-defined for any cluster count (including
+    /// more clusters than schemas) and stays deterministic.
+    #[test]
+    fn clustered_sharing_is_robust(
+        seed in 0u64..5_000,
+        clusters in 1usize..40,
+        leak in 0.0f64..0.5,
+    ) {
+        let sharing = SharingModel::Clustered { clusters, alpha: 0.4, leak };
+        let a = spec(5, 6, 18, sharing).generate(seed);
+        let b = spec(5, 6, 18, sharing).generate(seed);
+        prop_assert_eq!(&a.catalog, &b.catalog);
+        let (schemas, min_a, max_a) = a.statistics();
+        prop_assert_eq!(schemas, 5);
+        prop_assert_eq!((min_a, max_a), (6, 18));
+    }
+}

@@ -1,0 +1,109 @@
+//! Matching quality measures: precision, recall, F1 of a candidate set (or
+//! any correspondence collection) against the selective matching `M`.
+
+use smn_schema::{CandidateSet, Correspondence};
+use std::collections::HashSet;
+
+/// Precision / recall / F1 of a matching against a ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchQuality {
+    /// `|V ∩ M| / |V|` (1.0 for an empty `V`, by convention).
+    pub precision: f64,
+    /// `|V ∩ M| / |M|` (1.0 for an empty `M`, by convention).
+    pub recall: f64,
+    /// Number of true positives `|V ∩ M|`.
+    pub true_positives: usize,
+    /// `|V|`.
+    pub proposed: usize,
+    /// `|M|`.
+    pub relevant: usize,
+}
+
+impl MatchQuality {
+    /// Evaluates an arbitrary collection of correspondences against `truth`.
+    pub fn of_pairs(
+        proposed: impl IntoIterator<Item = Correspondence>,
+        truth: impl IntoIterator<Item = Correspondence>,
+    ) -> Self {
+        let truth: HashSet<Correspondence> = truth.into_iter().collect();
+        let mut tp = 0usize;
+        let mut n = 0usize;
+        let mut seen: HashSet<Correspondence> = HashSet::new();
+        for c in proposed {
+            if !seen.insert(c) {
+                continue;
+            }
+            n += 1;
+            if truth.contains(&c) {
+                tp += 1;
+            }
+        }
+        let precision = if n == 0 { 1.0 } else { tp as f64 / n as f64 };
+        let recall = if truth.is_empty() { 1.0 } else { tp as f64 / truth.len() as f64 };
+        Self { precision, recall, true_positives: tp, proposed: n, relevant: truth.len() }
+    }
+
+    /// Evaluates a whole candidate set against `truth`.
+    pub fn of(candidates: &CandidateSet, truth: impl IntoIterator<Item = Correspondence>) -> Self {
+        Self::of_pairs(candidates.candidates().iter().map(|c| c.corr), truth)
+    }
+
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smn_schema::AttributeId;
+
+    fn corr(a: u32, b: u32) -> Correspondence {
+        Correspondence::new(AttributeId(a), AttributeId(b))
+    }
+
+    #[test]
+    fn basic_precision_recall() {
+        let truth = [corr(0, 10), corr(1, 11), corr(2, 12), corr(3, 13)];
+        let proposed = [corr(0, 10), corr(1, 11), corr(5, 15)];
+        let q = MatchQuality::of_pairs(proposed, truth);
+        assert!((q.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.recall - 0.5).abs() < 1e-12);
+        assert_eq!(q.true_positives, 2);
+        let f1 = q.f1();
+        assert!((f1 - 2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let q = MatchQuality::of_pairs([], [corr(0, 1)]);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 0.0);
+        let q = MatchQuality::of_pairs([corr(0, 1)], []);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 1.0);
+        let q = MatchQuality::of_pairs([], []);
+        assert_eq!(q.f1(), 2.0 * 1.0 * 1.0 / 2.0);
+    }
+
+    #[test]
+    fn duplicates_counted_once() {
+        let truth = [corr(0, 10)];
+        let q = MatchQuality::of_pairs([corr(0, 10), corr(10, 0)], truth);
+        assert_eq!(q.proposed, 1);
+        assert_eq!(q.precision, 1.0);
+    }
+
+    #[test]
+    fn f1_zero_when_both_zero() {
+        let q = MatchQuality::of_pairs([corr(5, 6)], [corr(0, 1)]);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f1(), 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! First-line matchers: thin [`NameScorer`] wrappers around the measures in
+//! [`crate::text`], so ensembles can hold them uniformly as trait objects.
+
+use crate::matcher::NameScorer;
+use crate::text;
+
+/// Normalized Levenshtein similarity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Levenshtein;
+
+impl NameScorer for Levenshtein {
+    fn name(&self) -> &'static str {
+        "levenshtein"
+    }
+    fn score(&self, a: &str, b: &str) -> f64 {
+        text::levenshtein_similarity(a, b)
+    }
+}
+
+/// Jaro–Winkler similarity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JaroWinkler;
+
+impl NameScorer for JaroWinkler {
+    fn name(&self) -> &'static str {
+        "jaro-winkler"
+    }
+    fn score(&self, a: &str, b: &str) -> f64 {
+        text::jaro_winkler(a, b)
+    }
+}
+
+/// q-gram Jaccard similarity with configurable `q` (default 3).
+#[derive(Debug, Clone, Copy)]
+pub struct QGram {
+    /// Gram length.
+    pub q: usize,
+}
+
+impl Default for QGram {
+    fn default() -> Self {
+        Self { q: 3 }
+    }
+}
+
+impl NameScorer for QGram {
+    fn name(&self) -> &'static str {
+        "qgram"
+    }
+    fn score(&self, a: &str, b: &str) -> f64 {
+        text::qgram_jaccard(a, b, self.q)
+    }
+}
+
+/// q-gram Dice coefficient with configurable `q` (default 2).
+#[derive(Debug, Clone, Copy)]
+pub struct Dice {
+    /// Gram length.
+    pub q: usize,
+}
+
+impl Default for Dice {
+    fn default() -> Self {
+        Self { q: 2 }
+    }
+}
+
+impl NameScorer for Dice {
+    fn name(&self) -> &'static str {
+        "dice"
+    }
+    fn score(&self, a: &str, b: &str) -> f64 {
+        text::qgram_dice(a, b, self.q)
+    }
+}
+
+/// Jaccard over the tokenized names.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TokenJaccard;
+
+impl NameScorer for TokenJaccard {
+    fn name(&self) -> &'static str {
+        "token-jaccard"
+    }
+    fn score(&self, a: &str, b: &str) -> f64 {
+        text::token_jaccard(a, b)
+    }
+}
+
+/// Symmetrized Monge–Elkan with Jaro–Winkler inner measure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MongeElkan;
+
+impl NameScorer for MongeElkan {
+    fn name(&self) -> &'static str {
+        "monge-elkan"
+    }
+    fn score(&self, a: &str, b: &str) -> f64 {
+        text::monge_elkan(a, b)
+    }
+}
+
+/// Common-prefix ratio.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Prefix;
+
+impl NameScorer for Prefix {
+    fn name(&self) -> &'static str {
+        "prefix"
+    }
+    fn score(&self, a: &str, b: &str) -> f64 {
+        text::prefix_similarity(a, b)
+    }
+}
+
+/// Common-suffix ratio (useful for names like `billingDate` / `orderDate`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Suffix;
+
+impl NameScorer for Suffix {
+    fn name(&self) -> &'static str {
+        "suffix"
+    }
+    fn score(&self, a: &str, b: &str) -> f64 {
+        text::suffix_similarity(a, b)
+    }
+}
+
+/// IDF-weighted token cosine over a fitted corpus model.
+#[derive(Debug, Clone)]
+pub struct IdfCosine {
+    model: text::IdfModel,
+}
+
+impl IdfCosine {
+    /// Fits the IDF model on a corpus of attribute names (typically all
+    /// names of the catalog being matched).
+    pub fn fit<'a>(names: impl IntoIterator<Item = &'a str>) -> Self {
+        Self { model: text::IdfModel::fit(names) }
+    }
+}
+
+impl NameScorer for IdfCosine {
+    fn name(&self) -> &'static str {
+        "idf-cosine"
+    }
+    fn score(&self, a: &str, b: &str) -> f64 {
+        self.model.cosine(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_scorers() -> Vec<Box<dyn NameScorer>> {
+        vec![
+            Box::new(Levenshtein),
+            Box::new(JaroWinkler),
+            Box::new(QGram::default()),
+            Box::new(Dice::default()),
+            Box::new(TokenJaccard),
+            Box::new(MongeElkan),
+            Box::new(Prefix),
+            Box::new(Suffix),
+            Box::new(IdfCosine::fit(["releaseDate", "screenDate", "title"])),
+        ]
+    }
+
+    #[test]
+    fn all_scorers_are_bounded_and_reflexive() {
+        for s in all_scorers() {
+            for (a, b) in [("releaseDate", "screenDate"), ("id", "identifier"), ("x", "")] {
+                let v = s.score(a, b);
+                assert!((0.0..=1.0).contains(&v), "{} out of bounds: {v}", s.name());
+            }
+            assert_eq!(s.score("releaseDate", "releaseDate"), 1.0, "{} not reflexive", s.name());
+        }
+    }
+
+    #[test]
+    fn scorers_are_symmetric() {
+        for s in all_scorers() {
+            let (a, b) = ("productionDate", "date");
+            assert!(
+                (s.score(a, b) - s.score(b, a)).abs() < 1e-12,
+                "{} not symmetric",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<&str> = all_scorers().iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,128 @@
+//! Matcher abstractions.
+//!
+//! A [`NameScorer`] scores a pair of attribute *names*; a [`PairMatcher`]
+//! turns a pair of *schemas* into scored attribute pairs; the free function
+//! [`match_network`] runs a pair matcher over every edge of the interaction
+//! graph and assembles the candidate set `C` of the network — exactly the
+//! "Matchers" box of the paper's framework figure (Fig. 2).
+
+use smn_schema::{
+    AttributeId, CandidateSet, Catalog, InteractionGraph, SchemaError, SchemaId,
+};
+
+/// A scored attribute pair produced by a matcher for one schema pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredPair {
+    /// Attribute of the first schema.
+    pub source: AttributeId,
+    /// Attribute of the second schema.
+    pub target: AttributeId,
+    /// Matcher confidence in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Scores a pair of attribute names in `[0, 1]`.
+///
+/// Implemented by the first-line matchers in [`crate::firstline`]; ensembles
+/// aggregate several of them.
+pub trait NameScorer: Send + Sync {
+    /// Short diagnostic name of the measure.
+    fn name(&self) -> &'static str;
+    /// Similarity of the two names.
+    fn score(&self, a: &str, b: &str) -> f64;
+}
+
+/// Produces candidate correspondences for one schema pair.
+///
+/// Matchers see only two schemas at a time — the root cause of the
+/// network-level constraint violations the paper reconciles.
+pub trait PairMatcher {
+    /// Human-readable matcher name (e.g. `coma-like`).
+    fn name(&self) -> &str;
+
+    /// Scored attribute pairs for `(s1, s2)`; only pairs the matcher deems
+    /// candidates are returned.
+    fn match_pair(&self, catalog: &Catalog, s1: SchemaId, s2: SchemaId) -> Vec<ScoredPair>;
+}
+
+/// Runs `matcher` over every edge of `graph` and collects the network-wide
+/// candidate set `C = ⋃_{(s_i,s_j) ∈ E(G_S)} C_{i,j}`.
+///
+/// Duplicate pairs emitted for the same edge are kept at their maximum
+/// score.
+pub fn match_network(
+    matcher: &impl PairMatcher,
+    catalog: &Catalog,
+    graph: &InteractionGraph,
+) -> Result<CandidateSet, SchemaError> {
+    let mut set = CandidateSet::new(catalog);
+    for &(s1, s2) in graph.edges() {
+        let mut pairs = matcher.match_pair(catalog, s1, s2);
+        // deterministic insertion order: by (source, target)
+        pairs.sort_by_key(|p| (p.source, p.target));
+        for p in pairs {
+            match set.add(catalog, Some(graph), p.source, p.target, p.score) {
+                Ok(_) => {}
+                Err(SchemaError::DuplicateCandidate(_, _)) => {
+                    // keep the first (scores equal in practice); matchers
+                    // should not emit duplicates, but be lenient.
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smn_schema::CatalogBuilder;
+
+    /// Trivial matcher: exact (case-insensitive) name equality.
+    struct ExactName;
+
+    impl PairMatcher for ExactName {
+        fn name(&self) -> &str {
+            "exact-name"
+        }
+        fn match_pair(&self, catalog: &Catalog, s1: SchemaId, s2: SchemaId) -> Vec<ScoredPair> {
+            let mut out = Vec::new();
+            for &a in &catalog.schema(s1).attributes {
+                for &b in &catalog.schema(s2).attributes {
+                    if catalog.attribute(a).name.eq_ignore_ascii_case(&catalog.attribute(b).name) {
+                        out.push(ScoredPair { source: a, target: b, score: 1.0 });
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn match_network_only_visits_graph_edges() {
+        let mut b = CatalogBuilder::new();
+        b.add_schema_with_attributes("A", ["date", "title"]).unwrap();
+        b.add_schema_with_attributes("B", ["Date", "name"]).unwrap();
+        b.add_schema_with_attributes("C", ["date"]).unwrap();
+        let cat = b.build();
+        // only A—B is an edge; the A—C and B—C matches must not appear
+        let g = InteractionGraph::from_edges(3, [(SchemaId(0), SchemaId(1))]);
+        let set = match_network(&ExactName, &cat, &g).unwrap();
+        assert_eq!(set.len(), 1);
+        let c = &set.candidates()[0];
+        assert_eq!(cat.attribute(c.corr.a()).name, "date");
+        assert_eq!(cat.attribute(c.corr.b()).name, "Date");
+    }
+
+    #[test]
+    fn match_network_complete_graph() {
+        let mut b = CatalogBuilder::new();
+        b.add_schema_with_attributes("A", ["date"]).unwrap();
+        b.add_schema_with_attributes("B", ["date"]).unwrap();
+        b.add_schema_with_attributes("C", ["date"]).unwrap();
+        let cat = b.build();
+        let set = match_network(&ExactName, &cat, &InteractionGraph::complete(3)).unwrap();
+        assert_eq!(set.len(), 3, "one candidate per schema pair");
+    }
+}

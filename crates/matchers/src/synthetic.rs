@@ -1,0 +1,262 @@
+//! Ground-truth perturbation matcher.
+//!
+//! For controlled experiments the paper's figures need candidate sets with a
+//! *known* error profile (e.g. "the precision of the generated candidate
+//! correspondences in this dataset is about 0.67", §VI-B). The
+//! [`PerturbationMatcher`] produces such sets directly: it keeps each true
+//! correspondence with probability `recall` and adds wrong pairs until the
+//! expected precision equals `precision`. Wrong pairs are biased towards
+//! attributes that already participate in the truth (the hard confusions a
+//! real matcher makes) with a configurable probability.
+//!
+//! Output is deterministic in the seed, independent of edge iteration order:
+//! each schema pair derives its own RNG stream from `(seed, s1, s2)`.
+
+use crate::matcher::{PairMatcher, ScoredPair};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+use smn_schema::{AttributeId, Catalog, Correspondence, SchemaId};
+use std::collections::HashSet;
+
+/// A matcher that perturbs a known ground truth at target precision/recall.
+#[derive(Debug, Clone)]
+pub struct PerturbationMatcher {
+    truth: HashSet<Correspondence>,
+    /// Target precision of the emitted candidates (expected value).
+    pub precision: f64,
+    /// Target recall of the emitted candidates (expected value).
+    pub recall: f64,
+    /// Probability that a false candidate shares an attribute with a kept
+    /// true one ("hard" confusion) rather than being a uniform wrong pair.
+    pub confusion_bias: f64,
+    seed: u64,
+}
+
+impl PerturbationMatcher {
+    /// Creates a matcher for `truth` with the given targets.
+    ///
+    /// # Panics
+    /// Panics unless `0 < precision ≤ 1` and `0 ≤ recall ≤ 1`.
+    pub fn new(
+        truth: impl IntoIterator<Item = Correspondence>,
+        precision: f64,
+        recall: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(precision > 0.0 && precision <= 1.0, "precision must be in (0,1]");
+        assert!((0.0..=1.0).contains(&recall), "recall must be in [0,1]");
+        Self {
+            truth: truth.into_iter().collect(),
+            precision,
+            recall,
+            confusion_bias: 0.7,
+            seed,
+        }
+    }
+
+    /// Ground-truth membership test.
+    pub fn is_true(&self, c: Correspondence) -> bool {
+        self.truth.contains(&c)
+    }
+
+    fn pair_rng(&self, s1: SchemaId, s2: SchemaId) -> StdRng {
+        let (lo, hi) = if s1.0 <= s2.0 { (s1, s2) } else { (s2, s1) };
+        // simple splitmix-style stream derivation
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((lo.0 as u64) << 32 | hi.0 as u64);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        StdRng::seed_from_u64(x)
+    }
+}
+
+/// Confidence for a kept true candidate: skewed high but overlapping the
+/// false range, as real matcher confidences do.
+fn true_confidence(rng: &mut impl Rng) -> f64 {
+    0.5 + 0.5 * rng.random::<f64>().sqrt()
+}
+
+/// Confidence for a false candidate: skewed low.
+fn false_confidence(rng: &mut impl Rng) -> f64 {
+    0.3 + 0.55 * rng.random::<f64>().powi(2)
+}
+
+impl PairMatcher for PerturbationMatcher {
+    fn name(&self) -> &str {
+        "perturbation"
+    }
+
+    fn match_pair(&self, catalog: &Catalog, s1: SchemaId, s2: SchemaId) -> Vec<ScoredPair> {
+        let mut rng = self.pair_rng(s1, s2);
+        let attrs1 = &catalog.schema(s1).attributes;
+        let attrs2 = &catalog.schema(s2).attributes;
+        // true correspondences of this pair
+        let truths: Vec<Correspondence> = self
+            .truth
+            .iter()
+            .filter(|c| {
+                let (sa, sb) = (catalog.schema_of(c.a()), catalog.schema_of(c.b()));
+                (sa == s1 && sb == s2) || (sa == s2 && sb == s1)
+            })
+            .copied()
+            .collect();
+        let mut emitted: HashSet<Correspondence> = HashSet::new();
+        let mut out: Vec<ScoredPair> = Vec::new();
+        let mut kept_true = 0usize;
+        // deterministic order: sort truths
+        let mut truths_sorted = truths.clone();
+        truths_sorted.sort();
+        for t in &truths_sorted {
+            if rng.random_bool(self.recall) {
+                kept_true += 1;
+                emitted.insert(*t);
+                out.push(ScoredPair { source: t.a(), target: t.b(), score: true_confidence(&mut rng) });
+            }
+        }
+        // expected number of false positives for the target precision
+        let fp_target = (kept_true as f64 * (1.0 - self.precision) / self.precision).round() as usize;
+        let max_pairs = attrs1.len() * attrs2.len();
+        let mut guard = 0usize;
+        while out.len() - kept_true < fp_target && emitted.len() < max_pairs && guard < 50 * max_pairs
+        {
+            guard += 1;
+            let (a, b) = if !truths_sorted.is_empty() && rng.random_bool(self.confusion_bias) {
+                // hard confusion: reuse one endpoint of a true correspondence
+                let t = *truths_sorted.choose(&mut rng).expect("non-empty");
+                let (ta, tb) = (t.a(), t.b());
+                if rng.random_bool(0.5) {
+                    (ta, *pick(attrs2, attrs1, catalog.schema_of(ta), &mut rng, catalog))
+                } else {
+                    (*pick(attrs1, attrs2, catalog.schema_of(tb), &mut rng, catalog), tb)
+                }
+            } else {
+                (
+                    *attrs1.choose(&mut rng).expect("schema has attributes"),
+                    *attrs2.choose(&mut rng).expect("schema has attributes"),
+                )
+            };
+            if a == b || catalog.schema_of(a) == catalog.schema_of(b) {
+                continue;
+            }
+            let c = Correspondence::new(a, b);
+            if self.truth.contains(&c) || !emitted.insert(c) {
+                continue;
+            }
+            out.push(ScoredPair { source: a, target: b, score: false_confidence(&mut rng) });
+        }
+        out
+    }
+}
+
+/// Picks an attribute from whichever of the two slices does **not** belong
+/// to `other_schema` (i.e. the opposite side of a true endpoint).
+fn pick<'a>(
+    attrs1: &'a [AttributeId],
+    attrs2: &'a [AttributeId],
+    other_schema: SchemaId,
+    rng: &mut impl Rng,
+    catalog: &Catalog,
+) -> &'a AttributeId {
+    let side = if attrs1.first().map(|&a| catalog.schema_of(a)) == Some(other_schema) {
+        attrs2
+    } else {
+        attrs1
+    };
+    side.choose(rng).expect("schema has attributes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::MatchQuality;
+    use crate::matcher::match_network;
+    use smn_schema::{CatalogBuilder, InteractionGraph};
+
+    /// Two schemas, 30 attributes each, truth = identity pairing.
+    fn setup(n: usize) -> (Catalog, InteractionGraph, Vec<Correspondence>) {
+        let mut b = CatalogBuilder::new();
+        b.add_schema_with_attributes("A", (0..n).map(|i| format!("x{i}"))).unwrap();
+        b.add_schema_with_attributes("B", (0..n).map(|i| format!("y{i}"))).unwrap();
+        let cat = b.build();
+        let truth: Vec<Correspondence> = (0..n)
+            .map(|i| Correspondence::new(AttributeId::from_index(i), AttributeId::from_index(n + i)))
+            .collect();
+        (cat, InteractionGraph::complete(2), truth)
+    }
+
+    #[test]
+    fn hits_precision_and_recall_targets_approximately() {
+        let (cat, g, truth) = setup(60);
+        let m = PerturbationMatcher::new(truth.iter().copied(), 0.67, 0.85, 11);
+        let set = match_network(&m, &cat, &g).unwrap();
+        let q = MatchQuality::of(&set, truth.iter().copied());
+        assert!((q.precision - 0.67).abs() < 0.12, "precision {}", q.precision);
+        assert!((q.recall - 0.85).abs() < 0.12, "recall {}", q.recall);
+    }
+
+    #[test]
+    fn perfect_matcher_reproduces_truth() {
+        let (cat, g, truth) = setup(20);
+        let m = PerturbationMatcher::new(truth.iter().copied(), 1.0, 1.0, 3);
+        let set = match_network(&m, &cat, &g).unwrap();
+        assert_eq!(set.len(), truth.len());
+        let q = MatchQuality::of(&set, truth.iter().copied());
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+    }
+
+    #[test]
+    fn zero_recall_emits_nothing() {
+        let (cat, g, truth) = setup(10);
+        let m = PerturbationMatcher::new(truth.iter().copied(), 0.5, 0.0, 3);
+        let set = match_network(&m, &cat, &g).unwrap();
+        assert!(set.is_empty(), "no TPs kept → FP target is 0 as well");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (cat, g, truth) = setup(25);
+        let m1 = PerturbationMatcher::new(truth.iter().copied(), 0.7, 0.9, 42);
+        let m2 = PerturbationMatcher::new(truth.iter().copied(), 0.7, 0.9, 42);
+        let s1 = match_network(&m1, &cat, &g).unwrap();
+        let s2 = match_network(&m2, &cat, &g).unwrap();
+        let p1: Vec<_> = s1.candidates().iter().map(|c| c.corr).collect();
+        let p2: Vec<_> = s2.candidates().iter().map(|c| c.corr).collect();
+        assert_eq!(p1, p2);
+        // different seed → (almost surely) different set
+        let m3 = PerturbationMatcher::new(truth.iter().copied(), 0.7, 0.9, 43);
+        let s3 = match_network(&m3, &cat, &g).unwrap();
+        let p3: Vec<_> = s3.candidates().iter().map(|c| c.corr).collect();
+        assert_ne!(p1, p3);
+    }
+
+    #[test]
+    fn confidences_separate_true_from_false_on_average() {
+        let (cat, g, truth) = setup(60);
+        let m = PerturbationMatcher::new(truth.iter().copied(), 0.6, 0.9, 5);
+        let set = match_network(&m, &cat, &g).unwrap();
+        let truth_set: HashSet<_> = truth.iter().copied().collect();
+        let (mut ts, mut tn, mut fs, mut fn_) = (0.0, 0usize, 0.0, 0usize);
+        for c in set.candidates() {
+            if truth_set.contains(&c.corr) {
+                ts += c.confidence;
+                tn += 1;
+            } else {
+                fs += c.confidence;
+                fn_ += 1;
+            }
+        }
+        assert!(tn > 0 && fn_ > 0);
+        assert!(ts / tn as f64 > fs / fn_ as f64, "true candidates should score higher on average");
+    }
+
+    #[test]
+    #[should_panic(expected = "precision must be in (0,1]")]
+    fn rejects_zero_precision() {
+        let _ = PerturbationMatcher::new(std::iter::empty(), 0.0, 0.5, 1);
+    }
+}

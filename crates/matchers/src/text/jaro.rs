@@ -1,0 +1,117 @@
+//! Jaro and Jaro–Winkler similarity.
+
+/// Jaro similarity.
+///
+/// `m` characters match if they are equal and at most
+/// `⌊max(|a|,|b|)/2⌋ − 1` positions apart; `t` is half the number of
+/// matched-but-transposed characters. The similarity is
+/// `(m/|a| + m/|b| + (m−t)/m) / 3`, or 0 when `m = 0` (1 for two empty
+/// strings).
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let ca: Vec<char> = a.chars().collect();
+    let cb: Vec<char> = b.chars().collect();
+    if ca.is_empty() && cb.is_empty() {
+        return 1.0;
+    }
+    if ca.is_empty() || cb.is_empty() {
+        return 0.0;
+    }
+    let window = (ca.len().max(cb.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; cb.len()];
+    let mut a_matched = vec![false; ca.len()];
+    let mut m = 0usize;
+    for (i, &x) in ca.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(cb.len());
+        for j in lo..hi {
+            if !b_used[j] && cb[j] == x {
+                b_used[j] = true;
+                a_matched[i] = true;
+                m += 1;
+                break;
+            }
+        }
+    }
+    if m == 0 {
+        return 0.0;
+    }
+    // count transpositions among matched characters in order
+    let matched_b: Vec<char> = b_used
+        .iter()
+        .enumerate()
+        .filter_map(|(j, &used)| used.then_some(cb[j]))
+        .collect();
+    let mut transpositions = 0usize;
+    let mut k = 0usize;
+    for (i, &x) in ca.iter().enumerate() {
+        if a_matched[i] {
+            if x != matched_b[k] {
+                transpositions += 1;
+            }
+            k += 1;
+        }
+    }
+    let t = transpositions as f64 / 2.0;
+    let m = m as f64;
+    (m / ca.len() as f64 + m / cb.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity: boosts the Jaro score by the common-prefix
+/// length `ℓ ≤ 4` with scaling factor `p = 0.1`:
+/// `jw = jaro + ℓ·p·(1 − jaro)`.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+    }
+
+    #[test]
+    fn published_reference_values() {
+        close(jaro("MARTHA", "MARHTA"), 0.9444);
+        close(jaro_winkler("MARTHA", "MARHTA"), 0.9611);
+        close(jaro("DIXON", "DICKSONX"), 0.7667);
+        close(jaro_winkler("DIXON", "DICKSONX"), 0.8133);
+        close(jaro("JELLYFISH", "SMELLYFISH"), 0.8963);
+    }
+
+    #[test]
+    fn identity_and_disjoint() {
+        assert_eq!(jaro("date", "date"), 1.0);
+        assert_eq!(jaro_winkler("date", "date"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn empty_strings() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("", "a"), 0.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let pairs = [("releaseDate", "screenDate"), ("prod", "production"), ("a", "ab")];
+        for (a, b) in pairs {
+            close(jaro(a, b), jaro(b, a));
+            close(jaro_winkler(a, b), jaro_winkler(b, a));
+        }
+    }
+
+    #[test]
+    fn winkler_never_decreases_jaro() {
+        let pairs = [("release", "releese"), ("date", "data"), ("x", "y")];
+        for (a, b) in pairs {
+            assert!(jaro_winkler(a, b) >= jaro(a, b));
+            assert!(jaro_winkler(a, b) <= 1.0);
+        }
+    }
+}

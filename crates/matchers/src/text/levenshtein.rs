@@ -1,0 +1,80 @@
+//! Levenshtein edit distance and the derived normalized similarity.
+
+/// Classic Levenshtein distance (insertions, deletions, substitutions all
+/// cost 1), computed with a two-row dynamic program in `O(|a|·|b|)` time and
+/// `O(min(|a|,|b|))` space.
+pub fn levenshtein_distance(a: &str, b: &str) -> usize {
+    let ca: Vec<char> = a.chars().collect();
+    let cb: Vec<char> = b.chars().collect();
+    // keep the shorter string in the inner dimension
+    let (short, long) = if ca.len() <= cb.len() { (&ca, &cb) } else { (&cb, &ca) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 − dist / max(|a|, |b|)`.
+///
+/// Two empty strings are defined to be identical (similarity 1).
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein_distance(a, b) as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_values() {
+        assert_eq!(levenshtein_distance("kitten", "sitting"), 3);
+        assert_eq!(levenshtein_distance("flaw", "lawn"), 2);
+        assert_eq!(levenshtein_distance("", "abc"), 3);
+        assert_eq!(levenshtein_distance("abc", ""), 3);
+        assert_eq!(levenshtein_distance("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn symmetry() {
+        assert_eq!(levenshtein_distance("date", "releaseDate"), levenshtein_distance("releaseDate", "date"));
+    }
+
+    #[test]
+    fn similarity_bounds_and_values() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("kitten", "sitting");
+        assert!((s - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unicode_is_char_based() {
+        // two multi-byte chars, one substitution
+        assert_eq!(levenshtein_distance("café", "cafe"), 1);
+        assert_eq!(levenshtein_distance("über", "ober"), 1);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let (a, b, c) = ("order", "ordre", "odd");
+        let ab = levenshtein_distance(a, b);
+        let bc = levenshtein_distance(b, c);
+        let ac = levenshtein_distance(a, c);
+        assert!(ac <= ab + bc);
+    }
+}

@@ -1,0 +1,53 @@
+//! String similarity measures and tokenization.
+//!
+//! All measures return a similarity in `[0, 1]` (1 = identical). They are
+//! pure functions over `&str`, independent of the schema model, so they can
+//! be tested against published reference values.
+
+pub mod jaro;
+pub mod levenshtein;
+pub mod qgram;
+pub mod token;
+pub mod tokenize;
+
+pub use jaro::{jaro, jaro_winkler};
+pub use levenshtein::{levenshtein_distance, levenshtein_similarity};
+pub use qgram::{qgram_dice, qgram_jaccard};
+pub use token::{monge_elkan, token_jaccard, IdfModel};
+pub use tokenize::tokenize;
+
+/// Longest-common-prefix similarity: `|lcp| / max(|a|, |b|)` over characters.
+pub fn prefix_similarity(a: &str, b: &str) -> f64 {
+    let (ca, cb): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let max = ca.len().max(cb.len());
+    if max == 0 {
+        return 1.0;
+    }
+    let lcp = ca.iter().zip(&cb).take_while(|(x, y)| x == y).count();
+    lcp as f64 / max as f64
+}
+
+/// Longest-common-suffix similarity: `|lcs| / max(|a|, |b|)` over characters.
+pub fn suffix_similarity(a: &str, b: &str) -> f64 {
+    let (ca, cb): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let max = ca.len().max(cb.len());
+    if max == 0 {
+        return 1.0;
+    }
+    let lcs = ca.iter().rev().zip(cb.iter().rev()).take_while(|(x, y)| x == y).count();
+    lcs as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_and_suffix() {
+        assert_eq!(prefix_similarity("releaseDate", "releaseDay"), 9.0 / 11.0);
+        assert_eq!(suffix_similarity("screenDate", "releaseDate"), 4.0 / 11.0);
+        assert_eq!(prefix_similarity("", ""), 1.0);
+        assert_eq!(prefix_similarity("a", ""), 0.0);
+        assert_eq!(suffix_similarity("abc", "abc"), 1.0);
+    }
+}

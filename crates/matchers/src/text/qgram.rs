@@ -1,0 +1,85 @@
+//! q-gram (character n-gram) set similarities.
+
+use std::collections::HashSet;
+
+/// Extracts the set of q-grams of `s`. Strings shorter than `q` contribute
+/// themselves as a single gram so that very short attribute names (`id`,
+/// `no`) still compare meaningfully.
+fn grams(s: &str, q: usize) -> HashSet<Vec<char>> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return HashSet::new();
+    }
+    if chars.len() < q {
+        return HashSet::from([chars]);
+    }
+    chars.windows(q).map(|w| w.to_vec()).collect()
+}
+
+/// Jaccard similarity of the q-gram sets: `|G_a ∩ G_b| / |G_a ∪ G_b|`.
+pub fn qgram_jaccard(a: &str, b: &str, q: usize) -> f64 {
+    let (ga, gb) = (grams(a, q), grams(b, q));
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    let inter = ga.intersection(&gb).count();
+    let union = ga.len() + gb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Dice coefficient of the q-gram sets: `2·|G_a ∩ G_b| / (|G_a| + |G_b|)`.
+pub fn qgram_dice(a: &str, b: &str, q: usize) -> f64 {
+    let (ga, gb) = (grams(a, q), grams(b, q));
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let inter = ga.intersection(&gb).count();
+    2.0 * inter as f64 / (ga.len() + gb.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dice_night_nacht_bigrams() {
+        // bigrams: {ni, ig, gh, ht} vs {na, ac, ch, ht}: one common of 4+4
+        assert!((qgram_dice("night", "nacht", 2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_vs_dice_ordering() {
+        // For non-trivial overlaps Jaccard ≤ Dice.
+        let pairs = [("releaseDate", "releaseDay"), ("order", "ordering"), ("abc", "abd")];
+        for (a, b) in pairs {
+            assert!(qgram_jaccard(a, b, 3) <= qgram_dice(a, b, 3) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_and_disjoint() {
+        assert_eq!(qgram_jaccard("date", "date", 3), 1.0);
+        assert_eq!(qgram_dice("date", "date", 3), 1.0);
+        assert_eq!(qgram_jaccard("aaa", "bbb", 3), 0.0);
+        assert_eq!(qgram_dice("aaa", "bbb", 3), 0.0);
+    }
+
+    #[test]
+    fn short_strings_fall_back_to_whole_string() {
+        assert_eq!(qgram_jaccard("id", "id", 3), 1.0);
+        assert_eq!(qgram_jaccard("id", "no", 3), 0.0);
+        assert_eq!(qgram_jaccard("", "", 3), 1.0);
+        assert_eq!(qgram_jaccard("", "a", 3), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("screenDate", "releaseDate"), ("po", "purchaseOrder")] {
+            assert_eq!(qgram_jaccard(a, b, 3), qgram_jaccard(b, a, 3));
+            assert_eq!(qgram_dice(a, b, 2), qgram_dice(b, a, 2));
+        }
+    }
+}

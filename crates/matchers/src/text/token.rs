@@ -1,0 +1,153 @@
+//! Token-level similarity measures: Jaccard over token sets, the
+//! Monge–Elkan hybrid, and IDF-weighted cosine over a corpus.
+
+use super::jaro::jaro_winkler;
+use super::tokenize::tokenize;
+use std::collections::{HashMap, HashSet};
+
+/// Jaccard similarity of the token *sets* of two names.
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let ta: HashSet<String> = tokenize(a).into_iter().collect();
+    let tb: HashSet<String> = tokenize(b).into_iter().collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let inter = ta.intersection(&tb).count();
+    let union = ta.len() + tb.len() - inter;
+    if union == 0 {
+        return 1.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Symmetrized Monge–Elkan similarity with Jaro–Winkler as the inner
+/// measure: each token of one name is matched to its best counterpart in
+/// the other, averaged, then the two directions are averaged.
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let ta = tokenize(a);
+    let tb = tokenize(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let dir = |xs: &[String], ys: &[String]| -> f64 {
+        xs.iter()
+            .map(|x| ys.iter().map(|y| jaro_winkler(x, y)).fold(0.0, f64::max))
+            .sum::<f64>()
+            / xs.len() as f64
+    };
+    (dir(&ta, &tb) + dir(&tb, &ta)) / 2.0
+}
+
+/// Inverse-document-frequency model over a corpus of attribute names.
+///
+/// `idf(t) = ln(1 + N / df(t))` where `N` is the number of names in the
+/// corpus and `df(t)` the number of names containing token `t`. Shared
+/// boilerplate tokens ("id", "name", "code") receive low weight so that the
+/// discriminative tokens decide the score — this is what makes the
+/// AMC-style ensemble behave differently from plain token overlap.
+#[derive(Debug, Clone)]
+pub struct IdfModel {
+    n_docs: f64,
+    df: HashMap<String, usize>,
+}
+
+impl IdfModel {
+    /// Builds the model from a corpus of attribute names.
+    pub fn fit<'a>(names: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut df: HashMap<String, usize> = HashMap::new();
+        let mut n_docs = 0usize;
+        for name in names {
+            n_docs += 1;
+            let uniq: HashSet<String> = tokenize(name).into_iter().collect();
+            for t in uniq {
+                *df.entry(t).or_insert(0) += 1;
+            }
+        }
+        Self { n_docs: n_docs as f64, df }
+    }
+
+    /// IDF weight of a token (unseen tokens get the maximal weight
+    /// `ln(1 + N)`).
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self.df.get(token).copied().unwrap_or(0) as f64;
+        if self.n_docs == 0.0 {
+            return 0.0;
+        }
+        (1.0 + self.n_docs / df.max(1.0)).ln()
+    }
+
+    /// IDF-weighted cosine similarity between the token vectors of two
+    /// names (term frequency is binary — attribute names rarely repeat
+    /// tokens).
+    pub fn cosine(&self, a: &str, b: &str) -> f64 {
+        let ta: HashSet<String> = tokenize(a).into_iter().collect();
+        let tb: HashSet<String> = tokenize(b).into_iter().collect();
+        if ta.is_empty() && tb.is_empty() {
+            return 1.0;
+        }
+        let dot: f64 = ta.intersection(&tb).map(|t| self.idf(t).powi(2)).sum();
+        let na: f64 = ta.iter().map(|t| self.idf(t).powi(2)).sum::<f64>().sqrt();
+        let nb: f64 = tb.iter().map(|t| self.idf(t).powi(2)).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_jaccard_values() {
+        assert_eq!(token_jaccard("releaseDate", "release_date"), 1.0);
+        assert_eq!(token_jaccard("releaseDate", "screenDate"), 1.0 / 3.0);
+        assert_eq!(token_jaccard("abc", "xyz"), 0.0);
+        assert_eq!(token_jaccard("", ""), 1.0);
+    }
+
+    #[test]
+    fn monge_elkan_behaviour() {
+        assert_eq!(monge_elkan("releaseDate", "release_date"), 1.0);
+        // shares the "date" token exactly, "screen" vs "release" partially
+        let s = monge_elkan("screenDate", "releaseDate");
+        assert!(s > 0.5 && s < 1.0, "{s}");
+        assert_eq!(monge_elkan("", "x"), 0.0);
+        assert_eq!(monge_elkan("", ""), 1.0);
+        // symmetry by construction
+        assert_eq!(monge_elkan("billingAddr", "addressBilling"), monge_elkan("addressBilling", "billingAddr"));
+    }
+
+    #[test]
+    fn idf_downweights_common_tokens() {
+        let corpus = ["customerId", "orderId", "productId", "shipDate", "customerName"];
+        let model = IdfModel::fit(corpus);
+        assert!(model.idf("id") < model.idf("ship"), "frequent token must weigh less");
+        assert!(model.idf("unseen_token") >= model.idf("ship"));
+    }
+
+    #[test]
+    fn idf_cosine_discriminates() {
+        let corpus = ["customerId", "orderId", "productId", "shipDate", "orderDate"];
+        let model = IdfModel::fit(corpus);
+        // "orderId" vs "orderDate" share the discriminative token "order";
+        // "customerId" vs "productId" share only the boilerplate "id".
+        let strong = model.cosine("orderId", "orderDate");
+        let weak = model.cosine("customerId", "productId");
+        assert!(strong > weak, "{strong} vs {weak}");
+        assert!((model.cosine("orderId", "order_id") - 1.0).abs() < 1e-12);
+        assert_eq!(model.cosine("", ""), 1.0);
+        assert_eq!(model.cosine("x", ""), 0.0);
+    }
+
+    #[test]
+    fn empty_model_is_safe() {
+        let model = IdfModel::fit(std::iter::empty());
+        assert_eq!(model.idf("x"), 0.0);
+        assert_eq!(model.cosine("a", "b"), 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Attribute-name tokenization.
+//!
+//! Schema attribute names mix naming conventions (`releaseDate`,
+//! `release_date`, `RELEASE-DATE`, `addr2`). The tokenizer splits on
+//! non-alphanumeric characters, camel-case boundaries and letter/digit
+//! boundaries, and lowercases the result, so that token-level measures see
+//! through convention differences.
+
+/// Splits an attribute name into lowercase tokens.
+pub fn tokenize(name: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut prev: Option<char> = None;
+    for ch in name.chars() {
+        if !ch.is_alphanumeric() {
+            flush(&mut tokens, &mut cur);
+            prev = None;
+            continue;
+        }
+        if let Some(p) = prev {
+            let camel = p.is_lowercase() && ch.is_uppercase();
+            let letter_digit = p.is_alphabetic() != ch.is_alphabetic();
+            // an uppercase run followed by lowercase starts a new word at the
+            // last uppercase char: "XMLFile" → ["xml", "file"]
+            let acronym_end = p.is_uppercase() && ch.is_lowercase() && cur.len() > 1;
+            if camel || letter_digit {
+                flush(&mut tokens, &mut cur);
+            } else if acronym_end {
+                let last = cur.pop().expect("cur.len() > 1");
+                flush(&mut tokens, &mut cur);
+                cur.push(last);
+            }
+        }
+        cur.push(ch);
+        prev = Some(ch);
+    }
+    flush(&mut tokens, &mut cur);
+    tokens
+}
+
+fn flush(tokens: &mut Vec<String>, cur: &mut String) {
+    if !cur.is_empty() {
+        tokens.push(cur.to_lowercase());
+        cur.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<&str> {
+        // convenience for comparing against literals
+        Box::leak(Box::new(tokenize(s))).iter().map(String::as_str).collect()
+    }
+
+    #[test]
+    fn camel_case() {
+        assert_eq!(toks("releaseDate"), vec!["release", "date"]);
+        assert_eq!(toks("productionDate"), vec!["production", "date"]);
+    }
+
+    #[test]
+    fn snake_kebab_space() {
+        assert_eq!(toks("release_date"), vec!["release", "date"]);
+        assert_eq!(toks("release-date"), vec!["release", "date"]);
+        assert_eq!(toks("release date"), vec!["release", "date"]);
+    }
+
+    #[test]
+    fn digits_split() {
+        assert_eq!(toks("addr2"), vec!["addr", "2"]);
+        assert_eq!(toks("line1Text"), vec!["line", "1", "text"]);
+    }
+
+    #[test]
+    fn acronyms() {
+        assert_eq!(toks("XMLFile"), vec!["xml", "file"]);
+        assert_eq!(toks("customerID"), vec!["customer", "id"]);
+        assert_eq!(toks("ID"), vec!["id"]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(toks(""), Vec::<&str>::new());
+        assert_eq!(toks("___"), Vec::<&str>::new());
+        assert_eq!(toks("a"), vec!["a"]);
+        assert_eq!(toks("Date"), vec!["date"]);
+    }
+
+    #[test]
+    fn all_tokens_lowercase_alphanumeric() {
+        for name in ["BillingAddressLine1", "PO_Number", "e-mail Address"] {
+            for t in tokenize(name) {
+                assert!(t.chars().all(|c| c.is_lowercase() || c.is_numeric()), "{t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for catalog and candidate-set construction.
+
+use crate::ids::{AttributeId, SchemaId};
+use std::fmt;
+
+/// Errors raised while building catalogs, graphs or candidate sets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaError {
+    /// A schema name was registered twice.
+    DuplicateSchema(String),
+    /// An attribute name was registered twice within the same schema.
+    DuplicateAttribute { schema: String, attribute: String },
+    /// A referenced schema id does not exist in the catalog.
+    UnknownSchema(SchemaId),
+    /// A referenced attribute id does not exist in the catalog.
+    UnknownAttribute(AttributeId),
+    /// A correspondence connects two attributes of the same schema.
+    IntraSchemaCorrespondence(AttributeId, AttributeId),
+    /// A correspondence refers to a schema pair that is not an edge of the
+    /// interaction graph.
+    NotAnInteractionEdge(SchemaId, SchemaId),
+    /// The same correspondence was added twice to a candidate set.
+    DuplicateCandidate(AttributeId, AttributeId),
+    /// A confidence value was outside `[0, 1]`.
+    InvalidConfidence(f64),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateSchema(name) => write!(f, "duplicate schema name {name:?}"),
+            SchemaError::DuplicateAttribute { schema, attribute } => {
+                write!(f, "duplicate attribute {attribute:?} in schema {schema:?}")
+            }
+            SchemaError::UnknownSchema(id) => write!(f, "unknown schema {id}"),
+            SchemaError::UnknownAttribute(id) => write!(f, "unknown attribute {id}"),
+            SchemaError::IntraSchemaCorrespondence(a, b) => {
+                write!(f, "correspondence {a}–{b} connects attributes of the same schema")
+            }
+            SchemaError::NotAnInteractionEdge(s, t) => {
+                write!(f, "schema pair ({s}, {t}) is not an edge of the interaction graph")
+            }
+            SchemaError::DuplicateCandidate(a, b) => {
+                write!(f, "candidate correspondence {a}–{b} was added twice")
+            }
+            SchemaError::InvalidConfidence(v) => {
+                write!(f, "confidence {v} is outside the unit interval")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = SchemaError::DuplicateSchema("orders".into());
+        assert!(e.to_string().contains("orders"));
+        let e = SchemaError::InvalidConfidence(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e = SchemaError::NotAnInteractionEdge(SchemaId(0), SchemaId(2));
+        assert!(e.to_string().contains("s0"));
+        assert!(e.to_string().contains("s2"));
+    }
+}

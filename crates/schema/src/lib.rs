@@ -1,0 +1,30 @@
+//! # smn-schema
+//!
+//! The structural substrate of a *schema matching network* as defined in
+//! Section II-B of "Pay-as-you-go Reconciliation in Schema Matching Networks"
+//! (ICDE 2014):
+//!
+//! * a **schema** is a finite set of uniquely identified attributes,
+//! * a **catalog** `S = {s_1, …, s_n}` collects the schemas of one data
+//!   integration task,
+//! * the **interaction graph** `G_S` says which schema pairs must be matched,
+//! * an **attribute correspondence** is a pair of attributes from two
+//!   different schemas, and the **candidate set** `C` is the union of the
+//!   matcher outputs for every edge of `G_S`.
+//!
+//! The crate deliberately contains no probabilistic or constraint logic —
+//! those live in `smn-constraints` and `smn-core`. It only provides the data
+//! model, cheap integer identifiers, index structures and graph generators
+//! (complete, Erdős–Rényi, path, cycle, star) used throughout the stack.
+
+pub mod catalog;
+pub mod correspondence;
+pub mod error;
+pub mod graph;
+pub mod ids;
+
+pub use catalog::{Attribute, Catalog, CatalogBuilder, Schema};
+pub use correspondence::{Candidate, CandidateSet, Correspondence};
+pub use error::SchemaError;
+pub use graph::InteractionGraph;
+pub use ids::{AttributeId, CandidateId, SchemaId};

@@ -1,0 +1,121 @@
+//! An interactive reconciliation session on the terminal — the expert is
+//! *you*.
+//!
+//! The tool builds a small purchase-order network, matches it, and then
+//! asks you to approve (`y`) or reject (`n`) correspondences in
+//! information-gain order. After every answer it reports the remaining
+//! uncertainty and the current trusted matching size; `q` quits and prints
+//! the final matching with its quality against the hidden ground truth —
+//! so you can see how well you did.
+//!
+//! Run with: `cargo run --release --example interactive_cli`
+
+use smn::core::{
+    InstantiationConfig, MatchingNetwork, PrecisionRecall, Session, SessionConfig,
+};
+use smn::datasets::{DatasetSpec, SharingModel, Vocabulary};
+use smn::matchers::{ensemble, matcher::match_network, Selection};
+use smn_constraints::ConstraintConfig;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let dataset = DatasetSpec {
+        name: "PO-interactive".into(),
+        vocabulary: Vocabulary::purchase_order(),
+        schema_count: 3,
+        attrs_min: 12,
+        attrs_max: 18,
+        sharing: SharingModel::RankBiased { alpha: 0.8 },
+    }
+    .generate(7);
+    let graph = dataset.complete_graph();
+    let truth = dataset.selective_matching(&graph);
+    // a permissive selection so the session has real confusions to resolve
+    // (the preset threshold is calibrated for the much larger BP schemas)
+    let matcher = ensemble::coma_like()
+        .with_selection(Selection { threshold: 0.33, top_k: 3, max_delta: Some(0.25) });
+    let candidates =
+        match_network(&matcher, &dataset.catalog, &graph).expect("matcher output is valid");
+    let network = MatchingNetwork::new(
+        dataset.catalog.clone(),
+        graph,
+        candidates,
+        ConstraintConfig::default(),
+    );
+    println!(
+        "Network: {} schemas, {} candidates, {} violations. Answer y/n (q to quit).\n",
+        dataset.catalog.schema_count(),
+        network.candidate_count(),
+        network.initial_violations()
+    );
+
+    let mut session = Session::new(network, SessionConfig::default());
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    while let Some(q) = session.next_question() {
+        if session.entropy() == 0.0 {
+            break; // everything is certain — stop bothering the expert
+        }
+        let name = |a| session.network().network().catalog().attribute(a).name.clone();
+        let schema =
+            |a| {
+                let s = session.network().network().catalog().schema_of(a);
+                session.network().network().catalog().schema(s).name.clone()
+            };
+        print!(
+            "[H = {:5.1} bits] {}.{} ≟ {}.{} (p = {:.2})  [y/n/q] ",
+            session.entropy(),
+            schema(q.correspondence.a()),
+            name(q.correspondence.a()),
+            schema(q.correspondence.b()),
+            name(q.correspondence.b()),
+            q.probability,
+        );
+        std::io::stdout().flush().expect("stdout");
+        let answer = match lines.next() {
+            Some(Ok(line)) => line.trim().to_lowercase(),
+            _ => break,
+        };
+        match answer.as_str() {
+            "y" | "yes" => {
+                if session.answer(q.candidate, true).is_err() {
+                    println!("  ↯ that approval contradicts earlier ones — recorded as reject");
+                    session.answer(q.candidate, false).expect("reject always valid");
+                }
+            }
+            "n" | "no" => session.answer(q.candidate, false).expect("reject always valid"),
+            "q" | "quit" => break,
+            _ => {
+                println!("  (skipped — answer y, n or q)");
+                continue;
+            }
+        }
+    }
+
+    let matching = session.instantiate(InstantiationConfig::default());
+    let quality = PrecisionRecall::of_instance(
+        session.network().network(),
+        &matching.instance,
+        truth.iter().copied(),
+    );
+    println!(
+        "\nAfter {:.0}% effort: trusted matching with {} correspondences",
+        session.effort() * 100.0,
+        matching.instance.count(),
+    );
+    println!(
+        "against the hidden ground truth: precision {:.3}, recall {:.3}, F1 {:.3}",
+        quality.precision,
+        quality.recall,
+        quality.f1()
+    );
+    for c in matching.instance.iter() {
+        let corr = session.network().network().corr(c);
+        let cat = session.network().network().catalog();
+        println!(
+            "  {} — {}",
+            cat.attribute(corr.a()).name,
+            cat.attribute(corr.b()).name
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: the full pay-as-you-go pipeline in ~60 lines.
+//!
+//! Generates the BP dataset, matches it with the COMA-like ensemble,
+//! builds the probabilistic matching network, spends a small reconciliation
+//! budget with information-gain ordering, and instantiates a trusted
+//! matching — printing quality before and after.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use smn::core::{
+    GroundTruthOracle, MatchingNetwork, PrecisionRecall, ReconciliationGoal, Session,
+    SessionConfig,
+};
+use smn::matchers::{ensemble, matcher::match_network};
+use smn_constraints::ConstraintConfig;
+
+fn main() {
+    // 1. a network of schemas (synthetic BP: 3 schemas, 80–106 attributes)
+    let dataset = smn::datasets::bp(42);
+    let graph = dataset.complete_graph();
+    let truth = dataset.selective_matching(&graph);
+    println!("dataset {}: {} schemas, ground truth |M| = {}", dataset.name, dataset.catalog.schema_count(), truth.len());
+
+    // 2. candidate correspondences from an automatic matcher
+    let candidates = match_network(&ensemble::coma_like(), &dataset.catalog, &graph)
+        .expect("matcher produces valid candidates");
+    println!("matcher proposed |C| = {} candidates", candidates.len());
+
+    // 3. the probabilistic matching network
+    let network = MatchingNetwork::new(
+        dataset.catalog.clone(),
+        graph,
+        candidates,
+        ConstraintConfig::default(),
+    );
+    println!("initial violations: {}", network.initial_violations());
+    let mut session = Session::new(network, SessionConfig::default());
+    println!("initial uncertainty: {:.1} bits", session.entropy());
+
+    // 4. instantiate BEFORE any feedback — pay-as-you-go means a usable
+    //    matching exists at any time
+    let before = session.instantiate_default();
+    let q0 = PrecisionRecall::of_instance(
+        session.network().network(),
+        &before.instance,
+        truth.iter().copied(),
+    );
+    println!(
+        "no feedback:   precision {:.3}  recall {:.3}  (repair distance {})",
+        q0.precision, q0.recall, before.repair_distance
+    );
+
+    // 5. spend a 10% effort budget, guided by information gain
+    let budget = session.network().network().candidate_count() / 10;
+    let mut oracle = GroundTruthOracle::new(truth.iter().copied());
+    session.run(&mut oracle, ReconciliationGoal::Budget(budget));
+    println!(
+        "after {} assertions ({:.0}% effort): uncertainty {:.1} bits",
+        budget,
+        session.effort() * 100.0,
+        session.entropy()
+    );
+
+    // 6. instantiate again
+    let after = session.instantiate_default();
+    let q1 = PrecisionRecall::of_instance(
+        session.network().network(),
+        &after.instance,
+        truth.iter().copied(),
+    );
+    println!(
+        "with feedback: precision {:.3}  recall {:.3}  (repair distance {})",
+        q1.precision, q1.recall, after.repair_distance
+    );
+}

@@ -1,0 +1,30 @@
+//! # smn — pay-as-you-go reconciliation in schema matching networks
+//!
+//! Facade crate re-exporting the whole stack. See the individual crates for
+//! details:
+//!
+//! * [`schema`] — schemas, attributes, interaction graphs, candidate sets,
+//! * [`constraints`] — network-level integrity constraints and violations,
+//! * [`matchers`] — first-party schema matchers and ensembles,
+//! * [`datasets`] — synthetic reproductions of the paper's four datasets,
+//! * [`core`] — probabilistic matching networks, uncertainty reduction and
+//!   instantiation (the paper's contribution).
+//!
+//! ```no_run
+//! use smn::prelude::*;
+//! # fn main() {}
+//! ```
+
+pub use smn_constraints as constraints;
+pub use smn_core as core;
+pub use smn_datasets as datasets;
+pub use smn_matchers as matchers;
+pub use smn_schema as schema;
+
+/// Commonly used items, for `use smn::prelude::*`.
+pub mod prelude {
+    pub use smn_schema::{
+        Attribute, AttributeId, Candidate, CandidateId, CandidateSet, Catalog, CatalogBuilder,
+        Correspondence, InteractionGraph, Schema, SchemaId,
+    };
+}

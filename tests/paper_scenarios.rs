@@ -1,0 +1,188 @@
+//! Integration tests pinning the paper's concrete claims and scenarios.
+
+use smn::core::exact::{enumerate_instances, exact_probabilities};
+use smn::core::{
+    entropy_of, kl_ratio, GroundTruthOracle, MatchingNetwork, ProbabilisticNetwork,
+    ReconciliationGoal, SamplerConfig, Session, SessionConfig,
+};
+use smn::prelude::*;
+use smn_constraints::ConstraintConfig;
+use smn_core::feedback::Feedback;
+use smn_core::Assertion;
+
+/// Builds the Fig. 1 network of the paper.
+fn fig1() -> MatchingNetwork {
+    let mut b = CatalogBuilder::new();
+    let sa = b.add_schema("EoverI").unwrap();
+    let pd = b.add_attribute(sa, "productionDate").unwrap();
+    let sb = b.add_schema("BBC").unwrap();
+    let date = b.add_attribute(sb, "date").unwrap();
+    let sc = b.add_schema("DVDizzy").unwrap();
+    let rd = b.add_attribute(sc, "releaseDate").unwrap();
+    let sd = b.add_attribute(sc, "screenDate").unwrap();
+    let catalog = b.build();
+    let graph = InteractionGraph::complete(3);
+    let mut c = CandidateSet::new(&catalog);
+    c.add(&catalog, Some(&graph), pd, date, 0.9).unwrap();
+    c.add(&catalog, Some(&graph), date, rd, 0.8).unwrap();
+    c.add(&catalog, Some(&graph), pd, rd, 0.8).unwrap();
+    c.add(&catalog, Some(&graph), date, sd, 0.7).unwrap();
+    c.add(&catalog, Some(&graph), pd, sd, 0.7).unwrap();
+    MatchingNetwork::new(catalog, graph, c, ConstraintConfig::default())
+}
+
+/// §II-A: "The set of correspondences {c3, c5} violates the one-to-one
+/// constraint, whereas the set {c2, c1, c5} violates the cycle constraint."
+/// (Our ids: the 1-1 pair shares productionDate; the cycle triple is an
+/// open 3-path.)
+#[test]
+fn motivating_example_violations() {
+    let net = fig1();
+    use smn_constraints::BitSet;
+    // c2 (pd–releaseDate) and c4 (pd–screenDate) share productionDate
+    let one_to_one = BitSet::from_ids(5, [CandidateId(2), CandidateId(4)]);
+    assert!(!net.index().is_consistent(&one_to_one));
+    // c0 (pd–date), c1 (date–releaseDate), c4 (pd–screenDate): open cycle
+    let cycle = BitSet::from_ids(5, [CandidateId(0), CandidateId(1), CandidateId(4)]);
+    assert!(!net.index().is_consistent(&cycle));
+    // each pair within the cycle triple is fine — it is a genuine 3-way
+    // violation
+    for (x, y) in [(0, 1), (0, 4), (1, 4)] {
+        let pair = BitSet::from_ids(5, [CandidateId(x), CandidateId(y)]);
+        assert!(net.index().is_consistent(&pair));
+    }
+}
+
+/// Example 1's headline: asserting the universally shared correspondence
+/// leaves relative uncertainty intact, asserting a discriminator halves
+/// the instance space. (Exact probabilities; see DESIGN.md on the two
+/// extra mixed instances Definition 1 admits.)
+#[test]
+fn example1_ordering_effect_exact() {
+    let net = fig1();
+    let no_feedback = Feedback::new(5);
+    let h0 = entropy_of(&exact_probabilities(&net, &no_feedback, 1000).unwrap());
+    assert!((h0 - 5.0).abs() < 1e-9);
+
+    let mut approve_c0 = Feedback::new(5);
+    approve_c0.approve(CandidateId(0));
+    let h_c0 = entropy_of(&exact_probabilities(&net, &approve_c0, 1000).unwrap());
+
+    let mut approve_c2 = Feedback::new(5);
+    approve_c2.approve(CandidateId(2));
+    let h_c2 = entropy_of(&exact_probabilities(&net, &approve_c2, 1000).unwrap());
+
+    assert!(h_c2 < h_c0, "discriminator ({h_c2}) must beat shared pair ({h_c0})");
+    assert!((h_c0 - 4.0).abs() < 1e-9);
+    assert!((h_c2 - 3.0).abs() < 1e-9);
+}
+
+/// §III-A: "the probability of asserted correspondences is either one or
+/// zero, since every matching instance … includes all approved … and
+/// excludes all disapproved".
+#[test]
+fn asserted_probabilities_are_binary() {
+    let net = fig1();
+    let mut pn = ProbabilisticNetwork::new(
+        net,
+        SamplerConfig { anneal: true, n_samples: 300, walk_steps: 3, n_min: 100, seed: 2 },
+    );
+    pn.assert_candidate(Assertion { candidate: CandidateId(1), approved: true }).unwrap();
+    pn.assert_candidate(Assertion { candidate: CandidateId(4), approved: false }).unwrap();
+    assert_eq!(pn.probability(CandidateId(1)), 1.0);
+    assert_eq!(pn.probability(CandidateId(4)), 0.0);
+    for inst in pn.samples() {
+        assert!(inst.contains(CandidateId(1)));
+        assert!(!inst.contains(CandidateId(4)));
+    }
+}
+
+/// §III-B sampling effectiveness: on a small network where enumeration is
+/// feasible, the sampled distribution is far closer to the exact one than
+/// the maximum-entropy baseline (the paper reports KL ratios below 2%).
+#[test]
+fn sampler_beats_uniform_baseline() {
+    // a network small enough to enumerate but large enough to be non-trivial
+    let mut b = CatalogBuilder::new();
+    for s in 0..3 {
+        b.add_schema_with_attributes(format!("s{s}"), (0..4).map(|i| format!("a{s}_{i}")))
+            .unwrap();
+    }
+    let catalog = b.build();
+    let graph = InteractionGraph::complete(3);
+    let mut cs = CandidateSet::new(&catalog);
+    // identity pairs + systematic confusions
+    for s1 in 0..3u32 {
+        for s2 in (s1 + 1)..3 {
+            for i in 0..4u32 {
+                let a = AttributeId(s1 * 4 + i);
+                let b2 = AttributeId(s2 * 4 + i);
+                cs.add(&catalog, Some(&graph), a, b2, 0.8).unwrap();
+                if i + 1 < 4 {
+                    cs.add(&catalog, Some(&graph), a, AttributeId(s2 * 4 + i + 1), 0.5).unwrap();
+                }
+            }
+        }
+    }
+    let net = MatchingNetwork::new(catalog, graph, cs, ConstraintConfig::default());
+    let exact = exact_probabilities(&net, &Feedback::new(net.candidate_count()), 5_000_000)
+        .expect("enumerable");
+    let pn = ProbabilisticNetwork::new(
+        net,
+        SamplerConfig { anneal: true, n_samples: 4000, walk_steps: 4, n_min: 1500, seed: 9 },
+    );
+    let ratio = kl_ratio(&exact, pn.probabilities());
+    assert!(
+        ratio < 0.25,
+        "sampled distribution should be much closer to exact than uniform: ratio {ratio}"
+    );
+}
+
+/// §IV: full reconciliation of the motivating network converges to its
+/// selective matching regardless of the strategy.
+#[test]
+fn fig1_reconciles_to_selective_matching() {
+    let a = AttributeId;
+    let truth = [
+        Correspondence::new(a(0), a(1)),
+        Correspondence::new(a(1), a(3)),
+        Correspondence::new(a(0), a(3)),
+    ];
+    for strategy in [smn_core::engine::Strategy::Random, smn_core::engine::Strategy::InformationGain] {
+        let mut session = Session::new(
+            fig1(),
+            SessionConfig {
+                sampler: SamplerConfig { anneal: true, n_samples: 300, walk_steps: 3, n_min: 100, seed: 3 },
+                strategy,
+                strategy_seed: 17,
+            },
+        );
+        let mut oracle = GroundTruthOracle::new(truth);
+        session.run(&mut oracle, ReconciliationGoal::Complete);
+        let inst = session.instantiate_default();
+        let picked: Vec<u32> = inst.instance.iter().map(|c| c.0).collect();
+        assert_eq!(picked, vec![0, 3, 4], "strategy {strategy:?}");
+    }
+}
+
+/// The number of matching instances shrinks monotonically along any
+/// assertion sequence (view maintenance can only filter Ω).
+#[test]
+fn instance_space_shrinks_monotonically() {
+    let net = fig1();
+    let count = |fb: &Feedback| enumerate_instances(&net, fb, 1000).unwrap().len();
+    let mut fb = Feedback::new(5);
+    let mut last = count(&fb);
+    assert_eq!(last, 4);
+    for (c, approved) in [(CandidateId(0), true), (CandidateId(1), false), (CandidateId(3), true)] {
+        if approved {
+            fb.approve(c);
+        } else {
+            fb.disapprove(c);
+        }
+        let now = count(&fb);
+        assert!(now <= last, "instance count grew: {last} → {now}");
+        last = now;
+    }
+    assert_eq!(last, 1, "the selective matching remains");
+}

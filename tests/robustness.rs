@@ -1,0 +1,203 @@
+//! Robustness and edge-case integration tests: degenerate networks, noisy
+//! experts, crowd reconciliation, and cross-validation of instantiated
+//! matchings against the strict closure checker.
+
+use smn::core::{
+    CrowdOracle, GroundTruthOracle, InstantiationConfig, MatchingNetwork, NoisyOracle,
+    PrecisionRecall, ReconciliationGoal, SamplerConfig, Session, SessionConfig,
+};
+use smn::matchers::{matcher::match_network, PerturbationMatcher};
+use smn::prelude::*;
+use smn_constraints::{ClosureChecker, ConstraintConfig};
+use smn_core::engine::Strategy;
+
+fn identity_network(
+    schemas: usize,
+    attrs: usize,
+    precision: f64,
+    seed: u64,
+) -> (MatchingNetwork, Vec<Correspondence>) {
+    let mut b = CatalogBuilder::new();
+    for s in 0..schemas {
+        b.add_schema_with_attributes(format!("s{s}"), (0..attrs).map(|i| format!("a{s}_{i}")))
+            .unwrap();
+    }
+    let catalog = b.build();
+    let graph = InteractionGraph::complete(schemas);
+    let mut truth = Vec::new();
+    for s1 in 0..schemas {
+        for s2 in (s1 + 1)..schemas {
+            for i in 0..attrs {
+                truth.push(Correspondence::new(
+                    AttributeId::from_index(s1 * attrs + i),
+                    AttributeId::from_index(s2 * attrs + i),
+                ));
+            }
+        }
+    }
+    let matcher = PerturbationMatcher::new(truth.iter().copied(), precision, 0.9, seed);
+    let candidates = match_network(&matcher, &catalog, &graph).unwrap();
+    (MatchingNetwork::new(catalog, graph, candidates, ConstraintConfig::default()), truth)
+}
+
+fn fast_config(seed: u64) -> SessionConfig {
+    SessionConfig {
+        sampler: SamplerConfig { anneal: true, n_samples: 300, walk_steps: 3, n_min: 120, seed },
+        strategy: Strategy::InformationGain,
+        strategy_seed: seed,
+    }
+}
+
+/// An empty candidate set is a legal (if useless) network: entropy zero,
+/// instantiation empty, no questions.
+#[test]
+fn empty_candidate_set_is_handled() {
+    let mut b = CatalogBuilder::new();
+    b.add_schema_with_attributes("A", ["x"]).unwrap();
+    b.add_schema_with_attributes("B", ["y"]).unwrap();
+    let catalog = b.build();
+    let candidates = CandidateSet::new(&catalog);
+    let network = MatchingNetwork::new(
+        catalog,
+        InteractionGraph::complete(2),
+        candidates,
+        ConstraintConfig::default(),
+    );
+    let mut session = Session::new(network, fast_config(1));
+    assert_eq!(session.entropy(), 0.0);
+    assert!(session.next_question().is_none());
+    let inst = session.instantiate_default();
+    assert_eq!(inst.instance.count(), 0);
+    assert_eq!(inst.repair_distance, 0);
+}
+
+/// A single-candidate network: the candidate is maximality-forced into the
+/// only instance, so it is certain immediately.
+#[test]
+fn single_candidate_network() {
+    let mut b = CatalogBuilder::new();
+    b.add_schema_with_attributes("A", ["x"]).unwrap();
+    b.add_schema_with_attributes("B", ["y"]).unwrap();
+    let catalog = b.build();
+    let graph = InteractionGraph::complete(2);
+    let mut candidates = CandidateSet::new(&catalog);
+    candidates.add(&catalog, Some(&graph), AttributeId(0), AttributeId(1), 0.9).unwrap();
+    let network = MatchingNetwork::new(catalog, graph, candidates, ConstraintConfig::default());
+    let session = Session::new(network, fast_config(2));
+    assert_eq!(session.entropy(), 0.0, "a conflict-free candidate is certain");
+    assert_eq!(session.network().probability(CandidateId(0)), 1.0);
+    let inst = session.instantiate_default();
+    assert!(inst.instance.contains(CandidateId(0)));
+}
+
+/// Instantiated matchings always pass the *strict* union-find closure
+/// check, not just the triangle-based one they were built under — on
+/// complete 3-schema graphs the two coincide, and the instantiation search
+/// must never emit anything the stricter semantics rejects.
+#[test]
+fn instantiation_passes_strict_closure_validation() {
+    for seed in [3u64, 17, 42] {
+        let (network, _) = identity_network(3, 8, 0.6, seed);
+        let session = Session::new(network, fast_config(seed));
+        let inst = session.instantiate(InstantiationConfig { seed, ..Default::default() });
+        let checker = ClosureChecker::new(
+            session.network().network().catalog(),
+            session.network().network().candidates(),
+        );
+        assert!(
+            checker.is_consistent(&inst.instance),
+            "instantiation violates closure semantics (seed {seed})"
+        );
+    }
+}
+
+/// Reconciliation driven by a noisy oracle stays well-defined: the session
+/// never panics, entropy still reaches zero under Complete, and quality
+/// degrades relative to the exact oracle rather than collapsing.
+#[test]
+fn noisy_oracle_degrades_gracefully() {
+    let (network, truth) = identity_network(3, 8, 0.65, 5);
+    let run = |noise: f64| -> f64 {
+        let mut session = Session::new(network.clone(), fast_config(5));
+        let mut oracle = NoisyOracle::new(truth.iter().copied(), noise, 9);
+        session.run(&mut oracle, ReconciliationGoal::Complete);
+        let inst = session.instantiate(InstantiationConfig::default());
+        PrecisionRecall::of_instance(
+            session.network().network(),
+            &inst.instance,
+            truth.iter().copied(),
+        )
+        .f1()
+    };
+    let clean = run(0.0);
+    let noisy = run(0.3);
+    assert!(clean >= noisy, "noise must not improve quality: {clean} vs {noisy}");
+    assert!(noisy > 0.2, "even a 30%-error expert leaves usable structure: {noisy}");
+}
+
+/// Crowd reconciliation at high individual error matches (or beats) a
+/// single expert at the same error rate.
+#[test]
+fn crowd_beats_single_noisy_expert() {
+    let (network, truth) = identity_network(3, 8, 0.65, 6);
+    let f1_single: f64 = {
+        let mut session = Session::new(network.clone(), fast_config(6));
+        let mut oracle = NoisyOracle::new(truth.iter().copied(), 0.25, 3);
+        session.run(&mut oracle, ReconciliationGoal::Complete);
+        let inst = session.instantiate(InstantiationConfig::default());
+        PrecisionRecall::of_instance(
+            session.network().network(),
+            &inst.instance,
+            truth.iter().copied(),
+        )
+        .f1()
+    };
+    let f1_crowd: f64 = {
+        let mut session = Session::new(network.clone(), fast_config(6));
+        let mut oracle = CrowdOracle::new(truth.iter().copied(), 5, 0.25, 3);
+        session.run(&mut oracle, ReconciliationGoal::Complete);
+        let inst = session.instantiate(InstantiationConfig::default());
+        PrecisionRecall::of_instance(
+            session.network().network(),
+            &inst.instance,
+            truth.iter().copied(),
+        )
+        .f1()
+    };
+    assert!(
+        f1_crowd >= f1_single,
+        "5-worker majority ({f1_crowd:.3}) should not lose to one worker ({f1_single:.3})"
+    );
+}
+
+/// Determinism end to end: identical seeds give identical sessions,
+/// traces and instantiations.
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let (network, truth) = identity_network(3, 6, 0.6, 11);
+        let mut session = Session::new(network, fast_config(11));
+        let mut oracle = GroundTruthOracle::new(truth.iter().copied());
+        let trace = session.run(&mut oracle, ReconciliationGoal::Budget(10));
+        let inst = session.instantiate(InstantiationConfig { seed: 11, ..Default::default() });
+        (
+            trace.iter().map(|t| (t.candidate, t.approved)).collect::<Vec<_>>(),
+            inst.instance.to_vec(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// The effort accounting matches the trace: after a budget-k run the
+/// session reports exactly k assertions of |C|.
+#[test]
+fn effort_accounting_is_exact() {
+    let (network, truth) = identity_network(3, 8, 0.6, 13);
+    let n = network.candidate_count();
+    let mut session = Session::new(network, fast_config(13));
+    let mut oracle = GroundTruthOracle::new(truth.iter().copied());
+    let trace = session.run(&mut oracle, ReconciliationGoal::Budget(7));
+    assert_eq!(trace.len(), 7);
+    assert!((session.effort() - 7.0 / n as f64).abs() < 1e-12);
+    assert_eq!(session.history().len(), 7);
+}

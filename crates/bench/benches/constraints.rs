@@ -22,8 +22,13 @@ fn bench_index_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("constraints/build");
     group.bench_function("bp-coma", |b| {
         b.iter(|| {
-            ConflictIndex::build(net.catalog(), net.graph(), net.candidates(), ConstraintConfig::default())
-                .potential_triple_count()
+            ConflictIndex::build(
+                net.catalog(),
+                net.graph(),
+                net.candidates(),
+                ConstraintConfig::default(),
+            )
+            .potential_triple_count()
         });
     });
     group.finish();

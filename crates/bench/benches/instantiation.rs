@@ -37,7 +37,10 @@ fn bench_ablations(c: &mut Criterion) {
     let configs = [
         ("baseline", InstantiationConfig::default()),
         ("no-tabu", InstantiationConfig { tabu_size: 0, ..Default::default() }),
-        ("uniform-proposal", InstantiationConfig { proposal: Proposal::Uniform, ..Default::default() }),
+        (
+            "uniform-proposal",
+            InstantiationConfig { proposal: Proposal::Uniform, ..Default::default() },
+        ),
         ("no-likelihood", InstantiationConfig { use_likelihood: false, ..Default::default() }),
     ];
     for (name, cfg) in configs {

@@ -30,13 +30,8 @@ fn bench_sample_emission(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(format!("C{n}")), &net, |b, net| {
             let feedback = Feedback::new(net.candidate_count());
             b.iter(|| {
-                let cfg = SamplerConfig {
-                    n_samples: 50,
-                    walk_steps: 4,
-                    n_min: 1,
-                    seed: 3,
-                    anneal: true,
-                };
+                let cfg =
+                    SamplerConfig { n_samples: 50, walk_steps: 4, n_min: 1, seed: 3, anneal: true };
                 SampleStore::new(net, &feedback, cfg).len()
             });
         });
@@ -57,13 +52,8 @@ fn bench_annealing_ablation(c: &mut Criterion) {
             &anneal,
             |b, &anneal| {
                 b.iter(|| {
-                    let cfg = SamplerConfig {
-                        n_samples: 50,
-                        walk_steps: 4,
-                        n_min: 1,
-                        seed: 3,
-                        anneal,
-                    };
+                    let cfg =
+                        SamplerConfig { n_samples: 50, walk_steps: 4, n_min: 1, seed: 3, anneal };
                     SampleStore::new(&net, &feedback, cfg).len()
                 });
             },

@@ -8,9 +8,7 @@
 //! Run: `cargo run --release -p smn-bench --bin exp_fig10 [-- --runs N]`
 
 use serde::Serialize;
-use smn_bench::{
-    matched_network, parallel_runs, save_json, standard_sampler, MatcherKind, Table,
-};
+use smn_bench::{matched_network, parallel_runs, save_json, standard_sampler, MatcherKind, Table};
 use smn_core::reconcile::reconcile;
 use smn_core::selection::{InformationGainSelection, RandomSelection, SelectionStrategy};
 use smn_core::{
@@ -53,21 +51,33 @@ fn main() {
                     Box::new(RandomSelection::new(seed))
                 };
                 let mut oracle = GroundTruthOracle::new(truth.iter().copied());
-                reconcile(&mut pn, strategy.as_mut(), &mut oracle, ReconciliationGoal::Budget(budget));
+                reconcile(
+                    &mut pn,
+                    strategy.as_mut(),
+                    &mut oracle,
+                    ReconciliationGoal::Budget(budget),
+                );
                 let inst = smn_core::instantiate::instantiate(
                     &pn,
                     InstantiationConfig { seed, ..Default::default() },
                 );
                 PrecisionRecall::of_instance(pn.network(), &inst.instance, truth.iter().copied())
             });
-            let precision = qualities.iter().map(|q| q.precision).sum::<f64>() / qualities.len() as f64;
+            let precision =
+                qualities.iter().map(|q| q.precision).sum::<f64>() / qualities.len() as f64;
             let recall = qualities.iter().map(|q| q.recall).sum::<f64>() / qualities.len() as f64;
-            results.push(Point { strategy: label, effort_percent: effort * 100.0, precision, recall });
+            results.push(Point {
+                strategy: label,
+                effort_percent: effort * 100.0,
+                precision,
+                recall,
+            });
             eprintln!("done: {label} @ {:.1}%", effort * 100.0);
         }
     }
 
-    let mut table = Table::new(["effort %", "Prec random", "Prec heuristic", "Rec random", "Rec heuristic"]);
+    let mut table =
+        Table::new(["effort %", "Prec random", "Prec heuristic", "Rec random", "Rec heuristic"]);
     for (i, &effort) in efforts.iter().enumerate() {
         let r = &results[i];
         let h = &results[efforts.len() + i];
@@ -84,8 +94,11 @@ fn main() {
     table.print();
 
     let avg = |f: fn(&Point) -> f64, strategy: &str| {
-        let v: Vec<f64> =
-            results.iter().filter(|p| p.strategy == strategy && p.effort_percent > 0.0).map(f).collect();
+        let v: Vec<f64> = results
+            .iter()
+            .filter(|p| p.strategy == strategy && p.effort_percent > 0.0)
+            .map(f)
+            .collect();
         v.iter().sum::<f64>() / v.len() as f64
     };
     println!(

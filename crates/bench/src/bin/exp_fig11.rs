@@ -6,9 +6,7 @@
 //! Run: `cargo run --release -p smn-bench --bin exp_fig11 [-- --runs N]`
 
 use serde::Serialize;
-use smn_bench::{
-    matched_network, parallel_runs, save_json, standard_sampler, MatcherKind, Table,
-};
+use smn_bench::{matched_network, parallel_runs, save_json, standard_sampler, MatcherKind, Table};
 use smn_core::reconcile::reconcile;
 use smn_core::selection::{InformationGainSelection, SelectionStrategy};
 use smn_core::{
@@ -47,21 +45,33 @@ fn main() {
                 let mut strategy: Box<dyn SelectionStrategy> =
                     Box::new(InformationGainSelection::new(seed));
                 let mut oracle = GroundTruthOracle::new(truth.iter().copied());
-                reconcile(&mut pn, strategy.as_mut(), &mut oracle, ReconciliationGoal::Budget(budget));
+                reconcile(
+                    &mut pn,
+                    strategy.as_mut(),
+                    &mut oracle,
+                    ReconciliationGoal::Budget(budget),
+                );
                 let inst = smn_core::instantiate::instantiate(
                     &pn,
                     InstantiationConfig { use_likelihood, seed, ..Default::default() },
                 );
                 PrecisionRecall::of_instance(pn.network(), &inst.instance, truth.iter().copied())
             });
-            let precision = qualities.iter().map(|q| q.precision).sum::<f64>() / qualities.len() as f64;
+            let precision =
+                qualities.iter().map(|q| q.precision).sum::<f64>() / qualities.len() as f64;
             let recall = qualities.iter().map(|q| q.recall).sum::<f64>() / qualities.len() as f64;
-            results.push(Point { likelihood: use_likelihood, effort_percent: effort * 100.0, precision, recall });
+            results.push(Point {
+                likelihood: use_likelihood,
+                effort_percent: effort * 100.0,
+                precision,
+                recall,
+            });
             eprintln!("done: likelihood={use_likelihood} @ {:.1}%", effort * 100.0);
         }
     }
 
-    let mut table = Table::new(["effort %", "Prec w/o L", "Prec with L", "Rec w/o L", "Rec with L"]);
+    let mut table =
+        Table::new(["effort %", "Prec w/o L", "Prec with L", "Rec w/o L", "Rec with L"]);
     for (i, &effort) in efforts.iter().enumerate() {
         let without = &results[i];
         let with = &results[efforts.len() + i];

@@ -35,8 +35,7 @@ fn er_network(target: usize, setting_seed: u64) -> MatchingNetwork {
 
     let mut b = CatalogBuilder::new();
     for s in 0..n {
-        b.add_schema_with_attributes(format!("s{s}"), (0..m).map(|i| format!("a{s}_{i}")))
-            .unwrap();
+        b.add_schema_with_attributes(format!("s{s}"), (0..m).map(|i| format!("a{s}_{i}"))).unwrap();
     }
     let catalog = b.build();
     let mut truth = Vec::new();
@@ -88,12 +87,12 @@ fn main() {
         }
         let micros = total_micros / SETTINGS as f64;
         let mean_c = total_c as f64 / SETTINGS as f64;
-        table.row([
-            target.to_string(),
-            format!("{:.4}", micros / 1000.0),
-            format!("{mean_c:.0}"),
-        ]);
-        points.push(Point { target_candidates: target, mean_candidates: mean_c, micros_per_sample: micros });
+        table.row([target.to_string(), format!("{:.4}", micros / 1000.0), format!("{mean_c:.0}")]);
+        points.push(Point {
+            target_candidates: target,
+            mean_candidates: mean_c,
+            micros_per_sample: micros,
+        });
         eprintln!("done: 2^{exp}");
     }
     println!("Fig. 6 — probability-estimation time per sample vs network size");

@@ -26,8 +26,7 @@ fn network_with(n_corr: usize, m: usize, seed: u64) -> MatchingNetwork {
     use rand::{Rng, SeedableRng};
     let mut b = CatalogBuilder::new();
     for s in 0..3 {
-        b.add_schema_with_attributes(format!("s{s}"), (0..m).map(|i| format!("a{s}_{i}")))
-            .unwrap();
+        b.add_schema_with_attributes(format!("s{s}"), (0..m).map(|i| format!("a{s}_{i}"))).unwrap();
     }
     let catalog = b.build();
     let graph = InteractionGraph::complete(3);
@@ -51,7 +50,7 @@ fn network_with(n_corr: usize, m: usize, seed: u64) -> MatchingNetwork {
     while added < n_corr {
         guard += 1;
         assert!(guard < 10_000, "confusion generation stuck");
-        let (s1, s2) = edges[rng.random_range(0..3)];
+        let (s1, s2) = edges[rng.random_range(0..edges.len())];
         let i = rng.random_range(0..m);
         let j = rng.random_range(0..m);
         if i == j {
@@ -82,7 +81,8 @@ struct Point {
 
 fn main() {
     const SETTINGS: u64 = 5;
-    let mut table = Table::new(["#Correspondences", "2^{|C|/2} samples", "#instances", "KL ratio (%)"]);
+    let mut table =
+        Table::new(["#Correspondences", "2^{|C|/2} samples", "#instances", "KL ratio (%)"]);
     let mut points = Vec::new();
     for n_corr in 10..=20usize {
         let budget = 1usize << (n_corr / 2);
@@ -92,13 +92,10 @@ fn main() {
             let network = network_with(n_corr, 5, 100 + seed);
             let exact = exact_probabilities(&network, &Feedback::new(n_corr), 10_000_000)
                 .expect("enumerable at this size");
-            instances += smn_core::exact::enumerate_instances(
-                &network,
-                &Feedback::new(n_corr),
-                10_000_000,
-            )
-            .expect("enumerable")
-            .len();
+            instances +=
+                smn_core::exact::enumerate_instances(&network, &Feedback::new(n_corr), 10_000_000)
+                    .expect("enumerable")
+                    .len();
             let pn = ProbabilisticNetwork::new(
                 network,
                 SamplerConfig {

@@ -61,12 +61,8 @@ fn main() {
                 Box::new(RandomSelection::new(seed))
             };
             let mut oracle = GroundTruthOracle::new(truth_set.iter().copied());
-            let trace = reconcile(
-                &mut pn,
-                strategy.as_mut(),
-                &mut oracle,
-                ReconciliationGoal::Complete,
-            );
+            let trace =
+                reconcile(&mut pn, strategy.as_mut(), &mut oracle, ReconciliationGoal::Complete);
             // entropy trajectory + precision-of-survivors trajectory
             let mut entropy_grid = EffortGrid::percent(5);
             let mut precision_grid = EffortGrid::percent(5);
@@ -74,8 +70,11 @@ fn main() {
                 trace.iter().map(|t| (t.effort, t.normalized_entropy)).collect();
             entropy_grid.add_run(1.0, &h_traj);
             // Prec(C \ F−): survivors = all candidates minus disapprovals
-            let mut correct_total =
-                (0..n).filter(|&i| truth_set.contains(&network.corr(smn_schema::CandidateId::from_index(i)))).count();
+            let mut correct_total = (0..n)
+                .filter(|&i| {
+                    truth_set.contains(&network.corr(smn_schema::CandidateId::from_index(i)))
+                })
+                .count();
             let mut survivors = n;
             let p0 = correct_total as f64 / survivors as f64;
             let mut p_traj = Vec::with_capacity(trace.len());
@@ -134,15 +133,13 @@ fn main() {
     table.print();
 
     // headline saving: effort at which each strategy reaches H/H0 ≤ 0.1
-    let reach = |col: &Vec<f64>| {
-        points
-            .iter()
-            .zip(col)
-            .find(|(_, &h)| h <= 0.1)
-            .map(|(e, _)| e * 100.0)
-    };
+    let reach =
+        |col: &Vec<f64>| points.iter().zip(col).find(|(_, &h)| h <= 0.1).map(|(e, _)| e * 100.0);
     if let (Some(r), Some(h)) = (reach(&columns[0].0), reach(&columns[1].0)) {
-        println!("\neffort to reach H/H0 ≤ 0.1: random {r:.0}%, heuristic {h:.0}% → saving {:.0}%", r - h);
+        println!(
+            "\neffort to reach H/H0 ≤ 0.1: random {r:.0}%, heuristic {h:.0}% → saving {:.0}%",
+            r - h
+        );
     }
     if let Ok(p) = save_json("fig9", &output) {
         println!("wrote {}", p.display());

@@ -10,14 +10,12 @@
 //! Run: `cargo run --release -p smn-bench --bin exp_noisy [-- --runs N]`
 
 use serde::Serialize;
-use smn_bench::{
-    matched_network, parallel_runs, save_json, standard_sampler, MatcherKind, Table,
-};
+use smn_bench::{matched_network, parallel_runs, save_json, standard_sampler, MatcherKind, Table};
 use smn_core::reconcile::reconcile;
 use smn_core::selection::{InformationGainSelection, SelectionStrategy};
 use smn_core::{
-    CrowdOracle, InstantiationConfig, NoisyOracle, Oracle, PrecisionRecall,
-    ProbabilisticNetwork, ReconciliationGoal,
+    CrowdOracle, InstantiationConfig, NoisyOracle, Oracle, PrecisionRecall, ProbabilisticNetwork,
+    ReconciliationGoal,
 };
 
 #[derive(Serialize)]

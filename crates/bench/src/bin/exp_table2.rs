@@ -22,7 +22,8 @@ struct Row {
 
 fn main() {
     let seed = 1;
-    let paper = [("BP", 3, 80, 106), ("PO", 10, 35, 408), ("UAF", 15, 65, 228), ("WebForm", 89, 10, 120)];
+    let paper =
+        [("BP", 3, 80, 106), ("PO", 10, 35, 408), ("UAF", 15, 65, 228), ("WebForm", 89, 10, 120)];
     let datasets = [
         smn_datasets::bp(seed),
         smn_datasets::po(seed),

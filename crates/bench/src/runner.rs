@@ -13,9 +13,9 @@ where
     assert!(threads > 0, "need at least one thread");
     let results: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(runs as usize));
     let next: Mutex<u64> = Mutex::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(runs as usize).max(1) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let seed = {
                     let mut n = next.lock();
                     if *n >= runs {
@@ -29,8 +29,7 @@ where
                 results.lock().push((seed, out));
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
     let mut results = results.into_inner();
     results.sort_by_key(|(seed, _)| *seed);
     results.into_iter().map(|(_, t)| t).collect()

@@ -52,9 +52,8 @@ pub fn matched_network(
 ) -> (MatchingNetwork, Vec<Correspondence>) {
     let truth = dataset.selective_matching(graph);
     let candidates = match matcher {
-        MatcherKind::Coma => {
-            match_network(&ensemble::coma_like(), &dataset.catalog, graph).expect("valid matcher output")
-        }
+        MatcherKind::Coma => match_network(&ensemble::coma_like(), &dataset.catalog, graph)
+            .expect("valid matcher output"),
         MatcherKind::Amc => {
             match_network(&ensemble::amc_like(&dataset.catalog), &dataset.catalog, graph)
                 .expect("valid matcher output")

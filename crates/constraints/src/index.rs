@@ -250,8 +250,7 @@ impl ConflictIndex {
     /// (`c ∉ set` expected; members of `set` only).
     pub fn violations_introduced(&self, set: &BitSet, c: CandidateId) -> usize {
         let pairs = self.pair_conflicts[c.index()].iter().filter(|&&x| set.contains(x)).count();
-        let triples = self
-            .triples_of[c.index()]
+        let triples = self.triples_of[c.index()]
             .iter()
             .filter(|&&t| {
                 let [x, y, z] = self.triples[t as usize];
@@ -266,8 +265,7 @@ impl ConflictIndex {
     pub fn conflicts_of_in(&self, set: &BitSet, c: CandidateId) -> usize {
         debug_assert!(set.contains(c));
         let pairs = self.pair_conflicts[c.index()].iter().filter(|&&x| set.contains(x)).count();
-        let triples = self
-            .triples_of[c.index()]
+        let triples = self.triples_of[c.index()]
             .iter()
             .filter(|&&t| self.triples[t as usize].into_iter().all(|m| set.contains(m)))
             .count();
@@ -337,9 +335,9 @@ impl ConflictIndex {
     /// Whether `set` is *maximal*: no candidate outside `set ∪ forbidden`
     /// can be added without violating a constraint (Definition 1).
     pub fn is_maximal(&self, set: &BitSet, forbidden: &BitSet) -> bool {
-        (0..self.candidate_count).map(CandidateId::from_index).all(|c| {
-            set.contains(c) || forbidden.contains(c) || !self.can_add(set, c)
-        })
+        (0..self.candidate_count)
+            .map(CandidateId::from_index)
+            .all(|c| set.contains(c) || forbidden.contains(c) || !self.can_add(set, c))
     }
 }
 

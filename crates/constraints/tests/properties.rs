@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use smn_constraints::{BitSet, ClosureChecker, ConflictIndex, ConstraintConfig};
-use smn_schema::{AttributeId, CandidateId, CandidateSet, Catalog, CatalogBuilder, InteractionGraph};
+use smn_schema::{
+    AttributeId, CandidateId, CandidateSet, Catalog, CatalogBuilder, InteractionGraph,
+};
 
 /// Builds a 3-schema catalog with `sizes` attributes per schema and a random
 /// candidate subset of all cross-schema pairs, selected by `mask` bits.

@@ -110,7 +110,11 @@ impl Session {
     }
 
     /// Integrates the expert's answer for a candidate.
-    pub fn answer(&mut self, candidate: CandidateId, approved: bool) -> Result<(), InconsistentApproval> {
+    pub fn answer(
+        &mut self,
+        candidate: CandidateId,
+        approved: bool,
+    ) -> Result<(), InconsistentApproval> {
         let assertion = Assertion { candidate, approved };
         self.pn.assert_candidate(assertion)?;
         self.asked.push(assertion);
@@ -163,7 +167,13 @@ mod tests {
 
     fn config() -> SessionConfig {
         SessionConfig {
-            sampler: SamplerConfig { anneal: true, n_samples: 200, walk_steps: 3, n_min: 50, seed: 5 },
+            sampler: SamplerConfig {
+                anneal: true,
+                n_samples: 200,
+                walk_steps: 3,
+                n_min: 50,
+                seed: 5,
+            },
             strategy: Strategy::InformationGain,
             strategy_seed: 9,
         }
@@ -220,10 +230,8 @@ mod tests {
 
     #[test]
     fn random_strategy_session_also_terminates() {
-        let mut session = Session::new(
-            fig1_network(),
-            SessionConfig { strategy: Strategy::Random, ..config() },
-        );
+        let mut session =
+            Session::new(fig1_network(), SessionConfig { strategy: Strategy::Random, ..config() });
         let mut oracle = GroundTruthOracle::new(fig1_truth());
         session.run(&mut oracle, ReconciliationGoal::Complete);
         assert_eq!(session.entropy(), 0.0);

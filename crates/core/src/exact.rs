@@ -36,10 +36,8 @@ pub fn enumerate_instances(
     let mut out: Vec<BitSet> = Vec::new();
     let mut current = seed;
     // depth-first include/exclude over unasserted candidates
-    let free: Vec<CandidateId> = (0..n)
-        .map(CandidateId::from_index)
-        .filter(|&c| !feedback.is_asserted(c))
-        .collect();
+    let free: Vec<CandidateId> =
+        (0..n).map(CandidateId::from_index).filter(|&c| !feedback.is_asserted(c)).collect();
     fn recurse(
         index: &smn_constraints::ConflictIndex,
         free: &[CandidateId],
@@ -167,7 +165,8 @@ mod tests {
         f.disapprove(CandidateId(2));
         f.disapprove(CandidateId(3));
         let instances = enumerate_instances(&net, &f, 1_000).unwrap();
-        let sets: Vec<Vec<u32>> = instances.iter().map(|i| i.iter().map(|c| c.0).collect()).collect();
+        let sets: Vec<Vec<u32>> =
+            instances.iter().map(|i| i.iter().map(|c| c.0).collect()).collect();
         assert_eq!(sets, vec![vec![4]]);
     }
 

@@ -167,7 +167,10 @@ fn roulette_wheel(
     rng: &mut StdRng,
 ) -> Option<CandidateId> {
     let eligible = |c: CandidateId| {
-        !current.contains(c) && !forbidden.contains(c) && !tabu.contains(&c) && probs[c.index()] > 0.0
+        !current.contains(c)
+            && !forbidden.contains(c)
+            && !tabu.contains(&c)
+            && probs[c.index()] > 0.0
     };
     let total: f64 = (0..n)
         .map(CandidateId::from_index)
@@ -284,10 +287,8 @@ mod tests {
     #[test]
     fn without_likelihood_still_minimizes_repair_distance() {
         let pn = fig1_pn();
-        let inst = instantiate(
-            &pn,
-            InstantiationConfig { use_likelihood: false, ..Default::default() },
-        );
+        let inst =
+            instantiate(&pn, InstantiationConfig { use_likelihood: false, ..Default::default() });
         assert_eq!(inst.repair_distance, 2);
     }
 
@@ -307,9 +308,6 @@ mod tests {
             SamplerConfig { anneal: true, n_samples: 200, walk_steps: 4, n_min: 80, seed: 3 },
         );
         let inst = instantiate(&pn, InstantiationConfig::default());
-        assert!(pn
-            .network()
-            .index()
-            .is_maximal(&inst.instance, pn.feedback().disapproved()));
+        assert!(pn.network().index().is_maximal(&inst.instance, pn.feedback().disapproved()));
     }
 }

@@ -17,7 +17,7 @@
 //! 2. **Uncertainty reduction** (§IV). Network uncertainty is Shannon
 //!    entropy over inclusion variables ([`entropy`]); the expert is guided
 //!    by one-step expected information gain ([`selection`]), driven through
-//!    the generic reduction loop of Algorithm 1 ([`reconcile`]) against an
+//!    the generic reduction loop of Algorithm 1 ([`mod@reconcile`]) against an
 //!    [`oracle::Oracle`].
 //! 3. **Instantiation** (§V). [`instantiate`] approximates the NP-complete
 //!    minimal-repair/max-likelihood instantiation problem (Theorem 1) with

@@ -139,7 +139,8 @@ mod tests {
     fn budget_goal_stops_early() {
         let mut pn = fig1_pn(2);
         let mut strat = RandomSelection::new(3);
-        let trace = reconcile(&mut pn, &mut strat, &mut fig1_oracle(), ReconciliationGoal::Budget(2));
+        let trace =
+            reconcile(&mut pn, &mut strat, &mut fig1_oracle(), ReconciliationGoal::Budget(2));
         assert_eq!(trace.len(), 2);
         assert!((trace[1].effort - 2.0 / 5.0).abs() < 1e-12);
     }

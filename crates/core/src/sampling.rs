@@ -258,8 +258,7 @@ impl SampleStore {
         approved: bool,
     ) {
         let index = network.index();
-        let old: Vec<(BitSet, u64)> =
-            self.samples.drain(..).zip(self.counts.drain(..)).collect();
+        let old: Vec<(BitSet, u64)> = self.samples.drain(..).zip(self.counts.drain(..)).collect();
         self.seen.clear();
         let mut dying: Vec<(BitSet, u64)> = Vec::new();
         for (inst, count) in old {
@@ -274,8 +273,7 @@ impl SampleStore {
         if !approved {
             for (mut inst, count) in dying {
                 inst.remove(candidate);
-                if index.is_maximal(&inst, feedback.disapproved())
-                    && !self.seen.contains_key(&inst)
+                if index.is_maximal(&inst, feedback.disapproved()) && !self.seen.contains_key(&inst)
                 {
                     // the shrunken instance inherits its ancestor's weight
                     self.seen.insert(inst.clone(), self.samples.len());
@@ -384,7 +382,12 @@ mod tests {
         b.add_schema_with_attributes("B", ["y"]).unwrap();
         let cat = b.build();
         let cs = CandidateSet::new(&cat);
-        let net = MatchingNetwork::new(cat, InteractionGraph::complete(2), cs, ConstraintConfig::default());
+        let net = MatchingNetwork::new(
+            cat,
+            InteractionGraph::complete(2),
+            cs,
+            ConstraintConfig::default(),
+        );
         let store = SampleStore::new(&net, &Feedback::new(0), small_config());
         assert!(store.is_exhausted());
         assert!(store.is_empty());

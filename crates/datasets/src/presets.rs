@@ -7,8 +7,8 @@
 //! numbers; e.g. the paper's smallest dataset, BP, yields 142 candidate
 //! correspondences and 252/244 violations for COMA/AMC).
 
-use crate::generator::{DatasetSpec, SharingModel};
 use crate::dataset::Dataset;
+use crate::generator::{DatasetSpec, SharingModel};
 use crate::vocab::Vocabulary;
 
 /// Business Partner: 3 schemas, 80–106 attributes.

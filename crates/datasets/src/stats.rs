@@ -65,13 +65,8 @@ impl DatasetStats {
 
     /// Concepts shared by two specific schemas.
     pub fn shared_concepts(dataset: &Dataset, s1: SchemaId, s2: SchemaId) -> usize {
-        let set1: HashSet<u32> = dataset
-            .catalog
-            .schema(s1)
-            .attributes
-            .iter()
-            .map(|&a| dataset.concept_of(a))
-            .collect();
+        let set1: HashSet<u32> =
+            dataset.catalog.schema(s1).attributes.iter().map(|&a| dataset.concept_of(a)).collect();
         dataset
             .catalog
             .schema(s2)

@@ -100,11 +100,7 @@ impl Vocabulary {
 
     /// Synonyms of a token (empty if none).
     pub fn synonyms_of(&self, token: &str) -> &[String] {
-        self.synonyms
-            .iter()
-            .find(|(k, _)| k == token)
-            .map(|(_, v)| v.as_slice())
-            .unwrap_or(&[])
+        self.synonyms.iter().find(|(k, _)| k == token).map(|(_, v)| v.as_slice()).unwrap_or(&[])
     }
 
     /// The business-partner domain (BP dataset).
@@ -112,18 +108,55 @@ impl Vocabulary {
         Self::compose(
             "business-partner",
             &[
-                "partner", "company", "contact", "billing", "shipping", "bank", "tax",
-                "legal", "sales", "account", "branch", "headquarters", "representative",
+                "partner",
+                "company",
+                "contact",
+                "billing",
+                "shipping",
+                "bank",
+                "tax",
+                "legal",
+                "sales",
+                "account",
+                "branch",
+                "headquarters",
+                "representative",
             ],
             &[
-                "id", "name", "code", "type", "status", "number", "address", "street",
-                "city", "region", "postal code", "country", "phone", "fax", "email",
-                "currency", "language", "category", "rating", "since date", "valid date",
+                "id",
+                "name",
+                "code",
+                "type",
+                "status",
+                "number",
+                "address",
+                "street",
+                "city",
+                "region",
+                "postal code",
+                "country",
+                "phone",
+                "fax",
+                "email",
+                "currency",
+                "language",
+                "category",
+                "rating",
+                "since date",
+                "valid date",
             ],
             &[
-                "vat number", "duns number", "industry sector", "employee count",
-                "annual revenue", "credit limit", "payment terms", "discount rate",
-                "website", "time zone", "incorporation date",
+                "vat number",
+                "duns number",
+                "industry sector",
+                "employee count",
+                "annual revenue",
+                "credit limit",
+                "payment terms",
+                "discount rate",
+                "website",
+                "time zone",
+                "incorporation date",
             ],
             COMMON_SYNONYMS,
         )
@@ -134,20 +167,64 @@ impl Vocabulary {
         Self::compose(
             "purchase-order",
             &[
-                "order", "item", "product", "supplier", "buyer", "invoice", "payment",
-                "delivery", "shipment", "warehouse", "contract", "line", "customer",
-                "vendor", "freight", "package", "return", "credit", "quote", "receipt",
+                "order",
+                "item",
+                "product",
+                "supplier",
+                "buyer",
+                "invoice",
+                "payment",
+                "delivery",
+                "shipment",
+                "warehouse",
+                "contract",
+                "line",
+                "customer",
+                "vendor",
+                "freight",
+                "package",
+                "return",
+                "credit",
+                "quote",
+                "receipt",
             ],
             &[
-                "id", "number", "name", "code", "date", "status", "type", "amount",
-                "price", "quantity", "unit", "total", "tax", "discount", "currency",
-                "description", "reference", "address", "city", "country", "weight",
-                "comment", "due date", "category",
+                "id",
+                "number",
+                "name",
+                "code",
+                "date",
+                "status",
+                "type",
+                "amount",
+                "price",
+                "quantity",
+                "unit",
+                "total",
+                "tax",
+                "discount",
+                "currency",
+                "description",
+                "reference",
+                "address",
+                "city",
+                "country",
+                "weight",
+                "comment",
+                "due date",
+                "category",
             ],
             &[
-                "purchase order number", "requested delivery date", "incoterms",
-                "settlement date", "gross amount", "net amount", "carrier name",
-                "tracking number", "bill of lading", "customs declaration",
+                "purchase order number",
+                "requested delivery date",
+                "incoterms",
+                "settlement date",
+                "gross amount",
+                "net amount",
+                "carrier name",
+                "tracking number",
+                "bill of lading",
+                "customs declaration",
             ],
             COMMON_SYNONYMS,
         )
@@ -158,21 +235,63 @@ impl Vocabulary {
         Self::compose(
             "university-application",
             &[
-                "applicant", "student", "parent", "guardian", "school", "college",
-                "program", "course", "test", "essay", "recommendation", "transcript",
-                "enrollment", "scholarship", "residence", "emergency contact",
+                "applicant",
+                "student",
+                "parent",
+                "guardian",
+                "school",
+                "college",
+                "program",
+                "course",
+                "test",
+                "essay",
+                "recommendation",
+                "transcript",
+                "enrollment",
+                "scholarship",
+                "residence",
+                "emergency contact",
             ],
             &[
-                "id", "name", "first name", "last name", "middle name", "date",
-                "birth date", "gender", "address", "city", "state", "zip", "country",
-                "phone", "email", "status", "type", "score", "grade", "year", "term",
-                "level", "title", "code",
+                "id",
+                "name",
+                "first name",
+                "last name",
+                "middle name",
+                "date",
+                "birth date",
+                "gender",
+                "address",
+                "city",
+                "state",
+                "zip",
+                "country",
+                "phone",
+                "email",
+                "status",
+                "type",
+                "score",
+                "grade",
+                "year",
+                "term",
+                "level",
+                "title",
+                "code",
             ],
             &[
-                "gpa", "sat score", "act score", "toefl score", "citizenship",
-                "visa status", "intended major", "application deadline",
-                "high school name", "graduation year", "financial aid requested",
-                "ethnicity", "veteran status",
+                "gpa",
+                "sat score",
+                "act score",
+                "toefl score",
+                "citizenship",
+                "visa status",
+                "intended major",
+                "application deadline",
+                "high school name",
+                "graduation year",
+                "financial aid requested",
+                "ethnicity",
+                "veteran status",
             ],
             COMMON_SYNONYMS,
         )
@@ -183,21 +302,67 @@ impl Vocabulary {
         Self::compose(
             "web-form",
             &[
-                "user", "account", "contact", "billing", "shipping", "card", "search",
-                "booking", "flight", "hotel", "car", "passenger", "guest", "member",
-                "profile", "subscription", "feedback", "movie", "event",
+                "user",
+                "account",
+                "contact",
+                "billing",
+                "shipping",
+                "card",
+                "search",
+                "booking",
+                "flight",
+                "hotel",
+                "car",
+                "passenger",
+                "guest",
+                "member",
+                "profile",
+                "subscription",
+                "feedback",
+                "movie",
+                "event",
             ],
             &[
-                "id", "name", "first name", "last name", "email", "password", "phone",
-                "address", "city", "state", "zip", "country", "date", "start date",
-                "end date", "number", "type", "status", "count", "time", "price",
-                "category", "rating", "comment",
+                "id",
+                "name",
+                "first name",
+                "last name",
+                "email",
+                "password",
+                "phone",
+                "address",
+                "city",
+                "state",
+                "zip",
+                "country",
+                "date",
+                "start date",
+                "end date",
+                "number",
+                "type",
+                "status",
+                "count",
+                "time",
+                "price",
+                "category",
+                "rating",
+                "comment",
             ],
             &[
-                "promo code", "departure airport", "arrival airport", "check in date",
-                "check out date", "room count", "adult count", "child count",
-                "security code", "expiry date", "newsletter opt in", "screen name",
-                "release date", "production date",
+                "promo code",
+                "departure airport",
+                "arrival airport",
+                "check in date",
+                "check out date",
+                "room count",
+                "adult count",
+                "child count",
+                "security code",
+                "expiry date",
+                "newsletter opt in",
+                "screen name",
+                "release date",
+                "production date",
             ],
             COMMON_SYNONYMS,
         )
@@ -267,7 +432,12 @@ mod tests {
             for (i, c) in vocab.concepts().iter().enumerate() {
                 assert_eq!(c.id as usize, i);
                 assert!(!c.tokens.is_empty());
-                assert!(names.insert(c.canonical()), "duplicate concept {:?} in {}", c.canonical(), vocab.domain);
+                assert!(
+                    names.insert(c.canonical()),
+                    "duplicate concept {:?} in {}",
+                    c.canonical(),
+                    vocab.domain
+                );
             }
         }
     }

@@ -210,11 +210,7 @@ pub fn amc_like(catalog: &Catalog) -> EnsembleMatcher {
     let idf = firstline::IdfCosine::fit(catalog.attributes().iter().map(|a| a.name.as_str()));
     EnsembleMatcher::new(
         "amc-like",
-        vec![
-            Box::new(idf),
-            Box::new(firstline::MongeElkan),
-            Box::new(firstline::Dice::default()),
-        ],
+        vec![Box::new(idf), Box::new(firstline::MongeElkan), Box::new(firstline::Dice::default())],
         Aggregation::Average,
         Selection { threshold: 0.50, top_k: 3, max_delta: Some(0.10) },
     )
@@ -261,8 +257,11 @@ mod tests {
         let cat = video_catalog();
         // the preset threshold is calibrated for the BP-scale datasets; on
         // this tiny catalog we lower it to observe the confusion behaviour
-        let m = coma_like()
-            .with_selection(Selection { threshold: 0.35, top_k: 2, max_delta: Some(0.10) });
+        let m = coma_like().with_selection(Selection {
+            threshold: 0.35,
+            top_k: 2,
+            max_delta: Some(0.10),
+        });
         let g = InteractionGraph::complete(3);
         let set = match_network(&m, &cat, &g).unwrap();
         assert!(!set.is_empty());

@@ -182,11 +182,7 @@ mod tests {
     fn scorers_are_symmetric() {
         for s in all_scorers() {
             let (a, b) = ("productionDate", "date");
-            assert!(
-                (s.score(a, b) - s.score(b, a)).abs() < 1e-12,
-                "{} not symmetric",
-                s.name()
-            );
+            assert!((s.score(a, b) - s.score(b, a)).abs() < 1e-12, "{} not symmetric", s.name());
         }
     }
 

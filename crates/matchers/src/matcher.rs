@@ -6,9 +6,7 @@
 //! graph and assembles the candidate set `C` of the network — exactly the
 //! "Matchers" box of the paper's framework figure (Fig. 2).
 
-use smn_schema::{
-    AttributeId, CandidateSet, Catalog, InteractionGraph, SchemaError, SchemaId,
-};
+use smn_schema::{AttributeId, CandidateSet, Catalog, InteractionGraph, SchemaError, SchemaId};
 
 /// A scored attribute pair produced by a matcher for one schema pair.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -46,13 +46,7 @@ impl PerturbationMatcher {
     ) -> Self {
         assert!(precision > 0.0 && precision <= 1.0, "precision must be in (0,1]");
         assert!((0.0..=1.0).contains(&recall), "recall must be in [0,1]");
-        Self {
-            truth: truth.into_iter().collect(),
-            precision,
-            recall,
-            confusion_bias: 0.7,
-            seed,
-        }
+        Self { truth: truth.into_iter().collect(), precision, recall, confusion_bias: 0.7, seed }
     }
 
     /// Ground-truth membership test.
@@ -114,14 +108,21 @@ impl PairMatcher for PerturbationMatcher {
             if rng.random_bool(self.recall) {
                 kept_true += 1;
                 emitted.insert(*t);
-                out.push(ScoredPair { source: t.a(), target: t.b(), score: true_confidence(&mut rng) });
+                out.push(ScoredPair {
+                    source: t.a(),
+                    target: t.b(),
+                    score: true_confidence(&mut rng),
+                });
             }
         }
         // expected number of false positives for the target precision
-        let fp_target = (kept_true as f64 * (1.0 - self.precision) / self.precision).round() as usize;
+        let fp_target =
+            (kept_true as f64 * (1.0 - self.precision) / self.precision).round() as usize;
         let max_pairs = attrs1.len() * attrs2.len();
         let mut guard = 0usize;
-        while out.len() - kept_true < fp_target && emitted.len() < max_pairs && guard < 50 * max_pairs
+        while out.len() - kept_true < fp_target
+            && emitted.len() < max_pairs
+            && guard < 50 * max_pairs
         {
             guard += 1;
             let (a, b) = if !truths_sorted.is_empty() && rng.random_bool(self.confusion_bias) {
@@ -183,7 +184,9 @@ mod tests {
         b.add_schema_with_attributes("B", (0..n).map(|i| format!("y{i}"))).unwrap();
         let cat = b.build();
         let truth: Vec<Correspondence> = (0..n)
-            .map(|i| Correspondence::new(AttributeId::from_index(i), AttributeId::from_index(n + i)))
+            .map(|i| {
+                Correspondence::new(AttributeId::from_index(i), AttributeId::from_index(n + i))
+            })
             .collect();
         (cat, InteractionGraph::complete(2), truth)
     }

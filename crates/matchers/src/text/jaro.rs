@@ -36,11 +36,8 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // count transpositions among matched characters in order
-    let matched_b: Vec<char> = b_used
-        .iter()
-        .enumerate()
-        .filter_map(|(j, &used)| used.then_some(cb[j]))
-        .collect();
+    let matched_b: Vec<char> =
+        b_used.iter().enumerate().filter_map(|(j, &used)| used.then_some(cb[j])).collect();
     let mut transpositions = 0usize;
     let mut k = 0usize;
     for (i, &x) in ca.iter().enumerate() {

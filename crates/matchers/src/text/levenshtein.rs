@@ -50,7 +50,10 @@ mod tests {
 
     #[test]
     fn symmetry() {
-        assert_eq!(levenshtein_distance("date", "releaseDate"), levenshtein_distance("releaseDate", "date"));
+        assert_eq!(
+            levenshtein_distance("date", "releaseDate"),
+            levenshtein_distance("releaseDate", "date")
+        );
     }
 
     #[test]

@@ -33,9 +33,7 @@ pub fn monge_elkan(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     let dir = |xs: &[String], ys: &[String]| -> f64 {
-        xs.iter()
-            .map(|x| ys.iter().map(|y| jaro_winkler(x, y)).fold(0.0, f64::max))
-            .sum::<f64>()
+        xs.iter().map(|x| ys.iter().map(|y| jaro_winkler(x, y)).fold(0.0, f64::max)).sum::<f64>()
             / xs.len() as f64
     };
     (dir(&ta, &tb) + dir(&tb, &ta)) / 2.0
@@ -119,7 +117,10 @@ mod tests {
         assert_eq!(monge_elkan("", "x"), 0.0);
         assert_eq!(monge_elkan("", ""), 1.0);
         // symmetry by construction
-        assert_eq!(monge_elkan("billingAddr", "addressBilling"), monge_elkan("addressBilling", "billingAddr"));
+        assert_eq!(
+            monge_elkan("billingAddr", "addressBilling"),
+            monge_elkan("addressBilling", "billingAddr")
+        );
     }
 
     #[test]

@@ -46,8 +46,8 @@ pub fn sweep_selection(
     grid.into_iter()
         .map(|selection| {
             let matcher = make_ensemble().with_selection(selection);
-            let set = match_network(&matcher, catalog, graph)
-                .expect("ensemble emits valid candidates");
+            let set =
+                match_network(&matcher, catalog, graph).expect("ensemble emits valid candidates");
             SweepPoint {
                 selection,
                 candidates: set.len(),
@@ -60,10 +60,7 @@ pub fn sweep_selection(
 /// Picks the sweep point whose precision is at least `min_precision` and
 /// whose recall is maximal (`None` if no point qualifies) — the typical
 /// "as complete as possible at acceptable cleanliness" tuning target.
-pub fn best_recall_at_precision(
-    points: &[SweepPoint],
-    min_precision: f64,
-) -> Option<&SweepPoint> {
+pub fn best_recall_at_precision(points: &[SweepPoint], min_precision: f64) -> Option<&SweepPoint> {
     points
         .iter()
         .filter(|p| p.quality.precision >= min_precision)
@@ -89,20 +86,16 @@ mod tests {
 
     fn labelled_network() -> (Catalog, InteractionGraph, Vec<Correspondence>) {
         let mut b = CatalogBuilder::new();
-        b.add_schema_with_attributes(
-            "A",
-            ["orderDate", "customerName", "totalAmount", "shipCity"],
-        )
-        .unwrap();
+        b.add_schema_with_attributes("A", ["orderDate", "customerName", "totalAmount", "shipCity"])
+            .unwrap();
         b.add_schema_with_attributes(
             "B",
             ["order_date", "customer_name", "total_amount", "ship_city"],
         )
         .unwrap();
         let cat = b.build();
-        let truth: Vec<Correspondence> = (0..4)
-            .map(|i| Correspondence::new(AttributeId(i), AttributeId(4 + i)))
-            .collect();
+        let truth: Vec<Correspondence> =
+            (0..4).map(|i| Correspondence::new(AttributeId(i), AttributeId(4 + i))).collect();
         (cat, InteractionGraph::complete(2), truth)
     }
 

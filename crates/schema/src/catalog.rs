@@ -131,7 +131,12 @@ impl Catalog {
 
     /// Finds an attribute by `(schema, name)` (linear scan over the schema).
     pub fn attribute_by_name(&self, schema: SchemaId, name: &str) -> Option<&Attribute> {
-        self.schemas.get(schema.index())?.attributes.iter().map(|&a| self.attribute(a)).find(|a| a.name == name)
+        self.schemas
+            .get(schema.index())?
+            .attributes
+            .iter()
+            .map(|&a| self.attribute(a))
+            .find(|a| a.name == name)
     }
 
     /// Smallest and largest schema sizes, as reported in Table II of the
@@ -180,7 +185,10 @@ impl CatalogBuilder {
         let s = self.schemas.get_mut(schema.index()).ok_or(SchemaError::UnknownSchema(schema))?;
         let key = (schema, name.clone());
         if self.attribute_names.contains_key(&key) {
-            return Err(SchemaError::DuplicateAttribute { schema: s.name.clone(), attribute: name });
+            return Err(SchemaError::DuplicateAttribute {
+                schema: s.name.clone(),
+                attribute: name,
+            });
         }
         let id = AttributeId::from_index(self.attributes.len());
         self.attribute_names.insert(key, id);

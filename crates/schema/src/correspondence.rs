@@ -238,7 +238,10 @@ mod tests {
         b.add_schema_with_attributes("C", ["c1"]).unwrap();
         let catalog = b.build();
         // A—B and B—C but NOT A—C
-        let g = InteractionGraph::from_edges(3, [(SchemaId(0), SchemaId(1)), (SchemaId(1), SchemaId(2))]);
+        let g = InteractionGraph::from_edges(
+            3,
+            [(SchemaId(0), SchemaId(1)), (SchemaId(1), SchemaId(2))],
+        );
         (catalog, g)
     }
 

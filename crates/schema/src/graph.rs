@@ -30,7 +30,10 @@ impl InteractionGraph {
     /// Builds a graph from an explicit edge list.
     ///
     /// Self-loops are ignored; duplicate edges are inserted once.
-    pub fn from_edges(vertex_count: usize, edges: impl IntoIterator<Item = (SchemaId, SchemaId)>) -> Self {
+    pub fn from_edges(
+        vertex_count: usize,
+        edges: impl IntoIterator<Item = (SchemaId, SchemaId)>,
+    ) -> Self {
         let mut g = Self::empty(vertex_count);
         for (a, b) in edges {
             g.add_edge(a, b);
@@ -203,7 +206,10 @@ mod tests {
             [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)].map(|(a, b)| (SchemaId(a), SchemaId(b))),
         );
         let tris = g.triangles();
-        assert_eq!(tris, vec![(SchemaId(0), SchemaId(1), SchemaId(2)), (SchemaId(0), SchemaId(2), SchemaId(3))]);
+        assert_eq!(
+            tris,
+            vec![(SchemaId(0), SchemaId(1), SchemaId(2)), (SchemaId(0), SchemaId(2), SchemaId(3))]
+        );
     }
 
     #[test]
@@ -262,7 +268,10 @@ mod tests {
 
     #[test]
     fn component_count_counts_islands() {
-        let g = InteractionGraph::from_edges(5, [(SchemaId(0), SchemaId(1)), (SchemaId(2), SchemaId(3))]);
+        let g = InteractionGraph::from_edges(
+            5,
+            [(SchemaId(0), SchemaId(1)), (SchemaId(2), SchemaId(3))],
+        );
         assert_eq!(g.component_count(), 3);
     }
 }

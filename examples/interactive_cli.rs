@@ -10,9 +10,7 @@
 //!
 //! Run with: `cargo run --release --example interactive_cli`
 
-use smn::core::{
-    InstantiationConfig, MatchingNetwork, PrecisionRecall, Session, SessionConfig,
-};
+use smn::core::{InstantiationConfig, MatchingNetwork, PrecisionRecall, Session, SessionConfig};
 use smn::datasets::{DatasetSpec, SharingModel, Vocabulary};
 use smn::matchers::{ensemble, matcher::match_network, Selection};
 use smn_constraints::ConstraintConfig;
@@ -32,8 +30,11 @@ fn main() {
     let truth = dataset.selective_matching(&graph);
     // a permissive selection so the session has real confusions to resolve
     // (the preset threshold is calibrated for the much larger BP schemas)
-    let matcher = ensemble::coma_like()
-        .with_selection(Selection { threshold: 0.33, top_k: 3, max_delta: Some(0.25) });
+    let matcher = ensemble::coma_like().with_selection(Selection {
+        threshold: 0.33,
+        top_k: 3,
+        max_delta: Some(0.25),
+    });
     let candidates =
         match_network(&matcher, &dataset.catalog, &graph).expect("matcher output is valid");
     let network = MatchingNetwork::new(
@@ -57,11 +58,10 @@ fn main() {
             break; // everything is certain — stop bothering the expert
         }
         let name = |a| session.network().network().catalog().attribute(a).name.clone();
-        let schema =
-            |a| {
-                let s = session.network().network().catalog().schema_of(a);
-                session.network().network().catalog().schema(s).name.clone()
-            };
+        let schema = |a| {
+            let s = session.network().network().catalog().schema_of(a);
+            session.network().network().catalog().schema(s).name.clone()
+        };
         print!(
             "[H = {:5.1} bits] {}.{} ≟ {}.{} (p = {:.2})  [y/n/q] ",
             session.entropy(),
@@ -112,10 +112,6 @@ fn main() {
     for c in matching.instance.iter() {
         let corr = session.network().network().corr(c);
         let cat = session.network().network().catalog();
-        println!(
-            "  {} — {}",
-            cat.attribute(corr.a()).name,
-            cat.attribute(corr.b()).name
-        );
+        println!("  {} — {}", cat.attribute(corr.a()).name, cat.attribute(corr.b()).name);
     }
 }

@@ -11,8 +11,8 @@
 //! Run with: `cargo run --release --example purchase_order`
 
 use smn::core::{
-    GroundTruthOracle, InstantiationConfig, MatchingNetwork, PrecisionRecall,
-    ReconciliationGoal, Session, SessionConfig,
+    GroundTruthOracle, InstantiationConfig, MatchingNetwork, PrecisionRecall, ReconciliationGoal,
+    Session, SessionConfig,
 };
 use smn::datasets::{DatasetSpec, SharingModel, Vocabulary};
 use smn::matchers::{ensemble, matcher::match_network};
@@ -36,8 +36,7 @@ fn main() {
         ("coma-like", match_network(&ensemble::coma_like(), &dataset.catalog, &graph).unwrap()),
         (
             "amc-like",
-            match_network(&ensemble::amc_like(&dataset.catalog), &dataset.catalog, &graph)
-                .unwrap(),
+            match_network(&ensemble::amc_like(&dataset.catalog), &dataset.catalog, &graph).unwrap(),
         ),
     ] {
         let network = MatchingNetwork::new(
@@ -52,7 +51,10 @@ fn main() {
             truth.len(),
             network.initial_violations()
         );
-        println!("{:>8} {:>10} {:>10} {:>8} {:>12}", "effort", "precision", "recall", "F1", "H (bits)");
+        println!(
+            "{:>8} {:>10} {:>10} {:>8} {:>12}",
+            "effort", "precision", "recall", "F1", "H (bits)"
+        );
 
         let mut session = Session::new(
             network,

@@ -8,8 +8,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use smn::core::{
-    GroundTruthOracle, MatchingNetwork, PrecisionRecall, ReconciliationGoal, Session,
-    SessionConfig,
+    GroundTruthOracle, MatchingNetwork, PrecisionRecall, ReconciliationGoal, Session, SessionConfig,
 };
 use smn::matchers::{ensemble, matcher::match_network};
 use smn_constraints::ConstraintConfig;
@@ -19,7 +18,12 @@ fn main() {
     let dataset = smn::datasets::bp(42);
     let graph = dataset.complete_graph();
     let truth = dataset.selective_matching(&graph);
-    println!("dataset {}: {} schemas, ground truth |M| = {}", dataset.name, dataset.catalog.schema_count(), truth.len());
+    println!(
+        "dataset {}: {} schemas, ground truth |M| = {}",
+        dataset.name,
+        dataset.catalog.schema_count(),
+        truth.len()
+    );
 
     // 2. candidate correspondences from an automatic matcher
     let candidates = match_network(&ensemble::coma_like(), &dataset.catalog, &graph)

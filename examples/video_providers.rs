@@ -52,14 +52,12 @@ fn describe(pn: &ProbabilisticNetwork) {
 }
 
 fn main() {
-    let sampler = SamplerConfig { anneal: true, n_samples: 500, walk_steps: 4, n_min: 100, seed: 7 };
+    let sampler =
+        SamplerConfig { anneal: true, n_samples: 500, walk_steps: 4, n_min: 100, seed: 7 };
 
     println!("The Fig. 1 matching network (5 candidates, 3 schemas):");
     let pn = ProbabilisticNetwork::new(build_network(), sampler);
-    println!(
-        "violations among candidates: {}",
-        pn.network().initial_violations()
-    );
+    println!("violations among candidates: {}", pn.network().initial_violations());
     println!(
         "matching instances found: {} (exhaustive: {})",
         pn.samples().len(),
@@ -77,13 +75,23 @@ fn main() {
     let mut pn_bad = ProbabilisticNetwork::new(build_network(), sampler);
     let h_before = pn_bad.entropy();
     pn_bad.assert_candidate(Assertion { candidate: CandidateId(0), approved: true }).unwrap();
-    println!("  H: {:.2} → {:.2} bits (gain {:.2})", h_before, pn_bad.entropy(), h_before - pn_bad.entropy());
+    println!(
+        "  H: {:.2} → {:.2} bits (gain {:.2})",
+        h_before,
+        pn_bad.entropy(),
+        h_before - pn_bad.entropy()
+    );
     println!();
 
     println!("Asserting c2 (productionDate–releaseDate) first — a discriminator:");
     let mut pn_good = ProbabilisticNetwork::new(build_network(), sampler);
     pn_good.assert_candidate(Assertion { candidate: CandidateId(2), approved: true }).unwrap();
-    println!("  H: {:.2} → {:.2} bits (gain {:.2})", h_before, pn_good.entropy(), h_before - pn_good.entropy());
+    println!(
+        "  H: {:.2} → {:.2} bits (gain {:.2})",
+        h_before,
+        pn_good.entropy(),
+        h_before - pn_good.entropy()
+    );
     describe(&pn_good);
     println!();
     println!("The information-gain heuristic therefore never asks about c0 first.");

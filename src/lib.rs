@@ -10,9 +10,46 @@
 //! * [`core`] — probabilistic matching networks, uncertainty reduction and
 //!   instantiation (the paper's contribution).
 //!
-//! ```no_run
+//! The end-to-end flow — generate a dataset, match it, build the
+//! probabilistic network, reconcile with an oracle, instantiate:
+//!
+//! ```
+//! use smn::core::{GroundTruthOracle, MatchingNetwork, ReconciliationGoal, Session, SessionConfig};
+//! use smn::datasets::{DatasetSpec, SharingModel, Vocabulary};
+//! use smn::matchers::{ensemble, matcher::match_network};
 //! use smn::prelude::*;
-//! # fn main() {}
+//! use smn_constraints::ConstraintConfig;
+//!
+//! // A small synthetic dataset in the shape of the paper's BP workload.
+//! let dataset = DatasetSpec {
+//!     name: "mini-bp".into(),
+//!     vocabulary: Vocabulary::business_partner(),
+//!     schema_count: 3,
+//!     attrs_min: 8,
+//!     attrs_max: 10,
+//!     sharing: SharingModel::RankBiased { alpha: 0.6 },
+//! }
+//! .generate(42);
+//! let graph = dataset.complete_graph();
+//! let truth = dataset.selective_matching(&graph);
+//!
+//! // Candidate correspondences from an automatic matcher ensemble.
+//! let candidates: CandidateSet =
+//!     match_network(&ensemble::coma_like(), &dataset.catalog, &graph).expect("valid candidates");
+//!
+//! // Probability computation (§III) happens inside the session…
+//! let network =
+//!     MatchingNetwork::new(dataset.catalog.clone(), graph, candidates, ConstraintConfig::default());
+//! let mut session = Session::new(network, SessionConfig::default());
+//! assert!(session.entropy() >= 0.0);
+//!
+//! // …uncertainty reduction (§IV) spends a small assertion budget…
+//! let mut oracle = GroundTruthOracle::new(truth.iter().copied());
+//! session.run(&mut oracle, ReconciliationGoal::Budget(5));
+//!
+//! // …and instantiation (§V) returns a consistent matching at any time.
+//! let result = session.instantiate_default();
+//! assert!(session.network().network().index().is_consistent(&result.instance));
 //! ```
 
 pub use smn_constraints as constraints;

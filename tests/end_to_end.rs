@@ -2,8 +2,8 @@
 //! matching → probabilistic network → reconciliation → instantiation.
 
 use smn::core::{
-    GroundTruthOracle, InstantiationConfig, MatchingNetwork, PrecisionRecall,
-    ReconciliationGoal, SamplerConfig, Session, SessionConfig,
+    GroundTruthOracle, InstantiationConfig, MatchingNetwork, PrecisionRecall, ReconciliationGoal,
+    SamplerConfig, Session, SessionConfig,
 };
 use smn::datasets::{DatasetSpec, SharingModel, Vocabulary};
 use smn::matchers::{ensemble, matcher::match_network, MatchQuality, PerturbationMatcher};
@@ -195,7 +195,13 @@ fn information_gain_beats_random_on_average() {
         let mut session = Session::new(
             network,
             SessionConfig {
-                sampler: SamplerConfig { anneal: true, n_samples: 800, walk_steps: 4, n_min: 300, seed },
+                sampler: SamplerConfig {
+                    anneal: true,
+                    n_samples: 800,
+                    walk_steps: 4,
+                    n_min: 300,
+                    seed,
+                },
                 strategy,
                 strategy_seed: seed,
             },

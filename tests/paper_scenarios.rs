@@ -105,8 +105,7 @@ fn sampler_beats_uniform_baseline() {
     // a network small enough to enumerate but large enough to be non-trivial
     let mut b = CatalogBuilder::new();
     for s in 0..3 {
-        b.add_schema_with_attributes(format!("s{s}"), (0..4).map(|i| format!("a{s}_{i}")))
-            .unwrap();
+        b.add_schema_with_attributes(format!("s{s}"), (0..4).map(|i| format!("a{s}_{i}"))).unwrap();
     }
     let catalog = b.build();
     let graph = InteractionGraph::complete(3);
@@ -148,11 +147,19 @@ fn fig1_reconciles_to_selective_matching() {
         Correspondence::new(a(1), a(3)),
         Correspondence::new(a(0), a(3)),
     ];
-    for strategy in [smn_core::engine::Strategy::Random, smn_core::engine::Strategy::InformationGain] {
+    for strategy in
+        [smn_core::engine::Strategy::Random, smn_core::engine::Strategy::InformationGain]
+    {
         let mut session = Session::new(
             fig1(),
             SessionConfig {
-                sampler: SamplerConfig { anneal: true, n_samples: 300, walk_steps: 3, n_min: 100, seed: 3 },
+                sampler: SamplerConfig {
+                    anneal: true,
+                    n_samples: 300,
+                    walk_steps: 3,
+                    n_min: 100,
+                    seed: 3,
+                },
                 strategy,
                 strategy_seed: 17,
             },

@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion`, implementing the harness subset the
+//! `smn-bench` benches use: `criterion_group!`/`criterion_main!`,
+//! benchmark groups, `bench_function`/`bench_with_input`, `BenchmarkId`,
+//! and `Bencher::iter`.
+//!
+//! Statistics are intentionally simple — median and min over a fixed-count
+//! batch after a warm-up — rather than criterion's bootstrap analysis; the
+//! goal is honest relative timings with zero dependencies. A `--quick-bench`
+//! style environment variable (`SMN_BENCH_FAST=1`) drops iteration counts
+//! for CI smoke runs.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id from a function and parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Id carrying only a parameter (the common form in this workspace).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+    sample_count: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `sample_count` samples of
+    /// `iters_per_sample` iterations each (after one warm-up sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters_per_sample {
+            std_black_box(routine());
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std_black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no measurement)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        println!("{name:<50} median {median:>12.3?}   min {min:>12.3?}");
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var("SMN_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_count: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_count: if fast_mode() { 2 } else { 10 } }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup { criterion: self, name, sample_count: None }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_count, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_count: u32, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: if fast_mode() { 1 } else { 3 },
+        sample_count,
+    };
+    f(&mut b);
+    b.report(name);
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: Option<u32>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // criterion requires >= 10; we accept anything >= 1.
+        self.sample_count = Some((n as u32).clamp(1, 1000));
+        self
+    }
+
+    fn effective_samples(&self) -> u32 {
+        // An explicit sample_size() override is honored as-is; only the
+        // harness default is capped. Fast mode caps everything for CI smoke.
+        let base = self.sample_count.unwrap_or(self.criterion.sample_count.min(10));
+        if fast_mode() {
+            base.min(2)
+        } else {
+            base
+        }
+    }
+
+    /// Runs `f` as a benchmark named `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.effective_samples(), f);
+        self
+    }
+
+    /// Runs `f` with `input` as a benchmark named `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.effective_samples(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion { sample_count: 2 };
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut c = Criterion { sample_count: 1 };
+        let mut group = c.benchmark_group("g");
+        let mut seen = None;
+        group.sample_size(1).bench_with_input(BenchmarkId::from_parameter("p"), &41, |b, &x| {
+            b.iter(|| x + 1);
+            seen = Some(x + 1);
+        });
+        group.finish();
+        assert_eq!(seen, Some(42));
+    }
+
+    #[test]
+    fn ids_render_like_paths() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("C120").to_string(), "C120");
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for `parking_lot`: a [`Mutex`] with the poison-free API
+//! over [`std::sync::Mutex`]. Slower than real parking_lot under contention,
+//! identical semantics for the workspace's uses (work queues in the bench
+//! runner).
+
+use std::sync::{self, MutexGuard};
+
+/// Mutex whose `lock()` returns the guard directly (no `Result`), matching
+/// the parking_lot API. A poisoned inner lock (a panic while holding the
+/// guard) is propagated as a panic, which parking_lot would also surface —
+/// there as the original panic unwinding through the scope.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self(sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("mutex poisoned: a holder panicked")
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("mutex poisoned: a holder panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Mutex::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), 4000);
+    }
+}

@@ -1,0 +1,460 @@
+//! Offline stand-in for `proptest`, implementing the subset the `smn` test
+//! suites use: the [`proptest!`] macro, range/`any`/array/collection/regex
+//! strategies, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, deliberate for an offline stand-in:
+//!
+//! * **no shrinking** — a failing case reports its inputs (via the assert
+//!   message formatting the test already does) but is not minimized;
+//! * **derived determinism** — each test's RNG is seeded from the hash of
+//!   its function name, so runs are reproducible without a persistence file;
+//! * **default cases = 64** (real proptest: 256) to keep `cargo test -q`
+//!   fast; tests that need a specific count set it via `proptest_config`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case is skipped, not failed.
+    Reject(String),
+    /// `prop_assert!`-style failure.
+    Fail(String),
+}
+
+/// Result type the expanded test body returns per case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic RNG driving strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds from a stable hash of the test name: deterministic across runs
+    /// and independent of execution order.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(StdRng::seed_from_u64(h))
+    }
+}
+
+impl Rng for TestRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of random values (no shrinking in this stand-in).
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_ranges!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+/// Strategy for a type's whole domain, as in `any::<u64>()`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.random()
+    }
+}
+
+/// `prop::…` strategy namespaces.
+pub mod prop {
+    pub mod array {
+        use crate::{Strategy, TestRng};
+
+        pub struct Uniform3<S>(S);
+
+        /// Three independent draws from `strategy`.
+        pub fn uniform3<S: Strategy>(strategy: S) -> Uniform3<S> {
+            Uniform3(strategy)
+        }
+
+        impl<S: Strategy> Strategy for Uniform3<S> {
+            type Value = [S::Value; 3];
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                [self.0.sample(rng), self.0.sample(rng), self.0.sample(rng)]
+            }
+        }
+    }
+
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        pub struct VecStrategy<S> {
+            element: S,
+            len: core::ops::Range<usize>,
+        }
+
+        /// A vector whose length is drawn from `len` and whose elements are
+        /// drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let n = rng.random_range(self.len.clone());
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// String strategies.
+pub mod string {
+    use crate::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Error for unsupported regex syntax.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    enum Atom {
+        Class(Vec<char>),
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generator for the regex subset `(literal | [class]){m,n}?`*, which
+    /// covers the attribute-name patterns the test suites use.
+    pub struct RegexStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<Vec<char>, Error> {
+        // Fail loudly on negated classes rather than treating '^' literally.
+        if chars.peek() == Some(&'^') {
+            return Err(Error("negated class [^...] not supported".into()));
+        }
+        let mut out = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = chars.next().ok_or_else(|| Error("unterminated class".into()))?;
+            match c {
+                ']' => return Ok(out),
+                '-' => {
+                    // Range if between two chars, literal at the edges.
+                    match (prev, chars.peek()) {
+                        (Some(lo), Some(&hi)) if hi != ']' => {
+                            chars.next();
+                            if hi < lo {
+                                return Err(Error(format!("bad range {lo}-{hi}")));
+                            }
+                            out.extend(((lo as u32 + 1)..=(hi as u32)).filter_map(char::from_u32));
+                            prev = None;
+                        }
+                        _ => {
+                            out.push('-');
+                            prev = Some('-');
+                        }
+                    }
+                }
+                c => {
+                    out.push(c);
+                    prev = Some(c);
+                }
+            }
+        }
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars>,
+    ) -> Result<(usize, usize), Error> {
+        if chars.peek() != Some(&'{') {
+            return Ok((1, 1));
+        }
+        chars.next();
+        let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+        let parse = |s: &str| s.parse::<usize>().map_err(|_| Error(format!("bad count {s:?}")));
+        match body.split_once(',') {
+            Some((lo, hi)) => Ok((parse(lo)?, parse(hi)?)),
+            None => {
+                let n = parse(&body)?;
+                Ok((n, n))
+            }
+        }
+    }
+
+    /// Parses `pattern` into a [`RegexStrategy`]. Supports literals, one
+    /// `[...]` character class per atom (with ranges), and `{m,n}`/`{n}`
+    /// quantifiers — the subset the workspace's tests use.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars)?),
+                '.' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                    return Err(Error(format!("metacharacter {c:?} not supported")))
+                }
+                '\\' => Atom::Literal(chars.next().ok_or_else(|| Error("trailing \\".into()))?),
+                c => Atom::Literal(c),
+            };
+            let (min, max) = parse_quantifier(&mut chars)?;
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(RegexStrategy { pieces })
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let n = rng.random_range(piece.min..=piece.max);
+                for _ in 0..n {
+                    match &piece.atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(chars) => {
+                            out.push(chars[rng.random_range(0..chars.len())]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Defines property tests. Supports the forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))] // optional
+///     /// docs / attributes
+///     #[test]
+///     fn prop(x in 0u64..10, v in any::<bool>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::prelude::*;
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                // Build each strategy once (shadowed by the sampled value
+                // inside the loop), matching real proptest semantics.
+                $(let $arg = ($strategy);)+
+                let mut ran: u32 = 0;
+                let mut attempts: u32 = 0;
+                while ran < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(20),
+                        "test {} rejected too many cases ({} attempts for {} cases)",
+                        stringify!($name), attempts, ran,
+                    );
+                    $(let $arg = $crate::Strategy::sample(&$arg, &mut rng);)+
+                    let outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => ran += 1,
+                        Err($crate::TestCaseError::Reject(_)) => {}
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("property {} failed: {}", stringify!($name), msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts within a property; failure fails the whole test (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 5u64..10, y in 0.0f64..=1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn arrays_and_vecs(a in prop::array::uniform3(1usize..4), v in prop::collection::vec(0u32..7, 0..5)) {
+            prop_assert!(a.iter().all(|&x| (1..4).contains(&x)));
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 7));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[test]
+        fn config_is_honored(_x in 0u32..10) {
+            // runs exactly 3 times; nothing to assert beyond termination
+        }
+    }
+
+    #[test]
+    fn string_regex_subset() {
+        let strat = crate::string::string_regex("[A-Za-z0-9_ -]{0,24}").expect("valid regex");
+        let mut rng = crate::TestRng::from_name("string_regex_subset");
+        for _ in 0..200 {
+            let s = crate::Strategy::sample(&strat, &mut rng);
+            assert!(s.chars().count() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ' ' || c == '-'));
+        }
+        assert!(crate::string::string_regex("a|b").is_err());
+    }
+
+    #[test]
+    fn literal_and_exact_count() {
+        let strat = crate::string::string_regex("ab[0-1]{2}").expect("valid");
+        let mut rng = crate::TestRng::from_name("literal_and_exact_count");
+        let s = crate::Strategy::sample(&strat, &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with("ab"));
+    }
+}

@@ -1,0 +1,247 @@
+//! Offline stand-in for the `rand` crate, implementing exactly the 0.9 API
+//! subset the `smn` workspace uses.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the workspace ships this minimal, dependency-free implementation instead
+//! (see the repository README, "Vendored dependencies"). The generator is
+//! xoshiro256** seeded through SplitMix64 — a high-quality, deterministic
+//! PRNG; it is *not* the ChaCha12 generator real `rand` uses for `StdRng`,
+//! so streams differ from upstream `rand` for the same seed. Everything in
+//! the workspace only relies on determinism per seed, never on the exact
+//! stream. One further deviation: float `RangeInclusive` sampling computes
+//! `lo + (hi - lo) * unit` with `unit ∈ [0, 1)`, so the upper endpoint
+//! itself is never returned (real rand 0.9 can yield it).
+//!
+//! Supported surface:
+//!
+//! * [`Rng`]: `random::<f64>()`, `random_bool`, `random_range` over integer
+//!   and float `Range`/`RangeInclusive`,
+//! * [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`],
+//! * [`seq::IndexedRandom::choose`] and [`seq::SliceRandom::shuffle`].
+
+pub mod rngs;
+pub mod seq;
+
+/// Types that can be drawn uniformly from their whole domain via
+/// [`Rng::random`].
+pub trait Standard: Sized {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `[0, span)` for `0 < span <= 2^64`, by rejection
+/// sampling: draws whose residue class is over-represented in the 64-bit
+/// word are discarded, so no modulo bias even for spans near `2^64`.
+#[inline]
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    const TWO64: u128 = 1 << 64;
+    debug_assert!(span > 0 && span <= TWO64);
+    let zone = TWO64 - (TWO64 % span);
+    loop {
+        let v = rng.next_u64() as u128;
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+// Spans are computed in i128 so the widest supported ranges (e.g.
+// `i64::MIN..i64::MAX`) neither overflow the subtraction nor wrap the
+// offset addition.
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+impl_range_float!(f32, f64);
+
+/// The user-facing random-number trait (API subset of `rand::Rng` 0.9).
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from `T`'s whole domain (floats: `[0, 1)`).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} not a probability");
+        self.random::<f64>() < p
+    }
+
+    /// Samples uniformly from a range.
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from integer seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_bounds_only_inclusively() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..500 {
+            let v = rng.random_range(3u64..=4);
+            assert!(v == 3 || v == 4);
+        }
+    }
+
+    #[test]
+    fn extreme_signed_and_unsigned_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let v = rng.random_range(i64::MIN..i64::MAX);
+            assert!(v < i64::MAX);
+            let w = rng.random_range(i32::MIN..=i32::MAX);
+            let _: i32 = w;
+            let u = rng.random_range(0u64..=u64::MAX);
+            let _: u64 = u;
+        }
+    }
+
+    #[test]
+    fn rejection_sampling_is_unbiased_on_large_spans() {
+        // Span just over half of 2^64: with plain modulo, the lower half of
+        // the range would be hit ~2x as often; with rejection sampling both
+        // halves are equally likely.
+        let span = (1u128 << 63) + (1 << 62);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (mut low, n) = (0u32, 4000);
+        for _ in 0..n {
+            if super::uniform_below(&mut rng, span) < span / 2 {
+                low += 1;
+            }
+        }
+        let frac = low as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.05, "low-half fraction {frac} should be ~0.5");
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+}

@@ -1,0 +1,246 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the shapes the `smn`
+//! workspace derives on:
+//!
+//! * non-generic structs with named fields,
+//! * non-generic tuple structs (newtypes serialize transparently, wider
+//!   tuples as arrays),
+//! * non-generic enums whose variants are all unit variants.
+//!
+//! Anything else (generics, data-carrying enum variants, unions) panics at
+//! expansion time with a clear message, which is the desired behavior for a
+//! stand-in: fail loudly at compile time rather than silently mis-serialize.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // '#' + [group]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Splits a token slice at top-level commas, tracking `<...>` depth so
+/// commas inside generic arguments (`HashMap<K, V>`) don't split.
+fn top_level_segments(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut segments = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    segments.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
+/// Parses named-struct fields, returning field names in declaration order.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    top_level_segments(body)
+        .iter()
+        .map(|seg| {
+            let i = skip_attrs_and_vis(seg, 0);
+            ident_at(seg, i).unwrap_or_else(|| panic!("expected field name in {seg:?}"))
+        })
+        .collect()
+}
+
+/// Parses enum variants; panics on data-carrying variants.
+fn parse_unit_variants(body: &[TokenTree]) -> Vec<String> {
+    top_level_segments(body)
+        .iter()
+        .map(|seg| {
+            let i = skip_attrs_and_vis(seg, 0);
+            let name =
+                ident_at(seg, i).unwrap_or_else(|| panic!("expected variant name in {seg:?}"));
+            if seg.len() > i + 1 {
+                panic!(
+                    "vendored serde_derive only supports unit enum variants; \
+                     `{name}` carries data or a discriminant"
+                );
+            }
+            name
+        })
+        .collect()
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = ident_at(&tokens, i)
+        .unwrap_or_else(|| panic!("expected `struct` or `enum`, got {:?}", tokens.get(i)));
+    if kind != "struct" && kind != "enum" {
+        panic!("vendored serde_derive cannot derive for `{kind}` items");
+    }
+    i += 1;
+    let name = ident_at(&tokens, i).expect("expected type name");
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    let group = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("expected body of `{name}`, got {other:?}"),
+    };
+    let body: Vec<TokenTree> = group.stream().into_iter().collect();
+    let shape = match (kind.as_str(), group.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named(parse_named_fields(&body)),
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple(top_level_segments(&body).len()),
+        ("enum", Delimiter::Brace) => Shape::UnitEnum(parse_unit_variants(&body)),
+        (k, d) => panic!("unsupported {k} body delimiter {d:?} for `{name}`"),
+    };
+    Parsed { name, shape }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, shape } = parse(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: String =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i}),")).collect();
+            format!("::serde::Value::Array(::std::vec![{entries}])")
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, shape } = parse(input);
+    let body = match &shape {
+        Shape::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::obj_get(v, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {entries} }})")
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let elems: String = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                         ::serde::Error::custom(\"missing tuple element {i}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                     ::serde::Value::Array(items) => \
+                         ::std::result::Result::Ok({name}({elems})), \
+                     other => ::std::result::Result::Err(::serde::Error::custom( \
+                         ::std::format!(\"expected array for {name}, got {{other:?}}\"))), \
+                 }}"
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match v {{ \
+                     ::serde::Value::String(s) => match s.as_str() {{ \
+                         {arms} \
+                         other => ::std::result::Result::Err(::serde::Error::custom( \
+                             ::std::format!(\"unknown {name} variant {{other:?}}\"))), \
+                     }}, \
+                     other => ::std::result::Result::Err(::serde::Error::custom( \
+                         ::std::format!(\"expected string for {name}, got {{other:?}}\"))), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,161 @@
+//! Offline stand-in for `serde_json`: renders the vendored [`serde::Value`]
+//! tree as JSON text. Only the entry points the workspace uses are provided
+//! (`to_string_pretty`, `to_string`).
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// JSON serialization error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn float_repr(x: f64) -> String {
+    if !x.is_finite() {
+        // JSON has no NaN/Inf; serde_json emits null.
+        return "null".to_string();
+    }
+    let s = format!("{x}");
+    // Keep floats visibly floats, as serde_json does ("1.0", not "1").
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_value(v: &Value, indent: Option<usize>, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => out.push_str(&float_repr(*x)),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => write_seq(items.iter(), ('[', ']'), indent, out, |item, ind, o| {
+            write_value(item, ind, o)
+        }),
+        Value::Object(entries) => {
+            write_seq(entries.iter(), ('{', '}'), indent, out, |(k, item), ind, o| {
+                escape_into(k, o);
+                o.push(':');
+                if ind.is_some() {
+                    o.push(' ');
+                }
+                write_value(item, ind, o);
+            })
+        }
+    }
+}
+
+fn write_seq<T>(
+    items: impl ExactSizeIterator<Item = T>,
+    (open, close): (char, char),
+    indent: Option<usize>,
+    out: &mut String,
+    mut write_item: impl FnMut(T, Option<usize>, &mut String),
+) {
+    out.push(open);
+    let len = items.len();
+    let inner = indent.map(|i| i + 1);
+    for (i, item) in items.enumerate() {
+        if let Some(level) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(level));
+        }
+        write_item(item, inner, out);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        if let Some(level) = indent {
+            out.push('\n');
+            out.push_str(&"  ".repeat(level));
+        }
+    }
+    out.push(close);
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(0), &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Array(vec![Value::UInt(1), Value::Bool(false)])),
+            ("b".into(), Value::String("x\"y".into())),
+            ("c".into(), Value::Float(1.0)),
+        ]);
+        let mut out = String::new();
+        write_value(&v, None, &mut out);
+        assert_eq!(out, r#"{"a":[1,false],"b":"x\"y","c":1.0}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Value::Object(vec![("a".into(), Value::Array(vec![Value::UInt(1)]))]);
+        let mut out = String::new();
+        write_value(&v, Some(0), &mut out);
+        assert_eq!(out, "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(float_repr(f64::NAN), "null");
+        assert_eq!(float_repr(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn empty_containers_stay_on_one_line() {
+        let mut out = String::new();
+        write_value(&Value::Array(vec![]), Some(0), &mut out);
+        assert_eq!(out, "[]");
+    }
+}

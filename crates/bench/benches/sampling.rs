@@ -30,8 +30,14 @@ fn bench_sample_emission(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(format!("C{n}")), &net, |b, net| {
             let feedback = Feedback::new(net.candidate_count());
             b.iter(|| {
-                let cfg =
-                    SamplerConfig { n_samples: 50, walk_steps: 4, n_min: 1, seed: 3, anneal: true };
+                let cfg = SamplerConfig {
+                    n_samples: 50,
+                    walk_steps: 4,
+                    n_min: 1,
+                    seed: 3,
+                    anneal: true,
+                    chains: 1,
+                };
                 SampleStore::new(net, &feedback, cfg).len()
             });
         });
@@ -52,8 +58,14 @@ fn bench_annealing_ablation(c: &mut Criterion) {
             &anneal,
             |b, &anneal| {
                 b.iter(|| {
-                    let cfg =
-                        SamplerConfig { n_samples: 50, walk_steps: 4, n_min: 1, seed: 3, anneal };
+                    let cfg = SamplerConfig {
+                        n_samples: 50,
+                        walk_steps: 4,
+                        n_min: 1,
+                        seed: 3,
+                        anneal,
+                        chains: 1,
+                    };
                     SampleStore::new(&net, &feedback, cfg).len()
                 });
             },
@@ -66,7 +78,14 @@ fn bench_annealing_ablation(c: &mut Criterion) {
 fn bench_view_maintenance(c: &mut Criterion) {
     use smn_schema::CandidateId;
     let net = network(4, 40, 7);
-    let cfg = SamplerConfig { n_samples: 400, walk_steps: 4, n_min: 150, seed: 3, anneal: true };
+    let cfg = SamplerConfig {
+        n_samples: 400,
+        walk_steps: 4,
+        n_min: 150,
+        seed: 3,
+        anneal: true,
+        chains: 1,
+    };
     let feedback = Feedback::new(net.candidate_count());
     let store = SampleStore::new(&net, &feedback, cfg);
     // pick a candidate contained in some but not all samples

@@ -1,0 +1,40 @@
+//! Hot-path timing snapshot feeding `BENCH_hotpaths.json`.
+//!
+//! Measures the three Algorithm 1 inner loops (sampling fill, batch
+//! information gain, per-assertion maintenance) on the standard bench
+//! sizes and writes `results/hotpaths_<label>.json`.
+//!
+//! Run: `cargo run --release -p smn-bench --bin bench_hotpaths -- <label>`
+//! (label defaults to `run`; `SMN_BENCH_FAST=1` drops repetitions).
+
+use smn_bench::hotpaths::measure;
+use smn_bench::{save_json, Table};
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "run".into());
+    let iters = if std::env::var("SMN_BENCH_FAST").is_ok_and(|v| v == "1") { 1 } else { 5 };
+    let points = measure(iters);
+
+    let mut table = Table::new([
+        "|C|",
+        "samples",
+        "fill (ms)",
+        "info-gains (ms)",
+        "assert (ms)",
+        "deterministic",
+    ]);
+    for p in &points {
+        table.row([
+            p.candidates.to_string(),
+            p.distinct_samples.to_string(),
+            format!("{:.3}", p.sampling_fill_ms),
+            format!("{:.3}", p.information_gains_ms),
+            format!("{:.3}", p.assert_candidate_ms),
+            p.deterministic.to_string(),
+        ]);
+    }
+    table.print();
+
+    let path = save_json(&format!("hotpaths_{label}"), &points).expect("write results");
+    println!("\nwrote {}", path.display());
+}

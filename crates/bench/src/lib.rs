@@ -19,11 +19,12 @@
 //! the ablations listed in DESIGN.md) live under `benches/`.
 
 pub mod grid;
+pub mod hotpaths;
 pub mod report;
 pub mod runner;
 pub mod setup;
 
 pub use grid::EffortGrid;
 pub use report::{save_json, Table};
-pub use runner::parallel_runs;
+pub use runner::{available_threads, parallel_runs, sampling_chains};
 pub use setup::{matched_network, standard_sampler, MatcherKind};

@@ -119,6 +119,88 @@ impl BitSet {
         self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
+    /// Whether the two sets share at least one element — an early-exit
+    /// [`intersection_count`](BitSet::intersection_count)` > 0`, the
+    /// word-parallel kernel behind the conflict-mask `can_add`.
+    #[inline]
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// `|self \ other|` without materializing the difference — one
+    /// AND-NOT + popcount pass.
+    #[inline]
+    pub fn and_not_count(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & !b).count_ones() as usize).sum()
+    }
+
+    /// Copies `other` into `self` without reallocating (capacities must
+    /// match) — the scratch-buffer alternative to `clone()` in the
+    /// sampler's per-step walk state.
+    #[inline]
+    pub fn copy_from(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Iterates over the ids in `self ∩ mask` without materializing the
+    /// intersection (masked word iteration).
+    pub fn iter_and<'a>(&'a self, mask: &'a BitSet) -> impl Iterator<Item = CandidateId> + 'a {
+        debug_assert_eq!(self.len, mask.len);
+        self.words.iter().zip(&mask.words).enumerate().flat_map(|(wi, (&a, &b))| {
+            let mut w = a & b;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(CandidateId::from_index(wi * WORD_BITS + b))
+            })
+        })
+    }
+
+    /// Iterates over the ids in `self Δ other` (symmetric difference) —
+    /// the changed candidates between two instance snapshots.
+    pub fn iter_xor<'a>(&'a self, other: &'a BitSet) -> impl Iterator<Item = CandidateId> + 'a {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).enumerate().flat_map(|(wi, (&a, &b))| {
+            let mut w = a ^ b;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(CandidateId::from_index(wi * WORD_BITS + b))
+            })
+        })
+    }
+
+    /// Iterates over the ids in `0..capacity` that are *not* set — the
+    /// addable frontier when `self` is the union of instance, forbidden
+    /// and blocked candidates.
+    pub fn iter_unset(&self) -> impl Iterator<Item = CandidateId> + '_ {
+        let len = self.len;
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let mut w = !word;
+            if (wi + 1) * WORD_BITS > len {
+                let extra = (wi + 1) * WORD_BITS - len;
+                w &= u64::MAX >> extra;
+            }
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(CandidateId::from_index(wi * WORD_BITS + b))
+            })
+        })
+    }
+
     /// Size of the symmetric difference `|A \ B| + |B \ A|` (the paper's
     /// repair-distance metric `Δ(A, B)` between instances).
     #[inline]
@@ -263,6 +345,55 @@ mod tests {
         assert_eq!(a.symmetric_difference_count(&a), 0);
         assert_eq!(a.symmetric_difference_count(&b), 4);
         assert_eq!(b.symmetric_difference_count(&a), 4);
+    }
+
+    #[test]
+    fn intersects_and_and_not_count() {
+        let a = BitSet::from_ids(100, ids(&[1, 2, 3, 70]));
+        let b = BitSet::from_ids(100, ids(&[2, 3, 4]));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&BitSet::from_ids(100, ids(&[4, 99]))));
+        assert_eq!(a.and_not_count(&b), 2); // {1, 70}
+        assert_eq!(b.and_not_count(&a), 1); // {4}
+        assert_eq!(a.and_not_count(&a), 0);
+    }
+
+    #[test]
+    fn copy_from_reuses_capacity() {
+        let a = BitSet::from_ids(100, ids(&[1, 2, 70]));
+        let mut b = BitSet::from_ids(100, ids(&[5]));
+        b.copy_from(&a);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iter_and_is_masked_iteration() {
+        let a = BitSet::from_ids(200, ids(&[0, 5, 64, 70, 199]));
+        let m = BitSet::from_ids(200, ids(&[5, 64, 128, 199]));
+        assert_eq!(a.iter_and(&m).collect::<Vec<_>>(), ids(&[5, 64, 199]));
+    }
+
+    #[test]
+    fn iter_xor_yields_symmetric_difference() {
+        let a = BitSet::from_ids(200, ids(&[0, 5, 64, 199]));
+        let b = BitSet::from_ids(200, ids(&[5, 64, 70]));
+        assert_eq!(a.iter_xor(&b).collect::<Vec<_>>(), ids(&[0, 70, 199]));
+        assert_eq!(a.iter_xor(&a).count(), 0);
+    }
+
+    #[test]
+    fn iter_unset_respects_capacity() {
+        let s = BitSet::from_ids(67, ids(&[0, 64, 66]));
+        let unset: Vec<_> = s.iter_unset().collect();
+        assert_eq!(unset.len(), 64);
+        assert!(!unset.contains(&CandidateId(0)));
+        assert!(!unset.contains(&CandidateId(66)));
+        assert!(unset.contains(&CandidateId(65)));
+        assert!(unset.iter().all(|c| c.index() < 67));
+        // empty set: every id below capacity is unset
+        assert_eq!(BitSet::new(70).iter_unset().count(), 70);
+        // full set: nothing is unset
+        assert_eq!(BitSet::full(70).iter_unset().count(), 0);
     }
 
     #[test]

@@ -43,6 +43,14 @@ impl ConstraintConfig {
 }
 
 /// Pre-computed conflict structure of one candidate set.
+///
+/// Conflicts are stored twice: as sparse posting lists (the enumeration
+/// form) and as dense per-candidate [`BitSet`] masks plus a flattened
+/// other-two table (the query form). The masks turn `can_add`,
+/// `violations_introduced` and `conflicts_of_in` into a handful of
+/// AND+popcount word operations instead of per-element `contains` probes —
+/// the difference that keeps Algorithm 3's walk interactive at `|C|` in
+/// the thousands.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ConflictIndex {
     config: ConstraintConfig,
@@ -53,6 +61,14 @@ pub struct ConflictIndex {
     triples: Vec<[CandidateId; 3]>,
     /// `triples_of[c]` = indices into `triples` that involve `c`.
     triples_of: Vec<Vec<u32>>,
+    /// `pair_masks[c]` = `pair_conflicts[c]` as a dense bitset.
+    pair_masks: Vec<BitSet>,
+    /// Flattened other-two table: for the `i`-th triple posting of `c`
+    /// (aligned with `triples_of[c]`), the two members besides `c`.
+    triple_other: Vec<[CandidateId; 2]>,
+    /// `triple_other[triple_other_start[c] .. triple_other_start[c + 1]]`
+    /// are the other-two pairs of candidate `c`.
+    triple_other_start: Vec<u32>,
 }
 
 impl ConflictIndex {
@@ -70,6 +86,9 @@ impl ConflictIndex {
             pair_conflicts: vec![Vec::new(); n],
             triples: Vec::new(),
             triples_of: vec![Vec::new(); n],
+            pair_masks: Vec::new(),
+            triple_other: Vec::new(),
+            triple_other_start: Vec::new(),
         };
         if config.one_to_one {
             index.build_pairs(catalog, candidates);
@@ -77,7 +96,38 @@ impl ConflictIndex {
         if config.cycle {
             index.build_triples(catalog, graph, candidates);
         }
+        index.build_dense();
         index
+    }
+
+    /// Derives the dense query structures (conflict masks + flattened
+    /// other-two table) from the posting lists.
+    fn build_dense(&mut self) {
+        let n = self.candidate_count;
+        self.pair_masks =
+            self.pair_conflicts.iter().map(|l| BitSet::from_ids(n, l.iter().copied())).collect();
+        self.triple_other.clear();
+        self.triple_other_start = Vec::with_capacity(n + 1);
+        for c in 0..n {
+            self.triple_other_start
+                .push(u32::try_from(self.triple_other.len()).expect("table overflow"));
+            for &t in &self.triples_of[c] {
+                let [x, y, z] = self.triples[t as usize];
+                self.triple_other.push(other_two(x, y, z, CandidateId::from_index(c)));
+            }
+        }
+        self.triple_other_start
+            .push(u32::try_from(self.triple_other.len()).expect("table overflow"));
+    }
+
+    /// The other-two members of every triple posting of `c` (aligned with
+    /// `triples_of[c]`, each pair sorted ascending) — the flattened table
+    /// behind the triple checks of `can_add` and the incremental frontier.
+    #[inline]
+    pub fn other_pairs(&self, c: CandidateId) -> &[[CandidateId; 2]] {
+        let lo = self.triple_other_start[c.index()] as usize;
+        let hi = self.triple_other_start[c.index() + 1] as usize;
+        &self.triple_other[lo..hi]
     }
 
     /// One-to-one: for every attribute, any two incident candidates whose
@@ -232,23 +282,67 @@ impl ConflictIndex {
         self.triples.len()
     }
 
+    /// The dense one-to-one conflict mask of `c`.
+    #[inline]
+    pub fn pair_mask(&self, c: CandidateId) -> &BitSet {
+        &self.pair_masks[c.index()]
+    }
+
     /// Whether adding `c` to the consistent instance `set` introduces no
-    /// violation.
+    /// violation — one AND-intersection over the pair mask plus two probes
+    /// per triple posting.
     #[inline]
     pub fn can_add(&self, set: &BitSet, c: CandidateId) -> bool {
-        if self.pair_conflicts[c.index()].iter().any(|&x| set.contains(x)) {
+        if self.pair_masks[c.index()].intersects(set) {
             return false;
         }
-        self.triples_of[c.index()].iter().all(|&t| {
-            let [x, y, z] = self.triples[t as usize];
-            // the triple fires only if the other two members are present
-            !(other_two(x, y, z, c).into_iter().all(|m| set.contains(m)))
-        })
+        // a triple fires only if the other two members are present
+        self.other_pairs(c).iter().all(|&[a, b]| !(set.contains(a) && set.contains(b)))
     }
 
     /// Number of violations that adding `c` to `set` would introduce
     /// (`c ∉ set` expected; members of `set` only).
     pub fn violations_introduced(&self, set: &BitSet, c: CandidateId) -> usize {
+        let pairs = self.pair_masks[c.index()].intersection_count(set);
+        let triples = self
+            .other_pairs(c)
+            .iter()
+            .filter(|&&[a, b]| set.contains(a) && set.contains(b))
+            .count();
+        pairs + triples
+    }
+
+    /// Number of violations *within* `set` that `c ∈ set` participates in —
+    /// the `I.getConflict(c_i, Γ)` primitive of Algorithm 4.
+    pub fn conflicts_of_in(&self, set: &BitSet, c: CandidateId) -> usize {
+        debug_assert!(set.contains(c));
+        let pairs = self.pair_masks[c.index()].intersection_count(set);
+        let triples = self
+            .other_pairs(c)
+            .iter()
+            .filter(|&&[a, b]| set.contains(a) && set.contains(b))
+            .count();
+        pairs + triples
+    }
+
+    /// Scalar (posting-list) reference implementation of
+    /// [`can_add`](ConflictIndex::can_add), retained as the oracle for the
+    /// differential property tests.
+    #[cfg(test)]
+    pub fn scalar_can_add(&self, set: &BitSet, c: CandidateId) -> bool {
+        if self.pair_conflicts[c.index()].iter().any(|&x| set.contains(x)) {
+            return false;
+        }
+        self.triples_of[c.index()].iter().all(|&t| {
+            let [x, y, z] = self.triples[t as usize];
+            !(other_two(x, y, z, c).into_iter().all(|m| set.contains(m)))
+        })
+    }
+
+    /// Scalar reference implementation of
+    /// [`violations_introduced`](ConflictIndex::violations_introduced).
+    #[cfg(test)]
+    pub fn scalar_violations_introduced(&self, set: &BitSet, c: CandidateId) -> usize {
         let pairs = self.pair_conflicts[c.index()].iter().filter(|&&x| set.contains(x)).count();
         let triples = self.triples_of[c.index()]
             .iter()
@@ -260,16 +354,14 @@ impl ConflictIndex {
         pairs + triples
     }
 
-    /// Number of violations *within* `set` that `c ∈ set` participates in —
-    /// the `I.getConflict(c_i, Γ)` primitive of Algorithm 4.
-    pub fn conflicts_of_in(&self, set: &BitSet, c: CandidateId) -> usize {
-        debug_assert!(set.contains(c));
-        let pairs = self.pair_conflicts[c.index()].iter().filter(|&&x| set.contains(x)).count();
-        let triples = self.triples_of[c.index()]
-            .iter()
-            .filter(|&&t| self.triples[t as usize].into_iter().all(|m| set.contains(m)))
-            .count();
-        pairs + triples
+    /// Scalar reference implementation of
+    /// [`is_maximal`](ConflictIndex::is_maximal): re-checks `can_add` for
+    /// every candidate outside `set ∪ forbidden`.
+    #[cfg(test)]
+    pub fn scalar_is_maximal(&self, set: &BitSet, forbidden: &BitSet) -> bool {
+        (0..self.candidate_count)
+            .map(CandidateId::from_index)
+            .all(|c| set.contains(c) || forbidden.contains(c) || !self.scalar_can_add(set, c))
     }
 
     /// Whether `set` satisfies all configured constraints (`I |= Γ`).
@@ -305,18 +397,47 @@ impl ConflictIndex {
     /// is the work list of the repair routine.
     pub fn violations_involving(&self, set: &BitSet, c: CandidateId) -> Vec<Violation> {
         let mut out = Vec::new();
-        for &x in &self.pair_conflicts[c.index()] {
-            if set.contains(x) {
-                out.push(Violation::one_to_one(c, x));
-            }
+        self.violations_involving_into(set, c, &mut out);
+        out
+    }
+
+    /// Allocation-free form of
+    /// [`violations_involving`](ConflictIndex::violations_involving):
+    /// appends into a caller-owned (scratch) buffer.
+    pub fn violations_involving_into(
+        &self,
+        set: &BitSet,
+        c: CandidateId,
+        out: &mut Vec<Violation>,
+    ) {
+        for x in self.pair_masks[c.index()].iter_and(set) {
+            out.push(Violation::one_to_one(c, x));
         }
-        for &t in &self.triples_of[c.index()] {
-            let tr = self.triples[t as usize];
-            if tr.iter().all(|&m| set.contains(m)) {
+        for (&t, &[a, b]) in self.triples_of[c.index()].iter().zip(self.other_pairs(c)) {
+            if set.contains(a) && set.contains(b) {
+                let tr = self.triples[t as usize];
                 out.push(Violation::cycle(tr[0], tr[1], tr[2]));
             }
         }
-        out
+    }
+
+    /// Calls `f` with the member slice of every violation inside `set`
+    /// involving `c`, without materializing [`Violation`] records — the
+    /// work-list enumeration of the Algorithm 4 repair hot path.
+    pub fn for_each_violation_involving(
+        &self,
+        set: &BitSet,
+        c: CandidateId,
+        mut f: impl FnMut(&[CandidateId]),
+    ) {
+        for x in self.pair_masks[c.index()].iter_and(set) {
+            f(&[c, x]);
+        }
+        for (&t, &[a, b]) in self.triples_of[c.index()].iter().zip(self.other_pairs(c)) {
+            if set.contains(a) && set.contains(b) {
+                f(&self.triples[t as usize]);
+            }
+        }
     }
 
     /// Per-constraint violation totals inside `set` (Table III numbers when
@@ -332,12 +453,48 @@ impl ConflictIndex {
         counts
     }
 
+    /// Writes into `blocked` the set of candidates that cannot join `set`
+    /// without a violation: the union of the pair masks of `set`'s members
+    /// plus every third member of a triple whose other two lie in `set`.
+    ///
+    /// For a consistent `set` this is exactly `{c ∉ set | ¬can_add(set, c)}`
+    /// (members of `set` may also appear; callers exclude them anyway), so
+    /// the *addable frontier* is the complement of
+    /// `set ∪ forbidden ∪ blocked`.
+    pub fn blocked_into(&self, set: &BitSet, blocked: &mut BitSet) {
+        debug_assert_eq!(blocked.capacity(), self.candidate_count);
+        blocked.clear();
+        for c in set.iter() {
+            blocked.union_with(&self.pair_masks[c.index()]);
+            for &[a, b] in self.other_pairs(c) {
+                if set.contains(a) {
+                    blocked.insert(b);
+                }
+                if set.contains(b) {
+                    blocked.insert(a);
+                }
+            }
+        }
+    }
+
     /// Whether `set` is *maximal*: no candidate outside `set ∪ forbidden`
     /// can be added without violating a constraint (Definition 1).
+    ///
+    /// Word-parallel: derives the blocked set once and checks emptiness of
+    /// `addable \ (set ∪ forbidden)` in one OR+complement pass instead of
+    /// probing `can_add` for all of `0..n`.
     pub fn is_maximal(&self, set: &BitSet, forbidden: &BitSet) -> bool {
-        (0..self.candidate_count)
-            .map(CandidateId::from_index)
-            .all(|c| set.contains(c) || forbidden.contains(c) || !self.can_add(set, c))
+        let mut blocked = BitSet::new(self.candidate_count);
+        self.is_maximal_in(set, forbidden, &mut blocked)
+    }
+
+    /// Scratch-buffer form of [`is_maximal`](ConflictIndex::is_maximal);
+    /// `blocked` is overwritten.
+    pub fn is_maximal_in(&self, set: &BitSet, forbidden: &BitSet, blocked: &mut BitSet) -> bool {
+        self.blocked_into(set, blocked);
+        blocked.union_with(set);
+        blocked.union_with(forbidden);
+        blocked.iter_unset().next().is_none()
     }
 }
 
@@ -498,6 +655,130 @@ mod tests {
         let empty = BitSet::new(n);
         assert!(idx.is_consistent(&empty));
         assert!(!idx.is_maximal(&empty, &BitSet::new(n)));
+    }
+
+    /// Builds a 3-schema catalog with `sizes` attributes per schema and a
+    /// random candidate subset of all cross-schema pairs selected by `mask`
+    /// bits (mirrors the generator of `tests/properties.rs`).
+    fn random_network(sizes: [usize; 3], mask: u64) -> (Catalog, InteractionGraph, CandidateSet) {
+        let mut b = CatalogBuilder::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let attrs: Vec<String> = (0..n).map(|j| format!("a{i}_{j}")).collect();
+            b.add_schema_with_attributes(format!("s{i}"), attrs).unwrap();
+        }
+        let cat = b.build();
+        let g = InteractionGraph::complete(3);
+        let mut cs = CandidateSet::new(&cat);
+        let mut bit = 0u32;
+        for x in 0..cat.attribute_count() {
+            for y in (x + 1)..cat.attribute_count() {
+                let (ax, ay) = (AttributeId::from_index(x), AttributeId::from_index(y));
+                if cat.schema_of(ax) == cat.schema_of(ay) {
+                    continue;
+                }
+                if mask & (1 << (bit % 64)) != 0 {
+                    cs.add(&cat, Some(&g), ax, ay, 0.5).unwrap();
+                }
+                bit += 1;
+            }
+        }
+        (cat, g, cs)
+    }
+
+    fn mask_subset(n: usize, mask: u64) -> BitSet {
+        BitSet::from_ids(
+            n,
+            (0..n).filter(|i| mask & (1 << (i % 64)) != 0).map(CandidateId::from_index),
+        )
+    }
+
+    mod differential {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The mask-based `can_add` / `violations_introduced` /
+            /// `conflicts_of_in` agree with the scalar posting-list oracles
+            /// on arbitrary (not necessarily consistent) subsets.
+            #[test]
+            fn masked_primitives_match_scalar_oracles(
+                cand_mask in any::<u64>(),
+                inst_mask in any::<u64>(),
+                sizes in prop::array::uniform3(1usize..4),
+            ) {
+                let (cat, g, cs) = random_network(sizes, cand_mask);
+                let idx = ConflictIndex::build(&cat, &g, &cs, ConstraintConfig::default());
+                let set = mask_subset(cs.len(), inst_mask);
+                for i in 0..cs.len() {
+                    let c = CandidateId::from_index(i);
+                    prop_assert_eq!(idx.can_add(&set, c), idx.scalar_can_add(&set, c));
+                    prop_assert_eq!(
+                        idx.violations_introduced(&set, c),
+                        idx.scalar_violations_introduced(&set, c)
+                    );
+                }
+            }
+
+            /// Word-parallel maximality agrees with the scalar all-candidates
+            /// scan, on both greedily-completed and raw random sets, with and
+            /// without a random forbidden set.
+            #[test]
+            fn masked_maximality_matches_scalar_oracle(
+                cand_mask in any::<u64>(),
+                inst_mask in any::<u64>(),
+                forb_mask in any::<u64>(),
+                sizes in prop::array::uniform3(1usize..4),
+            ) {
+                let (cat, g, cs) = random_network(sizes, cand_mask);
+                let idx = ConflictIndex::build(&cat, &g, &cs, ConstraintConfig::default());
+                let forbidden = mask_subset(cs.len(), forb_mask);
+                // greedy consistent completion of the mask
+                let mut inst = BitSet::new(cs.len());
+                for i in 0..cs.len() {
+                    let c = CandidateId::from_index(i);
+                    if inst_mask & (1 << (i % 64)) != 0 && idx.can_add(&inst, c) {
+                        inst.insert(c);
+                    }
+                }
+                prop_assert_eq!(
+                    idx.is_maximal(&inst, &forbidden),
+                    idx.scalar_is_maximal(&inst, &forbidden)
+                );
+                prop_assert_eq!(
+                    idx.is_maximal(&inst, &BitSet::new(cs.len())),
+                    idx.scalar_is_maximal(&inst, &BitSet::new(cs.len()))
+                );
+            }
+
+            /// `blocked_into` is exactly the complement characterization of
+            /// `can_add` outside the instance: for consistent sets,
+            /// `c ∉ set` is blocked iff `¬can_add(set, c)`.
+            #[test]
+            fn blocked_set_characterizes_can_add(
+                cand_mask in any::<u64>(),
+                inst_mask in any::<u64>(),
+                sizes in prop::array::uniform3(1usize..4),
+            ) {
+                let (cat, g, cs) = random_network(sizes, cand_mask);
+                let idx = ConflictIndex::build(&cat, &g, &cs, ConstraintConfig::default());
+                let mut inst = BitSet::new(cs.len());
+                for i in 0..cs.len() {
+                    let c = CandidateId::from_index(i);
+                    if inst_mask & (1 << (i % 64)) != 0 && idx.can_add(&inst, c) {
+                        inst.insert(c);
+                    }
+                }
+                let mut blocked = BitSet::new(cs.len());
+                idx.blocked_into(&inst, &mut blocked);
+                for i in 0..cs.len() {
+                    let c = CandidateId::from_index(i);
+                    if inst.contains(c) {
+                        continue;
+                    }
+                    prop_assert_eq!(blocked.contains(c), !idx.can_add(&inst, c));
+                }
+            }
+        }
     }
 
     #[test]

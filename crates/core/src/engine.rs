@@ -173,6 +173,7 @@ mod tests {
                 walk_steps: 3,
                 n_min: 50,
                 seed: 5,
+                chains: 1,
             },
             strategy: Strategy::InformationGain,
             strategy_seed: 9,

@@ -1,31 +1,173 @@
 //! Instance-level primitives: the greedy repair of Algorithm 4 and the
 //! maximization pass that upgrades consistent sets to matching instances
 //! (Definition 1).
+//!
+//! Both primitives run thousands of times per reconciliation step inside
+//! the Algorithm 3 walk and the Algorithm 2 local search, so they operate
+//! on reusable [`Scratch`] buffers: no per-call allocation, word-parallel
+//! blocked-set derivation instead of full `0..n` scans, and a
+//! per-candidate counter array instead of the quadratic
+//! count-per-violation argmax.
 
 use rand::seq::{IndexedRandom, SliceRandom};
 use rand::Rng;
-use smn_constraints::{BitSet, ConflictIndex, Violation};
+use smn_constraints::{BitSet, ConflictIndex};
 use smn_schema::CandidateId;
 
+/// Reusable buffers for [`repair_in`] / [`maximize_in`], including the
+/// *incremental addable frontier*.
+///
+/// The frontier tracks, per candidate, how many conflicts currently block
+/// it from joining the tracked instance (`frontier_count`), plus the
+/// blocked set as a bitset. Counter updates cost O(conflict degree) per
+/// instance change, so `maximize` draws its candidates from
+/// `¬(instance ∪ forbidden ∪ blocked)` without rescanning `0..n` or
+/// re-deriving the blocked mask from scratch each call.
+///
+/// One `Scratch` per walker/search thread; sized once for the network's
+/// candidate count and reused across calls.
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    /// Generic mask buffer (frontier assembly, maximality checks).
+    blocked: BitSet,
+    /// Insertion-order buffer (maximize).
+    order: Vec<CandidateId>,
+    /// Repair work list: inline members, member count, live flag.
+    work: Vec<([CandidateId; 3], u8, bool)>,
+    /// Per-candidate involvement counters (repair argmax).
+    counts: Vec<u32>,
+    /// Candidates with nonzero counters, in first-occurrence order.
+    touched: Vec<CandidateId>,
+    /// Current argmax set (repair tie-breaking).
+    argmax: Vec<CandidateId>,
+    /// Candidates removed by the last [`repair_in`] call.
+    removed: Vec<CandidateId>,
+    /// Per-candidate blocker counts of the tracked instance.
+    frontier_count: Vec<u32>,
+    /// `{c | frontier_count[c] > 0}` as a bitset.
+    frontier_blocked: BitSet,
+    /// Whether the frontier matches the instance being operated on.
+    frontier_valid: bool,
+}
+
+impl Scratch {
+    /// Creates buffers for a network with `n` candidates.
+    pub fn new(n: usize) -> Self {
+        Self {
+            blocked: BitSet::new(n),
+            order: Vec::new(),
+            work: Vec::new(),
+            counts: vec![0; n],
+            touched: Vec::new(),
+            argmax: Vec::new(),
+            removed: Vec::new(),
+            frontier_count: vec![0; n],
+            frontier_blocked: BitSet::new(n),
+            frontier_valid: false,
+        }
+    }
+
+    /// Candidates removed by the last [`repair_in`] call, in removal order.
+    pub fn removed(&self) -> &[CandidateId] {
+        &self.removed
+    }
+
+    /// Declares the tracked frontier stale: the next [`maximize_in`] call
+    /// rebuilds it from its instance. Call after mutating or replacing an
+    /// instance outside [`note_insert`](Scratch::note_insert) /
+    /// [`repair_in`] / [`maximize_in`].
+    pub fn invalidate_frontier(&mut self) {
+        self.frontier_valid = false;
+    }
+
+    /// Notifies the frontier that `c` was just inserted into `instance`
+    /// (`instance` already contains `c`). No-op while the frontier is
+    /// stale.
+    pub fn note_insert(&mut self, index: &ConflictIndex, instance: &BitSet, c: CandidateId) {
+        if !self.frontier_valid {
+            return;
+        }
+        for &y in index.pair_conflicts(c) {
+            self.frontier_bump_up(y);
+        }
+        for &[a, b] in index.other_pairs(c) {
+            if instance.contains(a) {
+                self.frontier_bump_up(b);
+            }
+            if instance.contains(b) {
+                self.frontier_bump_up(a);
+            }
+        }
+    }
+
+    /// Notifies the frontier that `c` was just removed from `instance`
+    /// (`instance` no longer contains `c`). No-op while the frontier is
+    /// stale.
+    pub fn note_remove(&mut self, index: &ConflictIndex, instance: &BitSet, c: CandidateId) {
+        if !self.frontier_valid {
+            return;
+        }
+        for &y in index.pair_conflicts(c) {
+            self.frontier_bump_down(y);
+        }
+        for &[a, b] in index.other_pairs(c) {
+            if instance.contains(a) {
+                self.frontier_bump_down(b);
+            }
+            if instance.contains(b) {
+                self.frontier_bump_down(a);
+            }
+        }
+    }
+
+    /// Recomputes the frontier for `instance` from the posting lists:
+    /// `frontier_count[c]` = pair conflicts of `c` inside `instance` plus
+    /// triples of `c` whose other two members lie inside `instance` —
+    /// zero exactly when `can_add(instance, c)` for `c ∉ instance`.
+    fn frontier_rebuild(&mut self, index: &ConflictIndex, instance: &BitSet) {
+        self.frontier_count.fill(0);
+        self.frontier_blocked.clear();
+        for c in instance.iter() {
+            for &y in index.pair_conflicts(c) {
+                self.frontier_bump_up(y);
+            }
+            // each in-instance pair {c, a} of a triple bumps the third
+            // member exactly once: only the smaller of the pair triggers
+            for &[a, b] in index.other_pairs(c) {
+                if a > c && instance.contains(a) {
+                    self.frontier_bump_up(b);
+                }
+                if b > c && instance.contains(b) {
+                    self.frontier_bump_up(a);
+                }
+            }
+        }
+        self.frontier_valid = true;
+    }
+
+    #[inline]
+    fn frontier_bump_up(&mut self, c: CandidateId) {
+        let k = &mut self.frontier_count[c.index()];
+        *k += 1;
+        if *k == 1 {
+            self.frontier_blocked.insert(c);
+        }
+    }
+
+    #[inline]
+    fn frontier_bump_down(&mut self, c: CandidateId) {
+        let k = &mut self.frontier_count[c.index()];
+        debug_assert!(*k > 0, "frontier counter underflow");
+        *k -= 1;
+        if *k == 0 {
+            self.frontier_blocked.remove(c);
+        }
+    }
+}
+
 /// Algorithm 4: repairs `instance` after `added` was inserted into a
-/// previously consistent set.
-///
-/// Because the set was consistent before, every violation involves `added`;
-/// the work list is computed once and shrinks monotonically. The
-/// correspondence participating in the most remaining violations is removed
-/// greedily; ties are broken *uniformly at random*. (The paper leaves tie
-/// handling unspecified. Random tie-breaking matters for the Algorithm 3
-/// walk: with a deterministic rule, instances whose only entry paths
-/// require the non-preferred victim have zero in-degree in the walk's
-/// transition graph and are never sampled — we observed exactly that
-/// coverage gap before randomizing; see DESIGN.md.)
-///
-/// Approved correspondences and `added` itself are never removal
-/// candidates — if at some point only they participate in remaining
-/// violations, `added` itself is removed as a fallback (the paper's
-/// Algorithm 4 would otherwise not terminate).
-///
-/// Returns the removed candidates.
+/// previously consistent set. Allocating convenience wrapper around
+/// [`repair_in`]; returns the removed candidates.
 pub fn repair(
     index: &ConflictIndex,
     instance: &mut BitSet,
@@ -33,67 +175,157 @@ pub fn repair(
     approved: &BitSet,
     rng: &mut impl Rng,
 ) -> Vec<CandidateId> {
+    let mut scratch = Scratch::new(index.candidate_count());
+    repair_in(index, instance, added, approved, rng, &mut scratch);
+    scratch.removed
+}
+
+/// Algorithm 4 on scratch buffers: repairs `instance` after `added` was
+/// inserted into a previously consistent set. The removed candidates are
+/// left in [`Scratch::removed`].
+///
+/// Because the set was consistent before, every violation involves `added`;
+/// the work list is computed once and shrinks monotonically. The
+/// correspondence participating in the most remaining violations is removed
+/// greedily — tracked by a per-candidate counter array updated as
+/// violations retire, rather than recounting the work list per candidate.
+/// Ties are broken *uniformly at random*. (The paper leaves tie handling
+/// unspecified. Random tie-breaking matters for the Algorithm 3 walk: with
+/// a deterministic rule, instances whose only entry paths require the
+/// non-preferred victim have zero in-degree in the walk's transition graph
+/// and are never sampled — we observed exactly that coverage gap before
+/// randomizing; see DESIGN.md.)
+///
+/// Approved correspondences and `added` itself are never removal
+/// candidates — if at some point only they participate in remaining
+/// violations, `added` itself is removed as a fallback (the paper's
+/// Algorithm 4 would otherwise not terminate).
+pub fn repair_in(
+    index: &ConflictIndex,
+    instance: &mut BitSet,
+    added: CandidateId,
+    approved: &BitSet,
+    rng: &mut impl Rng,
+    s: &mut Scratch,
+) {
     debug_assert!(instance.contains(added));
-    let mut violations: Vec<Violation> = index.violations_involving(instance, added);
-    let mut removed = Vec::new();
-    let mut candidates: Vec<CandidateId> = Vec::new();
-    while !violations.is_empty() {
-        // count involvement per removable candidate; collect the argmax set
-        let mut best_count = 0usize;
-        candidates.clear();
-        let mut seen: Vec<CandidateId> = Vec::new();
-        for v in &violations {
-            for &m in &v.members {
-                if m == added || approved.contains(m) || seen.contains(&m) {
-                    continue;
+    s.removed.clear();
+    s.work.clear();
+    index.for_each_violation_involving(instance, added, |members| {
+        let mut m = [added; 3];
+        m[..members.len()].copy_from_slice(members);
+        s.work.push((m, members.len() as u8, true));
+    });
+    s.touched.clear();
+    for &(m, len, _) in &s.work {
+        for &c in &m[..len as usize] {
+            if s.counts[c.index()] == 0 {
+                s.touched.push(c);
+            }
+            s.counts[c.index()] += 1;
+        }
+    }
+    let mut alive = s.work.len();
+    while alive > 0 {
+        // argmax over removable candidates still involved in live violations
+        let mut best = 0u32;
+        s.argmax.clear();
+        for &c in &s.touched {
+            if c == added || approved.contains(c) {
+                continue;
+            }
+            let k = s.counts[c.index()];
+            if k == 0 {
+                continue;
+            }
+            match k.cmp(&best) {
+                std::cmp::Ordering::Greater => {
+                    best = k;
+                    s.argmax.clear();
+                    s.argmax.push(c);
                 }
-                seen.push(m);
-                let count = violations.iter().filter(|w| w.involves(m)).count();
-                match count.cmp(&best_count) {
-                    std::cmp::Ordering::Greater => {
-                        best_count = count;
-                        candidates.clear();
-                        candidates.push(m);
-                    }
-                    std::cmp::Ordering::Equal => candidates.push(m),
-                    std::cmp::Ordering::Less => {}
-                }
+                std::cmp::Ordering::Equal => s.argmax.push(c),
+                std::cmp::Ordering::Less => {}
             }
         }
-        let victim = match candidates.as_slice() {
+        let victim = match s.argmax.as_slice() {
             [] => added, // only `added` and approved members remain
             list => *list.choose(rng).expect("non-empty"),
         };
         instance.remove(victim);
-        removed.push(victim);
-        violations.retain(|v| !v.involves(victim));
+        s.removed.push(victim);
+        s.note_remove(index, instance, victim);
+        for (m, len, live) in s.work.iter_mut() {
+            if !*live {
+                continue;
+            }
+            let members = &m[..*len as usize];
+            if members.contains(&victim) {
+                *live = false;
+                alive -= 1;
+                for &c in members {
+                    s.counts[c.index()] -= 1;
+                }
+            }
+        }
         if victim == added {
-            debug_assert!(violations.is_empty());
+            debug_assert_eq!(alive, 0);
             break;
         }
     }
+    for &c in &s.touched {
+        s.counts[c.index()] = 0;
+    }
     debug_assert!(index.is_consistent(instance));
-    removed
 }
 
-/// Completes `instance` to a *maximal* consistent set: candidates outside
-/// `instance ∪ forbidden` are tried in random order and inserted when they
-/// introduce no violation. Constraints are monotone (adding candidates only
-/// ever adds violations), so one pass suffices for maximality.
+/// Completes `instance` to a *maximal* consistent set. Allocating
+/// convenience wrapper around [`maximize_in`].
 pub fn maximize(
     index: &ConflictIndex,
     instance: &mut BitSet,
     forbidden: &BitSet,
     rng: &mut impl Rng,
 ) {
-    let mut order: Vec<CandidateId> = (0..index.candidate_count())
-        .map(CandidateId::from_index)
-        .filter(|&c| !instance.contains(c) && !forbidden.contains(c))
-        .collect();
-    order.shuffle(rng);
-    for c in order {
-        if index.can_add(instance, c) {
+    let mut scratch = Scratch::new(index.candidate_count());
+    maximize_in(index, instance, forbidden, rng, &mut scratch);
+}
+
+/// Completes `instance` to a *maximal* consistent set on scratch buffers:
+/// candidates are drawn from the addable frontier — the complement of
+/// `instance ∪ forbidden ∪ blocked`, with `blocked` taken from the
+/// incrementally-maintained counter array (rebuilt here only if stale) —
+/// and tried in random order; a candidate is inserted when its blocker
+/// count is still zero at its turn, updating the counters of its conflict
+/// neighborhood. Constraints are monotone (adding candidates only ever
+/// adds violations), so one pass over the initial frontier suffices for
+/// maximality; candidates outside it could never have been added at all.
+///
+/// Precondition: the scratch frontier either matches `instance`'s current
+/// content (kept in sync via [`Scratch::note_insert`] / [`repair_in`] /
+/// earlier `maximize_in` calls on the same instance) or has been
+/// [invalidated](Scratch::invalidate_frontier).
+pub fn maximize_in(
+    index: &ConflictIndex,
+    instance: &mut BitSet,
+    forbidden: &BitSet,
+    rng: &mut impl Rng,
+    s: &mut Scratch,
+) {
+    if !s.frontier_valid {
+        s.frontier_rebuild(index, instance);
+    }
+    s.blocked.copy_from(&s.frontier_blocked);
+    s.blocked.union_with(instance);
+    s.blocked.union_with(forbidden);
+    s.order.clear();
+    s.order.extend(s.blocked.iter_unset());
+    s.order.shuffle(rng);
+    for i in 0..s.order.len() {
+        let c = s.order[i];
+        if s.frontier_count[c.index()] == 0 {
             instance.insert(c);
+            s.note_insert(index, instance, c);
         }
     }
     debug_assert!(index.is_maximal(instance, forbidden));
@@ -162,6 +394,20 @@ mod tests {
     }
 
     #[test]
+    fn repair_leaves_scratch_counters_clean() {
+        let net = fig1_network();
+        let n = net.candidate_count();
+        let mut s = Scratch::new(n);
+        let mut rng = StdRng::seed_from_u64(0);
+        for trial in 0..8u64 {
+            let mut inst = BitSet::from_ids(n, ids(&[0, 1, 4]));
+            repair_in(net.index(), &mut inst, CandidateId(0), &BitSet::new(n), &mut rng, &mut s);
+            assert!(net.index().is_consistent(&inst), "trial {trial}");
+            assert!(s.counts.iter().all(|&k| k == 0), "counters must reset between calls");
+        }
+    }
+
+    #[test]
     fn maximize_reaches_known_instances() {
         let net = fig1_network();
         let n = net.candidate_count();
@@ -189,6 +435,55 @@ mod tests {
             maximize(net.index(), &mut inst, &forbidden, &mut rng);
             assert!(!inst.contains(CandidateId(0)));
             assert!(net.index().is_maximal(&inst, &forbidden));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // same rng seed + same inputs ⇒ identical results whether scratch
+        // buffers are fresh or reused across calls (with the frontier
+        // invalidated between unrelated instances)
+        let net = fig1_network();
+        let n = net.candidate_count();
+        let forbidden = BitSet::new(n);
+        let mut reused = Scratch::new(n);
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let mut a = BitSet::new(n);
+            let mut b = BitSet::new(n);
+            reused.invalidate_frontier();
+            maximize_in(net.index(), &mut a, &forbidden, &mut rng_a, &mut reused);
+            maximize_in(net.index(), &mut b, &forbidden, &mut rng_b, &mut Scratch::new(n));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn incremental_frontier_matches_rebuilt_frontier() {
+        // drive a long repair/maximize sequence on one evolving instance
+        // and check the incrementally-maintained blocker counts against a
+        // from-scratch rebuild after every step
+        let (net, _) = crate::testutil::perturbed_network(4, 8, 0.6, 0.9, 5);
+        let n = net.candidate_count();
+        let index = net.index();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = Scratch::new(n);
+        let mut inst = BitSet::new(n);
+        maximize_in(index, &mut inst, &BitSet::new(n), &mut rng, &mut s);
+        for step in 0..40 {
+            let c = (0..n)
+                .map(CandidateId::from_index)
+                .find(|&c| !inst.contains(c))
+                .expect("some candidate outside the instance");
+            inst.insert(c);
+            s.note_insert(index, &inst, c);
+            repair_in(index, &mut inst, c, &BitSet::new(n), &mut rng, &mut s);
+            maximize_in(index, &mut inst, &BitSet::new(n), &mut rng, &mut s);
+            let mut fresh = Scratch::new(n);
+            fresh.frontier_rebuild(index, &inst);
+            assert_eq!(s.frontier_count, fresh.frontier_count, "step {step}");
+            assert_eq!(s.frontier_blocked, fresh.frontier_blocked, "step {step}");
         }
     }
 }

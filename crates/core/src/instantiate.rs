@@ -14,7 +14,8 @@
 //!    instance seen. A fixed-size tabu queue prevents proposing the same
 //!    candidate repeatedly.
 
-use crate::instance::{maximize, repair};
+use crate::fenwick::FenwickSampler;
+use crate::instance::{maximize_in, repair_in, Scratch};
 use crate::probability::ProbabilisticNetwork;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -108,22 +109,50 @@ pub fn instantiate(pn: &ProbabilisticNetwork, config: InstantiationConfig) -> In
             }
         }
     }
+    let mut scratch = Scratch::new(n);
     let (mut best_inst, mut best_ll) = best.unwrap_or_else(|| {
         // no samples (empty network / contradictory feedback): start from
         // the maximized approved set
         let mut seed_inst = approved.clone();
-        maximize(index, &mut seed_inst, forbidden, &mut rng);
+        maximize_in(index, &mut seed_inst, forbidden, &mut rng, &mut scratch);
         let ll = log_likelihood(&seed_inst);
         (seed_inst, ll)
     });
 
-    // Step 2: randomized local search with tabu
+    // Step 2: randomized local search with tabu. Roulette proposals come
+    // from a Fenwick wheel over `{⟨c, p_c⟩ | c ∈ C \ F− \ I \ tabu}`,
+    // updated incrementally as the instance and tabu queue change —
+    // O(log n) per proposal instead of two O(n) passes.
     let mut current = best_inst.clone();
     let mut tabu: VecDeque<CandidateId> = VecDeque::with_capacity(config.tabu_size);
+    let eligible_weight = |c: CandidateId, current: &BitSet, tabu: &VecDeque<CandidateId>| -> f64 {
+        let p = probs[c.index()];
+        if p > 0.0 && !current.contains(c) && !forbidden.contains(c) && !tabu.contains(&c) {
+            p
+        } else {
+            0.0
+        }
+    };
+    // the wheel is only built and maintained for roulette proposals; the
+    // uniform ablation never samples it
+    let use_wheel = config.proposal == Proposal::RouletteWheel;
+    let mut wheel = FenwickSampler::new(if use_wheel { n } else { 0 });
+    if use_wheel {
+        for i in 0..n {
+            let c = CandidateId::from_index(i);
+            wheel.set(i, eligible_weight(c, &current, &tabu));
+        }
+    }
+    let mut prev = current.clone();
     for _ in 0..config.iterations {
         let proposed = match config.proposal {
             Proposal::RouletteWheel => {
-                roulette_wheel(n, probs, &current, forbidden, &tabu, &mut rng)
+                let total = wheel.total();
+                if total > 0.0 {
+                    wheel.sample(rng.random_range(0.0..total)).map(CandidateId::from_index)
+                } else {
+                    None
+                }
             }
             Proposal::Uniform => uniform_proposal(n, probs, &current, forbidden, &tabu, &mut rng),
         };
@@ -131,14 +160,38 @@ pub fn instantiate(pn: &ProbabilisticNetwork, config: InstantiationConfig) -> In
             break; // nothing addable
         };
         current.insert(chosen);
+        scratch.note_insert(index, &current, chosen);
         if tabu.len() == config.tabu_size && config.tabu_size > 0 {
-            tabu.pop_front();
+            let released = tabu.pop_front().expect("tabu non-empty at capacity");
+            if use_wheel {
+                wheel.set(released.index(), eligible_weight(released, &current, &tabu));
+            }
         }
         if config.tabu_size > 0 {
             tabu.push_back(chosen);
         }
-        repair(index, &mut current, chosen, approved, &mut rng);
-        maximize(index, &mut current, forbidden, &mut rng);
+        repair_in(index, &mut current, chosen, approved, &mut rng, &mut scratch);
+        maximize_in(index, &mut current, forbidden, &mut rng, &mut scratch);
+        if use_wheel {
+            // reconcile the wheel with the instance delta: repair removals
+            // become eligible again, maximize additions drop out
+            for c in prev.iter_xor(&current) {
+                wheel.set(c.index(), eligible_weight(c, &current, &tabu));
+            }
+            // `chosen` may have been re-removed by repair without appearing
+            // in the delta (inserted and removed within one iteration)
+            wheel.set(chosen.index(), eligible_weight(chosen, &current, &tabu));
+            #[cfg(debug_assertions)]
+            for i in 0..n {
+                let c = CandidateId::from_index(i);
+                debug_assert_eq!(
+                    wheel.weight(i),
+                    eligible_weight(c, &current, &tabu),
+                    "wheel out of sync at {i}"
+                );
+            }
+        }
+        prev.copy_from(&current);
         let ll = log_likelihood(&current);
         if better(&current, ll, &best_inst, best_ll) {
             best_inst = current.clone();
@@ -154,17 +207,20 @@ pub fn instantiate(pn: &ProbabilisticNetwork, config: InstantiationConfig) -> In
     }
 }
 
-/// Fitness-proportionate selection over
-/// `{⟨c, p_c⟩ | c ∈ C \ F− \ I \ tabu}`. Candidates with zero probability
-/// never enter a matching instance, so they are excluded; if all weights
-/// vanish there is nothing useful to propose.
-fn roulette_wheel(
+/// Scalar fitness-proportionate selection over
+/// `{⟨c, p_c⟩ | c ∈ C \ F− \ I \ tabu}` — the two-pass linear scan the
+/// Fenwick wheel replaces, retained as the reference oracle for the
+/// differential tests. Candidates with zero probability never enter a
+/// matching instance, so they are excluded; if all weights vanish there
+/// is nothing useful to propose.
+#[cfg(test)]
+fn scalar_roulette_wheel(
     n: usize,
     probs: &[f64],
     current: &BitSet,
     forbidden: &BitSet,
     tabu: &VecDeque<CandidateId>,
-    rng: &mut StdRng,
+    spin: f64,
 ) -> Option<CandidateId> {
     let eligible = |c: CandidateId| {
         !current.contains(c)
@@ -172,15 +228,7 @@ fn roulette_wheel(
             && !tabu.contains(&c)
             && probs[c.index()] > 0.0
     };
-    let total: f64 = (0..n)
-        .map(CandidateId::from_index)
-        .filter(|&c| eligible(c))
-        .map(|c| probs[c.index()])
-        .sum();
-    if total <= 0.0 {
-        return None;
-    }
-    let mut spin = rng.random_range(0.0..total);
+    let mut spin = spin;
     for (i, &p) in probs.iter().enumerate() {
         let c = CandidateId::from_index(i);
         if !eligible(c) {
@@ -196,7 +244,9 @@ fn roulette_wheel(
 }
 
 /// Uniform proposal among the same eligibility set (ablation baseline for
-/// [`Proposal::Uniform`]).
+/// [`Proposal::Uniform`]). Counted index selection via
+/// [`nth_matching`](crate::selection::nth_matching) — no per-call
+/// allocation of the eligible set.
 fn uniform_proposal(
     n: usize,
     probs: &[f64],
@@ -205,17 +255,12 @@ fn uniform_proposal(
     tabu: &VecDeque<CandidateId>,
     rng: &mut StdRng,
 ) -> Option<CandidateId> {
-    use rand::seq::IndexedRandom;
-    let eligible: Vec<CandidateId> = (0..n)
-        .map(CandidateId::from_index)
-        .filter(|&c| {
-            !current.contains(c)
-                && !forbidden.contains(c)
-                && !tabu.contains(&c)
-                && probs[c.index()] > 0.0
-        })
-        .collect();
-    eligible.choose(rng).copied()
+    crate::selection::nth_matching(n, rng, |c| {
+        !current.contains(c)
+            && !forbidden.contains(c)
+            && !tabu.contains(&c)
+            && probs[c.index()] > 0.0
+    })
 }
 
 #[cfg(test)]
@@ -228,7 +273,14 @@ mod tests {
     fn fig1_pn() -> ProbabilisticNetwork {
         ProbabilisticNetwork::new(
             fig1_network(),
-            SamplerConfig { anneal: true, n_samples: 200, walk_steps: 3, n_min: 50, seed: 5 },
+            SamplerConfig {
+                anneal: true,
+                n_samples: 200,
+                walk_steps: 3,
+                n_min: 50,
+                seed: 5,
+                chains: 1,
+            },
         )
     }
 
@@ -253,6 +305,41 @@ mod tests {
     }
 
     #[test]
+    fn fenwick_wheel_matches_scalar_roulette() {
+        // quarter-integer probabilities keep every cumulative sum exact in
+        // f64, and spins at odd multiples of ⅛ never hit an interval
+        // boundary — so the Fenwick descent and the scalar scan (whose
+        // `spin <= 0` boundary rule differs only *at* boundaries) must
+        // agree exactly.
+        let n = 12usize;
+        let probs: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 5) as f64 * 0.25).collect();
+        let current = BitSet::from_ids(n, [CandidateId(1), CandidateId(4)]);
+        let forbidden = BitSet::from_ids(n, [CandidateId(2)]);
+        let tabu: VecDeque<CandidateId> = [CandidateId(7)].into_iter().collect();
+        let eligible_weight = |c: CandidateId| {
+            let p = probs[c.index()];
+            if p > 0.0 && !current.contains(c) && !forbidden.contains(c) && !tabu.contains(&c) {
+                p
+            } else {
+                0.0
+            }
+        };
+        let mut wheel = FenwickSampler::new(n);
+        for i in 0..n {
+            wheel.set(i, eligible_weight(CandidateId::from_index(i)));
+        }
+        let total: f64 = (0..n).map(|i| eligible_weight(CandidateId::from_index(i))).sum();
+        assert!((wheel.total() - total).abs() < 1e-12);
+        let mut spin = 0.125;
+        while spin < total {
+            let fenwick = wheel.sample(spin).map(CandidateId::from_index);
+            let scalar = scalar_roulette_wheel(n, &probs, &current, &forbidden, &tabu, spin);
+            assert_eq!(fenwick, scalar, "spin {spin}");
+            spin += 0.25;
+        }
+    }
+
+    #[test]
     fn deterministic_in_seed() {
         let pn = fig1_pn();
         let a = instantiate(&pn, InstantiationConfig { seed: 1, ..Default::default() });
@@ -265,7 +352,14 @@ mod tests {
         let (net, _) = perturbed_network(4, 8, 0.6, 0.9, 11);
         let pn = ProbabilisticNetwork::new(
             net,
-            SamplerConfig { anneal: true, n_samples: 150, walk_steps: 3, n_min: 60, seed: 12 },
+            SamplerConfig {
+                anneal: true,
+                n_samples: 150,
+                walk_steps: 3,
+                n_min: 60,
+                seed: 12,
+                chains: 1,
+            },
         );
         let greedy_only =
             instantiate(&pn, InstantiationConfig { iterations: 0, ..Default::default() });
@@ -305,7 +399,14 @@ mod tests {
         let (net, _) = perturbed_network(3, 10, 0.7, 0.8, 21);
         let pn = ProbabilisticNetwork::new(
             net,
-            SamplerConfig { anneal: true, n_samples: 200, walk_steps: 4, n_min: 80, seed: 3 },
+            SamplerConfig {
+                anneal: true,
+                n_samples: 200,
+                walk_steps: 4,
+                n_min: 80,
+                seed: 3,
+                chains: 1,
+            },
         );
         let inst = instantiate(&pn, InstantiationConfig::default());
         assert!(pn.network().index().is_maximal(&inst.instance, pn.feedback().disapproved()));

@@ -32,6 +32,7 @@ pub mod engine;
 pub mod entropy;
 pub mod exact;
 pub mod feedback;
+pub mod fenwick;
 pub mod instance;
 pub mod instantiate;
 pub mod metrics;

@@ -105,7 +105,14 @@ mod tests {
     fn fig1_pn(seed: u64) -> ProbabilisticNetwork {
         ProbabilisticNetwork::new(
             fig1_network(),
-            SamplerConfig { anneal: true, n_samples: 200, walk_steps: 3, n_min: 50, seed },
+            SamplerConfig {
+                anneal: true,
+                n_samples: 200,
+                walk_steps: 3,
+                n_min: 50,
+                seed,
+                chains: 1,
+            },
         )
     }
 
@@ -166,7 +173,14 @@ mod tests {
         let (net, truth) = perturbed_network(3, 6, 0.7, 0.9, 5);
         let mut pn = ProbabilisticNetwork::new(
             net,
-            SamplerConfig { anneal: true, n_samples: 300, walk_steps: 3, n_min: 100, seed: 6 },
+            SamplerConfig {
+                anneal: true,
+                n_samples: 300,
+                walk_steps: 3,
+                n_min: 100,
+                seed: 6,
+                chains: 1,
+            },
         );
         let mut strat = RandomSelection::new(7);
         let mut oracle = GroundTruthOracle::new(truth);

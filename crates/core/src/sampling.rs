@@ -9,20 +9,28 @@
 //! the previous instance — the simulated-annealing rule of the paper that
 //! prefers long jumps and so escapes high-density regions.
 //!
-//! [`SampleStore`] keeps the *distinct* instances found (Ω\*). Under a new
-//! assertion it is view-maintained rather than resampled: approval of `c`
-//! retains the instances containing `c`, disapproval those without it.
-//! (The paper prints the same right-hand side for both cases — an obvious
-//! typo; we implement the semantically correct filter.) When fewer than
-//! `n_min` samples survive, the store is refilled; if two consecutive
-//! refills both fail to reach `n_min`, the store concludes `Ω* = Ω` and
-//! marks itself *exhausted* — probabilities are then exact (Eq. 1).
+//! The walk state lives in reusable [`Scratch`] buffers (no per-step
+//! clones), and [`SamplerConfig::chains`] > 1 runs that many independent
+//! chains across scoped threads per fill pass, merging discoveries in
+//! chain order so the result is deterministic given the config.
+//!
+//! [`SampleStore`] keeps the *distinct* instances found (Ω\*) twice: as a
+//! list of instance bitsets and as a transposed candidate×sample bit
+//! matrix ([`SampleMatrix`]) that turns probability recomputation and the
+//! co-occurrence pass of information gain into row-AND popcounts. Under a
+//! new assertion the store is view-maintained rather than resampled:
+//! approval of `c` retains the instances containing `c`, disapproval those
+//! without it. (The paper prints the same right-hand side for both cases —
+//! an obvious typo; we implement the semantically correct filter.) When
+//! fewer than `n_min` samples survive, the store is refilled; if two
+//! consecutive refills both fail to reach `n_min`, the store concludes
+//! `Ω* = Ω` and marks itself *exhausted* — probabilities are then exact
+//! (Eq. 1).
 
 use crate::feedback::Feedback;
-use crate::instance::{maximize, repair};
+use crate::instance::{maximize_in, repair_in, Scratch};
 use crate::network::MatchingNetwork;
 use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
 use rand::{Rng, SeedableRng};
 use smn_constraints::BitSet;
 use smn_schema::CandidateId;
@@ -45,12 +53,150 @@ pub struct SamplerConfig {
     /// every jump — a pure random walk; ablation benches quantify what the
     /// acceptance rule buys.
     pub anneal: bool,
+    /// Independent walk chains per fill pass (≥ 1). Chains run across
+    /// scoped threads, each seeded `seed + chain_id`, and split the
+    /// `n_samples` emission budget; discovered instances are merged in
+    /// chain order, so the store content is deterministic given the
+    /// config regardless of thread scheduling. `1` keeps the classic
+    /// single-chain walk on the caller thread.
+    pub chains: usize,
 }
 
 impl Default for SamplerConfig {
     fn default() -> Self {
-        Self { n_samples: 1000, walk_steps: 4, n_min: 200, seed: 0xC0FFEE, anneal: true }
+        Self { n_samples: 1000, walk_steps: 4, n_min: 200, seed: 0xC0FFEE, anneal: true, chains: 1 }
     }
+}
+
+/// Transposed sample matrix: one bit row per candidate, one column per
+/// distinct sample, maintained by [`SampleStore`].
+///
+/// Row-AND popcounts replace the per-instance membership scans of
+/// probability recomputation and the O(S·k̄²) co-occurrence pass of
+/// information gain with word-parallel operations.
+#[derive(Debug, Clone)]
+pub struct SampleMatrix {
+    /// `rows[c]` = membership bits of candidate `c` over sample columns.
+    rows: Vec<Vec<u64>>,
+    /// Number of sample columns.
+    cols: usize,
+}
+
+impl SampleMatrix {
+    fn new(n: usize) -> Self {
+        Self { rows: vec![Vec::new(); n], cols: 0 }
+    }
+
+    fn push_sample(&mut self, inst: &BitSet) {
+        let (w, b) = (self.cols / 64, self.cols % 64);
+        if b == 0 {
+            for r in &mut self.rows {
+                r.push(0);
+            }
+        }
+        for c in inst.iter() {
+            self.rows[c.index()][w] |= 1 << b;
+        }
+        self.cols += 1;
+    }
+
+    /// Number of candidates (rows).
+    pub fn candidate_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of samples (columns).
+    pub fn sample_count(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw membership row of candidate `c`; bits beyond
+    /// [`sample_count`](SampleMatrix::sample_count) are zero.
+    #[inline]
+    pub fn row(&self, c: CandidateId) -> &[u64] {
+        &self.rows[c.index()]
+    }
+
+    /// In how many samples `c` appears (one popcount pass).
+    #[inline]
+    pub fn membership_count(&self, c: CandidateId) -> usize {
+        self.rows[c.index()].iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In how many samples `a` and `b` co-occur (one AND+popcount pass).
+    #[inline]
+    pub fn co_count(&self, a: CandidateId, b: CandidateId) -> usize {
+        row_and_count(&self.rows[a.index()], &self.rows[b.index()])
+    }
+
+    /// Keeps only the columns whose bit is set in `mask` (one word per 64
+    /// columns, like the rows themselves), compacting every row in place
+    /// and preserving column order.
+    ///
+    /// This is the view-maintenance kernel: filtering the store on an
+    /// assertion reduces to one row-wise bit-compaction pass (sequential
+    /// word operations) instead of re-inserting every surviving sample
+    /// column by column (scattered single-bit writes across all rows).
+    fn filter_columns(&mut self, mask: &[u64]) {
+        debug_assert_eq!(mask.len(), self.cols.div_ceil(64));
+        let keep: usize = mask.iter().map(|w| w.count_ones() as usize).sum();
+        let kept_words = keep.div_ceil(64);
+        for row in &mut self.rows {
+            let mut out = 0u64;
+            let mut filled: u32 = 0;
+            let mut write = 0usize;
+            for i in 0..row.len() {
+                let v = pext64(row[i], mask[i]);
+                let k = mask[i].count_ones();
+                out |= v << filled;
+                if filled + k >= 64 {
+                    // output words never outrun input words, so `write ≤ i`
+                    // at the time of reading `row[i]` — in-place is safe
+                    row[write] = out;
+                    write += 1;
+                    let consumed = 64 - filled;
+                    out = if consumed < 64 { v >> consumed } else { 0 };
+                    filled = filled + k - 64;
+                } else {
+                    filled += k;
+                }
+            }
+            if filled > 0 {
+                row[write] = out;
+            }
+            row.truncate(kept_words);
+        }
+        self.cols = keep;
+    }
+}
+
+/// Software PEXT (parallel bit extract): gathers the bits of `x` selected
+/// by `mask` into the low bits of the result, preserving order. Hacker's
+/// Delight §7-4 "compress", 64-bit (6 rounds).
+fn pext64(x: u64, mask: u64) -> u64 {
+    let mut x = x & mask;
+    let mut m = mask;
+    let mut mk = !m << 1;
+    for i in 0..6 {
+        let mut mp = mk ^ (mk << 1);
+        mp ^= mp << 2;
+        mp ^= mp << 4;
+        mp ^= mp << 8;
+        mp ^= mp << 16;
+        mp ^= mp << 32;
+        let mv = mp & m;
+        m = (m ^ mv) | (mv >> (1 << i));
+        let t = x & mv;
+        x = (x ^ t) | (t >> (1 << i));
+        mk &= !mp;
+    }
+    x
+}
+
+/// AND+popcount of two raw matrix rows.
+#[inline]
+pub fn row_and_count(a: &[u64], b: &[u64]) -> usize {
+    a.iter().zip(b).map(|(x, y)| (x & y).count_ones() as usize).sum()
 }
 
 /// The view-maintained set Ω\* of distinct sampled matching instances,
@@ -65,43 +211,70 @@ pub struct SampleStore {
     samples: Vec<BitSet>,
     counts: Vec<u64>,
     seen: HashMap<BitSet, usize>,
+    matrix: SampleMatrix,
+    uniform: Vec<f64>,
     exhausted: bool,
     config: SamplerConfig,
     rng: StdRng,
+    scratch: Scratch,
+    walk_buf: BitSet,
+    /// Monotone pass counter seeding multi-chain passes (advances across
+    /// refills so chains never replay earlier trajectories).
+    pass_epoch: u64,
 }
 
 impl SampleStore {
     /// Creates an empty store and fills it for the given network/feedback.
     pub fn new(network: &MatchingNetwork, feedback: &Feedback, config: SamplerConfig) -> Self {
+        let n = network.candidate_count();
         let rng = StdRng::seed_from_u64(config.seed);
         let mut store = Self {
             samples: Vec::new(),
             counts: Vec::new(),
             seen: HashMap::new(),
+            matrix: SampleMatrix::new(n),
+            uniform: Vec::new(),
             exhausted: false,
             config,
             rng,
+            scratch: Scratch::new(n),
+            walk_buf: BitSet::new(n),
+            pass_epoch: 0,
         };
         store.fill(network, feedback);
+        store.sync_weights();
         store
+    }
+
+    /// Records `count` emissions of `inst`. Returns whether it was new.
+    fn record_with_count(&mut self, inst: &BitSet, count: u64) -> bool {
+        let new = dedup_record(&mut self.seen, &mut self.samples, &mut self.counts, inst, count);
+        if new {
+            self.matrix.push_sample(inst);
+        }
+        new
     }
 
     /// Records one emission of `inst`. Returns whether it was new.
     fn record(&mut self, inst: &BitSet) -> bool {
-        if let Some(&pos) = self.seen.get(inst) {
-            self.counts[pos] += 1;
-            false
-        } else {
-            self.seen.insert(inst.clone(), self.samples.len());
-            self.samples.push(inst.clone());
-            self.counts.push(1);
-            true
-        }
+        self.record_with_count(inst, 1)
+    }
+
+    /// Restores the `weights()` invariant (`uniform.len() == samples.len()`,
+    /// all 1.0) — the single place the cached weight slice is sized.
+    fn sync_weights(&mut self) {
+        self.uniform.resize(self.samples.len(), 1.0);
     }
 
     /// The distinct sampled instances.
     pub fn samples(&self) -> &[BitSet] {
         &self.samples
+    }
+
+    /// The transposed candidate×sample membership matrix, aligned with
+    /// [`samples`](SampleStore::samples).
+    pub fn matrix(&self) -> &SampleMatrix {
+        &self.matrix
     }
 
     /// The sampling weight of each instance, aligned with
@@ -112,9 +285,10 @@ impl SampleStore {
     /// deviate from it far more than the discovered-set uniform does (the
     /// annealing rule promotes coverage, not uniform occupancy). Visit
     /// counts are still tracked — see [`visit_counts`](SampleStore::visit_counts)
-    /// — as a mixing diagnostic.
-    pub fn weights(&self) -> Vec<f64> {
-        vec![1.0; self.samples.len()]
+    /// — as a mixing diagnostic. The slice is cached; no allocation per
+    /// query.
+    pub fn weights(&self) -> &[f64] {
+        &self.uniform
     }
 
     /// How often each distinct instance was emitted by the walk (mixing
@@ -140,72 +314,89 @@ impl SampleStore {
         self.exhausted
     }
 
-    /// One emission of Algorithm 3: `walk_steps` random-walk steps from
-    /// `current`, each adding a random candidate, repairing, re-maximizing,
-    /// and accepting with probability `1 − e^{−Δ}`.
-    fn walk(&mut self, network: &MatchingNetwork, feedback: &Feedback, current: &mut BitSet) {
-        let index = network.index();
-        let n = network.candidate_count();
-        for _ in 0..self.config.walk_steps {
-            // `Rand(C \ F− \ I_i)`: rejection-sample a few times (cheap when
-            // most candidates qualify), then fall back to a full scan
-            let valid =
-                |c: CandidateId| !feedback.disapproved().contains(c) && !current.contains(c);
-            let mut pick: Option<CandidateId> = None;
-            for _ in 0..24 {
-                let c = CandidateId::from_index(self.rng.random_range(0..n));
-                if valid(c) {
-                    pick = Some(c);
-                    break;
-                }
-            }
-            if pick.is_none() {
-                let addable: Vec<CandidateId> =
-                    (0..n).map(CandidateId::from_index).filter(|&c| valid(c)).collect();
-                pick = addable.choose(&mut self.rng).copied();
-            }
-            let Some(c) = pick else {
-                return; // instance already covers every assertable candidate
-            };
-            let mut next = current.clone();
-            next.insert(c);
-            repair(index, &mut next, c, feedback.approved(), &mut self.rng);
-            maximize(index, &mut next, feedback.disapproved(), &mut self.rng);
-            let accept = if self.config.anneal {
-                let delta = current.symmetric_difference_count(&next);
-                1.0 - (-(delta as f64)).exp()
-            } else {
-                1.0
-            };
-            if self.rng.random_bool(accept.clamp(0.0, 1.0)) {
-                *current = next;
-            }
-        }
-    }
-
-    /// Runs one sampling pass (`n_samples` emissions), inserting distinct
-    /// instances. Returns how many new distinct instances were found.
+    /// Runs one single-chain sampling pass (`n_samples` emissions) on the
+    /// caller thread, inserting distinct instances. Returns how many new
+    /// distinct instances were found.
     fn sample_pass(&mut self, network: &MatchingNetwork, feedback: &Feedback) -> usize {
         let index = network.index();
+        // the scratch frontier tracks whatever instance the previous pass
+        // ended on; this pass starts from a different one
+        self.scratch.invalidate_frontier();
         // start from a surviving sample if any, else from maximized F+
         let mut current = match self.samples.last() {
             Some(s) => s.clone(),
             None => {
                 let mut seed_inst = feedback.approved().clone();
                 debug_assert!(index.is_consistent(&seed_inst), "approved set must be consistent");
-                maximize(index, &mut seed_inst, feedback.disapproved(), &mut self.rng);
+                maximize_in(
+                    index,
+                    &mut seed_inst,
+                    feedback.disapproved(),
+                    &mut self.rng,
+                    &mut self.scratch,
+                );
                 seed_inst
             }
         };
         let mut found = 0usize;
         // the chain start is itself a valid instance — record it
-        if self.record(&current.clone()) {
+        if self.record(&current) {
             found += 1;
         }
         for _ in 0..self.config.n_samples {
-            self.walk(network, feedback, &mut current);
-            if self.record(&current.clone()) {
+            walk(
+                network,
+                feedback,
+                &self.config,
+                &mut self.rng,
+                &mut current,
+                &mut self.walk_buf,
+                &mut self.scratch,
+            );
+            if self.record(&current) {
                 found += 1;
+            }
+        }
+        found
+    }
+
+    /// Runs one multi-chain pass: `config.chains` independent walks across
+    /// scoped threads, each with `n_samples / chains` (rounded up)
+    /// emissions, merged in chain order. Returns how many new distinct
+    /// instances were found.
+    fn parallel_pass(&mut self, network: &MatchingNetwork, feedback: &Feedback) -> usize {
+        let chains = self.config.chains.max(1);
+        let per_chain = self.config.n_samples.div_ceil(chains);
+        let config = self.config;
+        // every pass — across fills and refills — advances the epoch, so
+        // refill chains explore fresh trajectories instead of replaying
+        // the previous fill's (the multi-chain analogue of the persistent
+        // single-chain RNG); still deterministic given the assertion
+        // sequence
+        let epoch = self.pass_epoch;
+        self.pass_epoch += 1;
+        let results: Vec<(Vec<BitSet>, Vec<u64>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..chains as u64)
+                .map(|chain| {
+                    scope.spawn(move || {
+                        run_chain(
+                            network,
+                            feedback,
+                            config,
+                            chain_seed(config.seed, chain, epoch),
+                            per_chain,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sampling chain panicked")).collect()
+        });
+        let mut found = 0usize;
+        for (instances, counts) in results {
+            for (inst, count) in instances.iter().zip(counts) {
+                if self.record_with_count(inst, count) {
+                    found += 1;
+                }
             }
         }
         found
@@ -221,11 +412,15 @@ impl SampleStore {
             self.exhausted = true;
             return;
         }
-        for _pass in 0..2 {
+        for _pass in 0..2u64 {
             if self.samples.len() >= self.config.n_min {
                 return;
             }
-            self.sample_pass(network, feedback);
+            if self.config.chains > 1 {
+                self.parallel_pass(network, feedback);
+            } else {
+                self.sample_pass(network, feedback);
+            }
         }
         if self.samples.len() < self.config.n_min {
             // two consecutive passes could not reach n_min: per §III-B the
@@ -258,6 +453,21 @@ impl SampleStore {
         approved: bool,
     ) {
         let index = network.index();
+        // the matrix row of `candidate` is exactly the survivor mask
+        // (complemented for disapprovals): filter columns row-wise
+        let cols = self.matrix.sample_count();
+        let mut mask = self.matrix.row(candidate).to_vec();
+        if !approved {
+            for w in &mut mask {
+                *w = !*w;
+            }
+            if cols % 64 != 0 {
+                if let Some(last) = mask.last_mut() {
+                    *last &= u64::MAX >> (64 - cols % 64);
+                }
+            }
+        }
+        self.matrix.filter_columns(&mask);
         let old: Vec<(BitSet, u64)> = self.samples.drain(..).zip(self.counts.drain(..)).collect();
         self.seen.clear();
         let mut dying: Vec<(BitSet, u64)> = Vec::new();
@@ -270,13 +480,16 @@ impl SampleStore {
                 dying.push((inst, count));
             }
         }
+        debug_assert_eq!(self.matrix.sample_count(), self.samples.len());
         if !approved {
             for (mut inst, count) in dying {
                 inst.remove(candidate);
-                if index.is_maximal(&inst, feedback.disapproved()) && !self.seen.contains_key(&inst)
+                if index.is_maximal_in(&inst, feedback.disapproved(), &mut self.walk_buf)
+                    && !self.seen.contains_key(&inst)
                 {
                     // the shrunken instance inherits its ancestor's weight
                     self.seen.insert(inst.clone(), self.samples.len());
+                    self.matrix.push_sample(&inst);
                     self.samples.push(inst);
                     self.counts.push(count);
                 }
@@ -285,7 +498,128 @@ impl SampleStore {
         if !self.exhausted && self.samples.len() < self.config.n_min {
             self.fill(network, feedback);
         }
+        self.sync_weights();
     }
+}
+
+/// Order-preserving distinct-instance recording: merges `count` into the
+/// existing entry or appends a new one. The single implementation behind
+/// both [`SampleStore::record`] and the per-chain accumulators of
+/// [`run_chain`], so the dedup/count-merge invariant cannot drift between
+/// the single- and multi-chain paths.
+fn dedup_record(
+    seen: &mut HashMap<BitSet, usize>,
+    instances: &mut Vec<BitSet>,
+    counts: &mut Vec<u64>,
+    inst: &BitSet,
+    count: u64,
+) -> bool {
+    if let Some(&pos) = seen.get(inst) {
+        counts[pos] += count;
+        false
+    } else {
+        seen.insert(inst.clone(), instances.len());
+        instances.push(inst.clone());
+        counts.push(count);
+        true
+    }
+}
+
+/// Per-chain RNG seed: `seed + chain_id`, with each pass epoch spread by a
+/// golden-ratio stride so refills explore new trajectories.
+fn chain_seed(seed: u64, chain: u64, epoch: u64) -> u64 {
+    seed.wrapping_add(chain).wrapping_add(epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// One emission of Algorithm 3: `walk_steps` random-walk steps from
+/// `current`, each adding a random candidate, repairing, re-maximizing,
+/// and accepting with probability `1 − e^{−Δ}`. `next` and `scratch` are
+/// reusable buffers; no allocation per step.
+fn walk(
+    network: &MatchingNetwork,
+    feedback: &Feedback,
+    config: &SamplerConfig,
+    rng: &mut StdRng,
+    current: &mut BitSet,
+    next: &mut BitSet,
+    scratch: &mut Scratch,
+) {
+    let index = network.index();
+    let n = network.candidate_count();
+    for _ in 0..config.walk_steps {
+        // `Rand(C \ F− \ I_i)`: rejection-sample a few times (cheap when
+        // most candidates qualify), then fall back to a counted scan
+        let valid = |c: CandidateId| !feedback.disapproved().contains(c) && !current.contains(c);
+        let mut pick: Option<CandidateId> = None;
+        for _ in 0..24 {
+            let c = CandidateId::from_index(rng.random_range(0..n));
+            if valid(c) {
+                pick = Some(c);
+                break;
+            }
+        }
+        if pick.is_none() {
+            let covered = current.count() + feedback.disapproved().count()
+                - current.intersection_count(feedback.disapproved());
+            let eligible = n - covered;
+            if eligible > 0 {
+                let k = rng.random_range(0..eligible);
+                pick = (0..n).map(CandidateId::from_index).filter(|&c| valid(c)).nth(k);
+            }
+        }
+        let Some(c) = pick else {
+            return; // instance already covers every assertable candidate
+        };
+        // `next` starts as a copy of `current`, whose content the tracked
+        // frontier (if valid) already matches
+        next.copy_from(current);
+        next.insert(c);
+        scratch.note_insert(index, next, c);
+        repair_in(index, next, c, feedback.approved(), rng, scratch);
+        maximize_in(index, next, feedback.disapproved(), rng, scratch);
+        let accept = if config.anneal {
+            let delta = current.symmetric_difference_count(next);
+            1.0 - (-(delta as f64)).exp()
+        } else {
+            1.0
+        };
+        if rng.random_bool(accept.clamp(0.0, 1.0)) {
+            // the frontier matches `next`, which becomes `current`
+            std::mem::swap(current, next);
+        } else {
+            // the frontier matches the rejected state — rebuild lazily
+            scratch.invalidate_frontier();
+        }
+    }
+}
+
+/// Runs one independent sampling chain: its own RNG, scratch buffers and
+/// walk state, starting from the maximized approved set. Returns the
+/// distinct instances in discovery order with their emission counts.
+fn run_chain(
+    network: &MatchingNetwork,
+    feedback: &Feedback,
+    config: SamplerConfig,
+    chain_seed: u64,
+    emissions: usize,
+) -> (Vec<BitSet>, Vec<u64>) {
+    let n = network.candidate_count();
+    let index = network.index();
+    let mut rng = StdRng::seed_from_u64(chain_seed);
+    let mut scratch = Scratch::new(n);
+    let mut next = BitSet::new(n);
+    let mut current = feedback.approved().clone();
+    debug_assert!(index.is_consistent(&current), "approved set must be consistent");
+    maximize_in(index, &mut current, feedback.disapproved(), &mut rng, &mut scratch);
+    let mut seen: HashMap<BitSet, usize> = HashMap::new();
+    let mut instances: Vec<BitSet> = Vec::new();
+    let mut counts: Vec<u64> = Vec::new();
+    dedup_record(&mut seen, &mut instances, &mut counts, &current, 1);
+    for _ in 0..emissions {
+        walk(network, feedback, &config, &mut rng, &mut current, &mut next, &mut scratch);
+        dedup_record(&mut seen, &mut instances, &mut counts, &current, 1);
+    }
+    (instances, counts)
 }
 
 #[cfg(test)]
@@ -294,7 +628,7 @@ mod tests {
     use crate::testutil::fig1_network;
 
     fn small_config() -> SamplerConfig {
-        SamplerConfig { anneal: true, n_samples: 200, walk_steps: 3, n_min: 50, seed: 7 }
+        SamplerConfig { anneal: true, n_samples: 200, walk_steps: 3, n_min: 50, seed: 7, chains: 1 }
     }
 
     #[test]
@@ -319,6 +653,115 @@ mod tests {
         for s in store.samples() {
             assert!(seen.insert(s.clone()), "duplicate sample");
         }
+    }
+
+    #[test]
+    fn matrix_transposes_membership() {
+        let net = fig1_network();
+        let store = SampleStore::new(&net, &Feedback::new(5), small_config());
+        let m = store.matrix();
+        assert_eq!(m.sample_count(), store.len());
+        assert_eq!(m.candidate_count(), 5);
+        for c in (0..5).map(CandidateId::from_index) {
+            let by_scan = store.samples().iter().filter(|s| s.contains(c)).count();
+            assert_eq!(m.membership_count(c), by_scan);
+            for d in (0..5).map(CandidateId::from_index) {
+                let co = store.samples().iter().filter(|s| s.contains(c) && s.contains(d)).count();
+                assert_eq!(m.co_count(c, d), co);
+            }
+        }
+    }
+
+    #[test]
+    fn pext_gathers_masked_bits() {
+        // naive reference: collect bits of x at mask positions
+        let naive = |x: u64, mask: u64| -> u64 {
+            let mut out = 0u64;
+            let mut pos = 0;
+            for b in 0..64 {
+                if mask & (1 << b) != 0 {
+                    out |= ((x >> b) & 1) << pos;
+                    pos += 1;
+                }
+            }
+            out
+        };
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let (x, mask) = (next(), next());
+            assert_eq!(pext64(x, mask), naive(x, mask));
+        }
+        assert_eq!(pext64(u64::MAX, u64::MAX), u64::MAX);
+        assert_eq!(pext64(u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn filter_columns_matches_column_rebuild() {
+        // push 150 pseudo-random sample columns over 90 candidates, filter
+        // by a pseudo-random mask, and compare against a from-scratch
+        // rebuild of the surviving columns
+        let n = 90usize;
+        let cols = 150usize;
+        let mut state = 7u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let samples: Vec<BitSet> = (0..cols)
+            .map(|_| {
+                BitSet::from_ids(n, (0..n).filter(|_| next() % 3 == 0).map(CandidateId::from_index))
+            })
+            .collect();
+        let mut matrix = SampleMatrix::new(n);
+        for s in &samples {
+            matrix.push_sample(s);
+        }
+        let mut mask = vec![0u64; cols.div_ceil(64)];
+        let survivors: Vec<usize> = (0..cols).filter(|_| next() % 2 == 0).collect();
+        for &j in &survivors {
+            mask[j / 64] |= 1 << (j % 64);
+        }
+        matrix.filter_columns(&mask);
+        let mut expect = SampleMatrix::new(n);
+        for &j in &survivors {
+            expect.push_sample(&samples[j]);
+        }
+        assert_eq!(matrix.sample_count(), survivors.len());
+        for c in (0..n).map(CandidateId::from_index) {
+            assert_eq!(matrix.row(c), expect.row(c));
+        }
+    }
+
+    #[test]
+    fn matrix_follows_view_maintenance() {
+        let net = fig1_network();
+        let mut fb = Feedback::new(5);
+        let mut store = SampleStore::new(&net, &fb, small_config());
+        fb.approve(CandidateId(2));
+        store.maintain(&net, &fb, CandidateId(2), true);
+        let m = store.matrix();
+        assert_eq!(m.sample_count(), store.len());
+        assert_eq!(m.membership_count(CandidateId(2)), store.len(), "every survivor contains c2");
+        for c in (0..5).map(CandidateId::from_index) {
+            let by_scan = store.samples().iter().filter(|s| s.contains(c)).count();
+            assert_eq!(m.membership_count(c), by_scan);
+        }
+    }
+
+    #[test]
+    fn weights_are_cached_and_uniform() {
+        let net = fig1_network();
+        let store = SampleStore::new(&net, &Feedback::new(5), small_config());
+        assert_eq!(store.weights().len(), store.len());
+        assert!(store.weights().iter().all(|&w| w == 1.0));
     }
 
     #[test]
@@ -371,6 +814,51 @@ mod tests {
         let a = SampleStore::new(&net, &fb, small_config());
         let b = SampleStore::new(&net, &fb, small_config());
         assert_eq!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn multi_chain_is_deterministic_and_complete() {
+        let net = fig1_network();
+        let fb = Feedback::new(5);
+        let config = SamplerConfig { chains: 4, ..small_config() };
+        let a = SampleStore::new(&net, &fb, config);
+        let b = SampleStore::new(&net, &fb, config);
+        assert_eq!(a.samples(), b.samples(), "chain-order merge must be deterministic");
+        assert_eq!(a.visit_counts(), b.visit_counts());
+        assert!(a.is_exhausted());
+        assert_eq!(a.len(), 4, "all four maximal instances found across chains");
+        for s in a.samples() {
+            assert!(net.index().is_consistent(s));
+            assert!(net.index().is_maximal(s, fb.disapproved()));
+        }
+    }
+
+    #[test]
+    fn multi_chain_respects_feedback() {
+        let net = fig1_network();
+        let mut fb = Feedback::new(5);
+        fb.approve(CandidateId(0));
+        fb.disapprove(CandidateId(3));
+        let store = SampleStore::new(&net, &fb, SamplerConfig { chains: 3, ..small_config() });
+        assert!(!store.is_empty());
+        for s in store.samples() {
+            assert!(s.contains(CandidateId(0)));
+            assert!(!s.contains(CandidateId(3)));
+        }
+    }
+
+    #[test]
+    fn multi_chain_matches_single_chain_distinct_set_when_exhaustive() {
+        // on the tiny fig1 space both settings must discover all of Ω
+        let net = fig1_network();
+        let fb = Feedback::new(5);
+        let single = SampleStore::new(&net, &fb, small_config());
+        let multi = SampleStore::new(&net, &fb, SamplerConfig { chains: 2, ..small_config() });
+        let mut a: Vec<_> = single.samples().to_vec();
+        let mut b: Vec<_> = multi.samples().to_vec();
+        a.sort_by_key(|s| s.to_vec());
+        b.sort_by_key(|s| s.to_vec());
+        assert_eq!(a, b);
     }
 
     #[test]

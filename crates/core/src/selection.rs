@@ -18,6 +18,29 @@ use rand::seq::IndexedRandom;
 use rand::SeedableRng;
 use smn_schema::CandidateId;
 
+/// Uniformly selects a candidate satisfying `pred` by counted index scan —
+/// no allocation of the eligible pool. Consumes exactly one RNG draw (like
+/// `choose` on a materialized pool would), and only when the pool is
+/// non-empty.
+pub(crate) fn nth_matching(
+    n: usize,
+    rng: &mut impl rand::Rng,
+    pred: impl Fn(CandidateId) -> bool,
+) -> Option<CandidateId> {
+    let count = (0..n).map(CandidateId::from_index).filter(|&c| pred(c)).count();
+    if count == 0 {
+        return None;
+    }
+    let k = rng.random_range(0..count);
+    (0..n).map(CandidateId::from_index).filter(|&c| pred(c)).nth(k)
+}
+
+/// Uniformly selects an unasserted candidate via [`nth_matching`].
+fn random_unasserted(pn: &ProbabilisticNetwork, rng: &mut StdRng) -> Option<CandidateId> {
+    let n = pn.network().candidate_count();
+    nth_matching(n, rng, |c| !pn.feedback().is_asserted(c))
+}
+
 /// Picks the next candidate to show the expert.
 pub trait SelectionStrategy {
     /// Strategy name for reports.
@@ -52,11 +75,7 @@ impl SelectionStrategy for RandomSelection {
     }
 
     fn select(&mut self, pn: &ProbabilisticNetwork) -> Option<CandidateId> {
-        let unasserted: Vec<CandidateId> = (0..pn.network().candidate_count())
-            .map(CandidateId::from_index)
-            .filter(|&c| !pn.feedback().is_asserted(c))
-            .collect();
-        unasserted.choose(&mut self.rng).copied()
+        random_unasserted(pn, &mut self.rng)
     }
 }
 
@@ -95,11 +114,7 @@ impl SelectionStrategy for InformationGainSelection {
             // but the expert can still validate certain candidates (this is
             // what lets the heuristic's precision curve continue towards
             // 100% effort in Figs. 9/10). Pick a random unasserted one.
-            let unasserted: Vec<CandidateId> = (0..pn.network().candidate_count())
-                .map(CandidateId::from_index)
-                .filter(|&c| !pn.feedback().is_asserted(c))
-                .collect();
-            return unasserted.choose(&mut self.rng).copied();
+            return random_unasserted(pn, &mut self.rng);
         }
         if let Some(limit) = self.limit {
             if pool.len() > limit {
@@ -178,7 +193,14 @@ mod tests {
     fn pn() -> ProbabilisticNetwork {
         ProbabilisticNetwork::new(
             fig1_network(),
-            SamplerConfig { anneal: true, n_samples: 200, walk_steps: 3, n_min: 50, seed: 5 },
+            SamplerConfig {
+                anneal: true,
+                n_samples: 200,
+                walk_steps: 3,
+                n_min: 50,
+                seed: 5,
+                chains: 1,
+            },
         )
     }
 

@@ -52,8 +52,14 @@ fn describe(pn: &ProbabilisticNetwork) {
 }
 
 fn main() {
-    let sampler =
-        SamplerConfig { anneal: true, n_samples: 500, walk_steps: 4, n_min: 100, seed: 7 };
+    let sampler = SamplerConfig {
+        anneal: true,
+        n_samples: 500,
+        walk_steps: 4,
+        n_min: 100,
+        seed: 7,
+        chains: 1,
+    };
 
     println!("The Fig. 1 matching network (5 candidates, 3 schemas):");
     let pn = ProbabilisticNetwork::new(build_network(), sampler);

@@ -24,7 +24,14 @@ fn small_dataset(seed: u64) -> smn::datasets::Dataset {
 
 fn fast_session_config() -> SessionConfig {
     SessionConfig {
-        sampler: SamplerConfig { anneal: true, n_samples: 300, walk_steps: 3, n_min: 120, seed: 1 },
+        sampler: SamplerConfig {
+            anneal: true,
+            n_samples: 300,
+            walk_steps: 3,
+            n_min: 120,
+            seed: 1,
+            chains: 1,
+        },
         ..Default::default()
     }
 }
@@ -201,6 +208,7 @@ fn information_gain_beats_random_on_average() {
                     walk_steps: 4,
                     n_min: 300,
                     seed,
+                    chains: 1,
                 },
                 strategy,
                 strategy_seed: seed,

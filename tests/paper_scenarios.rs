@@ -85,7 +85,14 @@ fn asserted_probabilities_are_binary() {
     let net = fig1();
     let mut pn = ProbabilisticNetwork::new(
         net,
-        SamplerConfig { anneal: true, n_samples: 300, walk_steps: 3, n_min: 100, seed: 2 },
+        SamplerConfig {
+            anneal: true,
+            n_samples: 300,
+            walk_steps: 3,
+            n_min: 100,
+            seed: 2,
+            chains: 1,
+        },
     );
     pn.assert_candidate(Assertion { candidate: CandidateId(1), approved: true }).unwrap();
     pn.assert_candidate(Assertion { candidate: CandidateId(4), approved: false }).unwrap();
@@ -128,7 +135,14 @@ fn sampler_beats_uniform_baseline() {
         .expect("enumerable");
     let pn = ProbabilisticNetwork::new(
         net,
-        SamplerConfig { anneal: true, n_samples: 4000, walk_steps: 4, n_min: 1500, seed: 9 },
+        SamplerConfig {
+            anneal: true,
+            n_samples: 4000,
+            walk_steps: 4,
+            n_min: 1500,
+            seed: 9,
+            chains: 1,
+        },
     );
     let ratio = kl_ratio(&exact, pn.probabilities());
     assert!(
@@ -159,6 +173,7 @@ fn fig1_reconciles_to_selective_matching() {
                     walk_steps: 3,
                     n_min: 100,
                     seed: 3,
+                    chains: 1,
                 },
                 strategy,
                 strategy_seed: 17,

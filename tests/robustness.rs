@@ -42,7 +42,14 @@ fn identity_network(
 
 fn fast_config(seed: u64) -> SessionConfig {
     SessionConfig {
-        sampler: SamplerConfig { anneal: true, n_samples: 300, walk_steps: 3, n_min: 120, seed },
+        sampler: SamplerConfig {
+            anneal: true,
+            n_samples: 300,
+            walk_steps: 3,
+            n_min: 120,
+            seed,
+            chains: 1,
+        },
         strategy: Strategy::InformationGain,
         strategy_seed: seed,
     }

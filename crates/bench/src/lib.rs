@@ -13,6 +13,7 @@
 //! | `exp_fig9` | Fig. 9 — uncertainty reduction vs user effort |
 //! | `exp_fig10` | Fig. 10 — ordering strategies vs instantiation quality |
 //! | `exp_fig11` | Fig. 11 — likelihood criterion in instantiation |
+//! | `exp_sharding` | monolithic vs component-sharded probabilistic networks |
 //!
 //! Binaries print the paper's rows/series to stdout and write
 //! machine-readable JSON to `results/`. Criterion micro-benchmarks (incl.
@@ -23,6 +24,7 @@ pub mod hotpaths;
 pub mod report;
 pub mod runner;
 pub mod setup;
+pub mod sharding;
 
 pub use grid::EffortGrid;
 pub use report::{save_json, Table};

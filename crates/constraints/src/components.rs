@@ -1,0 +1,274 @@
+//! Connected components of the candidate conflict graph.
+//!
+//! Two candidates are *coupled* when they appear in a common potential
+//! violation — a one-to-one pair conflict or a cycle triple. The integrity
+//! constraints of the paper (§II-B) never couple candidates across
+//! components, so the set of matching instances factorizes exactly: `I` is
+//! a matching instance of the network iff its restriction to every
+//! component is a matching instance of that component. [`Components`]
+//! extracts this partition once per network (union-find over the dense
+//! pair-conflict masks plus the triple table) and provides the
+//! global ↔ shard-local candidate remapping the sharded probabilistic
+//! model in `smn-core` is built on.
+
+use crate::bitset::BitSet;
+use crate::index::ConflictIndex;
+use smn_schema::CandidateId;
+
+/// The partition of a candidate set into conflict-connected components,
+/// with per-component (shard-local) candidate renumbering.
+///
+/// Components are numbered by their smallest member id, and the members of
+/// each component are listed in ascending global id order — so the
+/// partition, the shard order and the local ids are all deterministic
+/// functions of the [`ConflictIndex`].
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// `component_of[c]` = component id of candidate `c`.
+    component_of: Vec<u32>,
+    /// `local_of[c]` = index of `c` inside `members[component_of[c]]`.
+    local_of: Vec<u32>,
+    /// Per-component member lists, ascending global ids.
+    members: Vec<Vec<CandidateId>>,
+}
+
+impl Components {
+    /// Extracts the conflict components of `index`: union-find over every
+    /// pair-conflict mask and every cycle triple (both members of a
+    /// violation always land in one component).
+    pub fn of_index(index: &ConflictIndex) -> Self {
+        let n = index.candidate_count();
+        let mut uf = UnionFind::new(n);
+        for i in 0..n {
+            let c = CandidateId::from_index(i);
+            for other in index.pair_mask(c).iter() {
+                uf.union(i, other.index());
+            }
+            for &[a, b] in index.other_pairs(c) {
+                uf.union(i, a.index());
+                uf.union(i, b.index());
+            }
+        }
+        // number components by smallest member (= first occurrence in
+        // ascending id order) and assign local ids in the same order
+        let mut component_of = vec![u32::MAX; n];
+        let mut local_of = vec![0u32; n];
+        let mut members: Vec<Vec<CandidateId>> = Vec::new();
+        let mut id_of_root: Vec<u32> = vec![u32::MAX; n];
+        for i in 0..n {
+            let root = uf.find(i);
+            if id_of_root[root] == u32::MAX {
+                id_of_root[root] = u32::try_from(members.len()).expect("component id fits u32");
+                members.push(Vec::new());
+            }
+            let k = id_of_root[root];
+            component_of[i] = k;
+            let list = &mut members[k as usize];
+            local_of[i] = u32::try_from(list.len()).expect("local id fits u32");
+            list.push(CandidateId::from_index(i));
+        }
+        Self { component_of, local_of, members }
+    }
+
+    /// Number of components (shards).
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of candidates across all components.
+    pub fn candidate_count(&self) -> usize {
+        self.component_of.len()
+    }
+
+    /// Component id of a candidate.
+    #[inline]
+    pub fn component_of(&self, c: CandidateId) -> usize {
+        self.component_of[c.index()] as usize
+    }
+
+    /// Shard-local index of a candidate within its component.
+    #[inline]
+    pub fn local_index(&self, c: CandidateId) -> usize {
+        self.local_of[c.index()] as usize
+    }
+
+    /// Members of component `k`, ascending global ids (the local→global
+    /// map: local id `j` is `members(k)[j]`).
+    #[inline]
+    pub fn members(&self, k: usize) -> &[CandidateId] {
+        &self.members[k]
+    }
+
+    /// Size of the largest component.
+    pub fn largest(&self) -> usize {
+        self.members.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Restricts a global candidate set to component `k`, remapped to
+    /// local ids.
+    pub fn localize(&self, k: usize, global: &BitSet) -> BitSet {
+        BitSet::from_ids(
+            self.members[k].len(),
+            self.members[k]
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| global.contains(c))
+                .map(|(j, _)| CandidateId::from_index(j)),
+        )
+    }
+}
+
+/// Path-halving union-find over candidate indices.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n).map(|i| u32::try_from(i).expect("candidate id fits u32")).collect() }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let grand = self.parent[self.parent[x] as usize];
+            self.parent[x] = grand;
+            x = grand as usize;
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // attach the larger root id under the smaller so component
+            // representatives stay the smallest member
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = u32::try_from(lo).expect("candidate id fits u32");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::ConstraintConfig;
+    use smn_schema::{AttributeId, CandidateSet, CatalogBuilder, InteractionGraph};
+
+    /// Two disjoint Fig.-1-style conflict clusters plus one isolated
+    /// candidate.
+    fn disjoint_network() -> (ConflictIndex, usize) {
+        let mut b = CatalogBuilder::new();
+        b.add_schema_with_attributes("A", ["a0", "a1"]).unwrap();
+        b.add_schema_with_attributes("B", ["b0", "b1"]).unwrap();
+        b.add_schema_with_attributes("C", ["c0"]).unwrap();
+        let cat = b.build();
+        let g = InteractionGraph::complete(3);
+        let mut cs = CandidateSet::new(&cat);
+        let a = AttributeId;
+        // chained cluster: c0 = a0–b0 and c1 = a0–b1 conflict on a0,
+        // c1 and c2 = a1–b1 conflict on b1 → {c0, c1, c2} is one component
+        cs.add(&cat, Some(&g), a(0), a(2), 0.9).unwrap(); // c0
+        cs.add(&cat, Some(&g), a(0), a(3), 0.8).unwrap(); // c1
+        cs.add(&cat, Some(&g), a(1), a(3), 0.8).unwrap(); // c2
+                                                          // c3 = b0–c0 shares b0 with c0, but the other endpoints (a0 in A,
+                                                          // c0 in C) sit in different schemas: no 1-1 conflict, and with no
+                                                          // A–C candidate there is no cycle triple → c3 is a singleton
+        cs.add(&cat, Some(&g), a(2), a(4), 0.7).unwrap(); // c3
+        let idx = ConflictIndex::build(&cat, &g, &cs, ConstraintConfig::default());
+        (idx, cs.len())
+    }
+
+    #[test]
+    fn partition_covers_all_candidates_exactly_once() {
+        let (idx, n) = disjoint_network();
+        let comps = Components::of_index(&idx);
+        assert_eq!(comps.candidate_count(), n);
+        let mut seen = vec![false; n];
+        for k in 0..comps.count() {
+            for (j, &c) in comps.members(k).iter().enumerate() {
+                assert!(!seen[c.index()], "candidate in two components");
+                seen[c.index()] = true;
+                assert_eq!(comps.component_of(c), k);
+                assert_eq!(comps.local_index(c), j);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn conflicting_candidates_share_a_component() {
+        let (idx, n) = disjoint_network();
+        let comps = Components::of_index(&idx);
+        for i in 0..n {
+            let c = CandidateId::from_index(i);
+            for other in idx.pair_mask(c).iter() {
+                assert_eq!(comps.component_of(c), comps.component_of(other));
+            }
+            for &[a, b] in idx.other_pairs(c) {
+                assert_eq!(comps.component_of(c), comps.component_of(a));
+                assert_eq!(comps.component_of(c), comps.component_of(b));
+            }
+        }
+    }
+
+    #[test]
+    fn members_are_ascending_and_components_ordered_by_smallest() {
+        let (idx, _) = disjoint_network();
+        let comps = Components::of_index(&idx);
+        let mut prev_smallest = None;
+        for k in 0..comps.count() {
+            let m = comps.members(k);
+            assert!(m.windows(2).all(|w| w[0] < w[1]), "members not ascending");
+            if let Some(p) = prev_smallest {
+                assert!(m[0] > p, "components not ordered by smallest member");
+            }
+            prev_smallest = Some(m[0]);
+        }
+    }
+
+    #[test]
+    fn localize_remaps_global_sets() {
+        let (idx, n) = disjoint_network();
+        let comps = Components::of_index(&idx);
+        let global = BitSet::full(n);
+        for k in 0..comps.count() {
+            let local = comps.localize(k, &global);
+            assert_eq!(local.count(), comps.members(k).len());
+        }
+        let empty = BitSet::new(n);
+        for k in 0..comps.count() {
+            assert!(comps.localize(k, &empty).is_empty());
+        }
+    }
+
+    #[test]
+    fn conflict_free_network_is_all_singletons() {
+        let mut b = CatalogBuilder::new();
+        b.add_schema_with_attributes("A", ["a0", "a1"]).unwrap();
+        b.add_schema_with_attributes("B", ["b0", "b1"]).unwrap();
+        let cat = b.build();
+        let g = InteractionGraph::complete(2);
+        let mut cs = CandidateSet::new(&cat);
+        let a = AttributeId;
+        cs.add(&cat, Some(&g), a(0), a(2), 0.9).unwrap();
+        cs.add(&cat, Some(&g), a(1), a(3), 0.9).unwrap();
+        let idx = ConflictIndex::build(&cat, &g, &cs, ConstraintConfig::default());
+        let comps = Components::of_index(&idx);
+        assert_eq!(comps.count(), 2);
+        assert_eq!(comps.largest(), 1);
+    }
+
+    #[test]
+    fn empty_index_has_no_components() {
+        let mut b = CatalogBuilder::new();
+        b.add_schema_with_attributes("A", ["a0"]).unwrap();
+        b.add_schema_with_attributes("B", ["b0"]).unwrap();
+        let cat = b.build();
+        let g = InteractionGraph::complete(2);
+        let cs = CandidateSet::new(&cat);
+        let idx = ConflictIndex::build(&cat, &g, &cs, ConstraintConfig::default());
+        let comps = Components::of_index(&idx);
+        assert_eq!(comps.count(), 0);
+        assert_eq!(comps.largest(), 0);
+    }
+}

@@ -25,13 +25,21 @@
 //! instantiation search ask (`can_add`, `violations_introduced`,
 //! `conflicts_of_in`) in time proportional to the local conflict degree.
 //! Matching instances themselves are plain [`BitSet`]s over candidate ids.
+//!
+//! Because constraints only couple candidates that share a conflict, the
+//! conflict graph decomposes sparse networks into independent connected
+//! components; [`Components`] extracts that partition and
+//! [`ConflictIndex::shard`] splits the index along it — the foundation of
+//! the component-sharded probabilistic model in `smn-core`.
 
 pub mod bitset;
 pub mod closure;
+pub mod components;
 pub mod index;
 pub mod violation;
 
 pub use bitset::BitSet;
 pub use closure::ClosureChecker;
+pub use components::Components;
 pub use index::{ConflictIndex, ConstraintConfig};
 pub use violation::{Violation, ViolationCounts, ViolationKind};

@@ -130,6 +130,56 @@ proptest! {
         prop_assert!(idx.is_maximal(&inst, &BitSet::new(cs.len())));
     }
 
+    /// The conflict-component partition is sound and the sharded
+    /// sub-indices agree with the global index: `can_add`, consistency and
+    /// maximality of a global set equal the conjunction/evaluation of the
+    /// localized checks on every shard.
+    #[test]
+    fn sharded_indices_agree_with_global(
+        cand_mask in any::<u64>(),
+        inst_mask in any::<u64>(),
+        forb_mask in any::<u64>(),
+        sizes in prop::array::uniform3(1usize..4),
+    ) {
+        use smn_constraints::Components;
+        let (cat, g, cs) = three_schema_network(sizes, cand_mask);
+        let idx = ConflictIndex::build(&cat, &g, &cs, ConstraintConfig::default());
+        let comps = Components::of_index(&idx);
+        let shards = idx.shard(&comps);
+        prop_assert_eq!(shards.len(), comps.count());
+        // consistency of an arbitrary set factorizes over shards
+        let raw = subset_from_mask(cs.len(), inst_mask);
+        let all_consistent = (0..comps.count())
+            .all(|k| shards[k].is_consistent(&comps.localize(k, &raw)));
+        prop_assert_eq!(idx.is_consistent(&raw), all_consistent);
+        // greedy-complete the mask so can_add/maximality are well-defined
+        let mut inst = BitSet::new(cs.len());
+        for i in 0..cs.len() {
+            let c = CandidateId::from_index(i);
+            if inst_mask & (1 << (i % 64)) != 0 && idx.can_add(&inst, c) {
+                inst.insert(c);
+            }
+        }
+        for i in 0..cs.len() {
+            let c = CandidateId::from_index(i);
+            if inst.contains(c) { continue; }
+            let k = comps.component_of(c);
+            let local_set = comps.localize(k, &inst);
+            let lc = CandidateId::from_index(comps.local_index(c));
+            prop_assert_eq!(idx.can_add(&inst, c), shards[k].can_add(&local_set, lc));
+            prop_assert_eq!(
+                idx.violations_introduced(&inst, c),
+                shards[k].violations_introduced(&local_set, lc)
+            );
+        }
+        // maximality relative to a forbidden set factorizes over shards
+        let forbidden = subset_from_mask(cs.len(), forb_mask);
+        let all_maximal = (0..comps.count()).all(|k| {
+            shards[k].is_maximal(&comps.localize(k, &inst), &comps.localize(k, &forbidden))
+        });
+        prop_assert_eq!(idx.is_maximal(&inst, &forbidden), all_maximal);
+    }
+
     /// BitSet algebra: symmetric difference is |A|+|B|−2|A∩B|; subset and
     /// union/difference behave like the std set operations.
     #[test]

@@ -17,10 +17,11 @@ use crate::feedback::Assertion;
 use crate::instantiate::{instantiate, Instantiation, InstantiationConfig};
 use crate::network::MatchingNetwork;
 use crate::oracle::Oracle;
-use crate::probability::{InconsistentApproval, ProbabilisticNetwork};
+use crate::probability::{AssertError, ProbabilisticNetwork};
 use crate::reconcile::{reconcile, ReconciliationGoal, TracePoint};
 use crate::sampling::SamplerConfig;
 use crate::selection::{InformationGainSelection, RandomSelection, SelectionStrategy};
+use crate::shard::ShardingConfig;
 use smn_schema::{CandidateId, Correspondence};
 
 /// Which built-in selection strategy a session uses.
@@ -41,6 +42,11 @@ pub struct SessionConfig {
     pub strategy: Strategy,
     /// Seed for strategy randomness (tie breaking / random baseline).
     pub strategy_seed: u64,
+    /// Sample representation: [`ShardingConfig::disabled`] (the default)
+    /// keeps one monolithic store; an enabled config shards the store by
+    /// conflict component (see
+    /// [`ProbabilisticNetwork::new_sharded`]).
+    pub sharding: ShardingConfig,
 }
 
 impl Default for SessionConfig {
@@ -49,6 +55,7 @@ impl Default for SessionConfig {
             sampler: SamplerConfig::default(),
             strategy: Strategy::InformationGain,
             strategy_seed: 0xACE,
+            sharding: ShardingConfig::disabled(),
         }
     }
 }
@@ -81,7 +88,11 @@ impl Session {
                 Box::new(InformationGainSelection::new(config.strategy_seed))
             }
         };
-        Self { pn: ProbabilisticNetwork::new(network, config.sampler), strategy, asked: Vec::new() }
+        Self {
+            pn: ProbabilisticNetwork::new_sharded(network, config.sampler, config.sharding),
+            strategy,
+            asked: Vec::new(),
+        }
     }
 
     /// Creates a session with a custom selection strategy.
@@ -110,14 +121,19 @@ impl Session {
     }
 
     /// Integrates the expert's answer for a candidate.
-    pub fn answer(
-        &mut self,
-        candidate: CandidateId,
-        approved: bool,
-    ) -> Result<(), InconsistentApproval> {
+    ///
+    /// Repeating an earlier answer verbatim is a successful no-op;
+    /// flipping an earlier answer or approving a candidate that conflicts
+    /// with earlier approvals returns the corresponding [`AssertError`]
+    /// with the session state untouched. This method never panics on any
+    /// `(candidate, approved)` input.
+    pub fn answer(&mut self, candidate: CandidateId, approved: bool) -> Result<(), AssertError> {
+        let redundant = self.pn.feedback().is_asserted(candidate);
         let assertion = Assertion { candidate, approved };
         self.pn.assert_candidate(assertion)?;
-        self.asked.push(assertion);
+        if !redundant {
+            self.asked.push(assertion);
+        }
         Ok(())
     }
 
@@ -177,6 +193,7 @@ mod tests {
             },
             strategy: Strategy::InformationGain,
             strategy_seed: 9,
+            sharding: ShardingConfig::disabled(),
         }
     }
 
@@ -236,5 +253,61 @@ mod tests {
         let mut oracle = GroundTruthOracle::new(fig1_truth());
         session.run(&mut oracle, ReconciliationGoal::Complete);
         assert_eq!(session.entropy(), 0.0);
+    }
+
+    #[test]
+    fn redundant_answer_is_ok_and_not_double_counted() {
+        // regression: the empty re-assertion guard used to fall through and
+        // redundantly re-run maintenance; now it is a true no-op
+        let mut session = Session::new(fig1_network(), config());
+        session.answer(CandidateId(2), true).unwrap();
+        let effort = session.effort();
+        let history = session.history().len();
+        session.answer(CandidateId(2), true).unwrap();
+        assert_eq!(session.effort(), effort);
+        assert_eq!(session.history().len(), history, "no-op answers stay out of the history");
+    }
+
+    #[test]
+    fn contradictory_answer_returns_err_instead_of_panicking() {
+        // regression: a flipped answer used to reach Feedback::assert and
+        // panic through the public API
+        use crate::probability::AssertError;
+        let mut session = Session::new(fig1_network(), config());
+        session.answer(CandidateId(2), true).unwrap();
+        assert_eq!(
+            session.answer(CandidateId(2), false),
+            Err(AssertError::Contradictory {
+                candidate: CandidateId(2),
+                previously_approved: true
+            })
+        );
+        session.answer(CandidateId(0), false).unwrap();
+        assert_eq!(
+            session.answer(CandidateId(0), true),
+            Err(AssertError::Contradictory {
+                candidate: CandidateId(0),
+                previously_approved: false
+            })
+        );
+        // the rejected flips left the session usable
+        assert_eq!(session.network().probability(CandidateId(2)), 1.0);
+        assert_eq!(session.history().len(), 2);
+    }
+
+    #[test]
+    fn sharded_session_reconciles_like_the_monolithic_one() {
+        let sharded_config =
+            SessionConfig { sharding: crate::shard::ShardingConfig::default(), ..config() };
+        let mut mono = Session::new(fig1_network(), config());
+        let mut sharded = Session::new(fig1_network(), sharded_config);
+        assert!(sharded.network().is_sharded());
+        assert_eq!(sharded.network().probabilities(), mono.network().probabilities());
+        let mut oracle = GroundTruthOracle::new(fig1_truth());
+        let trace_m = mono.run(&mut oracle, ReconciliationGoal::Complete);
+        let mut oracle = GroundTruthOracle::new(fig1_truth());
+        let trace_s = sharded.run(&mut oracle, ReconciliationGoal::Complete);
+        assert_eq!(trace_m, trace_s, "exhausted fig1: identical traces");
+        assert_eq!(sharded.entropy(), 0.0);
     }
 }

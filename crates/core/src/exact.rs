@@ -8,7 +8,7 @@
 
 use crate::feedback::Feedback;
 use crate::network::MatchingNetwork;
-use smn_constraints::BitSet;
+use smn_constraints::{BitSet, ConflictIndex};
 use smn_schema::CandidateId;
 
 /// Enumerates all matching instances (Definition 1): maximal consistent
@@ -23,8 +23,18 @@ pub fn enumerate_instances(
     feedback: &Feedback,
     cap: usize,
 ) -> Option<Vec<BitSet>> {
-    let n = network.candidate_count();
-    let index = network.index();
+    enumerate_with_index(network.index(), feedback, cap)
+}
+
+/// Index-level form of [`enumerate_instances`]: the enumeration only needs
+/// the conflict structure, so the exact path of small shards in the
+/// component-sharded model can run it on a restricted sub-index.
+pub fn enumerate_with_index(
+    index: &ConflictIndex,
+    feedback: &Feedback,
+    cap: usize,
+) -> Option<Vec<BitSet>> {
+    let n = index.candidate_count();
     // seed with the approved candidates; they must be mutually consistent
     let mut seed = BitSet::new(n);
     for c in feedback.approved().iter() {
@@ -38,12 +48,38 @@ pub fn enumerate_instances(
     // depth-first include/exclude over unasserted candidates
     let free: Vec<CandidateId> =
         (0..n).map(CandidateId::from_index).filter(|&c| !feedback.is_asserted(c)).collect();
+    let mut future = BitSet::from_ids(n, free.iter().copied());
+    let mut scratch = BitSet::new(n);
+    /// Whether an addable-but-excluded `c` can still be blocked by picks
+    /// after the current position: a pair partner left in `future`, or a
+    /// triple whose other two members are each in `current ∪ future`.
+    /// When nothing can block it, every completion of the exclude branch
+    /// keeps `c` addable — non-maximal by definition — so the whole
+    /// subtree is pruned (this is what keeps the enumeration near
+    /// `O(|instances|)` on sparse conflict components instead of `2^m`).
+    fn can_block_later(
+        index: &smn_constraints::ConflictIndex,
+        current: &BitSet,
+        future: &BitSet,
+        c: CandidateId,
+    ) -> bool {
+        if index.pair_mask(c).intersects(future) {
+            return true;
+        }
+        index.other_pairs(c).iter().any(|&[a, b]| {
+            (current.contains(a) || future.contains(a))
+                && (current.contains(b) || future.contains(b))
+        })
+    }
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         index: &smn_constraints::ConflictIndex,
         free: &[CandidateId],
         pos: usize,
         current: &mut BitSet,
+        future: &mut BitSet,
         forbidden: &BitSet,
+        scratch: &mut BitSet,
         out: &mut Vec<BitSet>,
         cap: usize,
     ) -> bool {
@@ -51,22 +87,41 @@ pub fn enumerate_instances(
             return false;
         }
         if pos == free.len() {
-            if index.is_maximal(current, forbidden) {
+            if index.is_maximal_in(current, forbidden, scratch) {
                 out.push(current.clone());
             }
             return out.len() <= cap;
         }
         let c = free[pos];
-        if index.can_add(current, c) {
+        future.remove(c);
+        let ok = if index.can_add(current, c) {
             current.insert(c);
-            if !recurse(index, free, pos + 1, current, forbidden, out, cap) {
-                return false;
-            }
+            let mut ok =
+                recurse(index, free, pos + 1, current, future, forbidden, scratch, out, cap);
             current.remove(c);
-        }
-        recurse(index, free, pos + 1, current, forbidden, out, cap)
+            // the exclude branch can only produce maximal instances if a
+            // later pick blocks `c`
+            if ok && can_block_later(index, current, future, c) {
+                ok = recurse(index, free, pos + 1, current, future, forbidden, scratch, out, cap);
+            }
+            ok
+        } else {
+            recurse(index, free, pos + 1, current, future, forbidden, scratch, out, cap)
+        };
+        future.insert(c);
+        ok
     }
-    if !recurse(index, &free, 0, &mut current, feedback.disapproved(), &mut out, cap) {
+    if !recurse(
+        index,
+        &free,
+        0,
+        &mut current,
+        &mut future,
+        feedback.disapproved(),
+        &mut scratch,
+        &mut out,
+        cap,
+    ) {
         return None;
     }
     Some(out)

@@ -84,40 +84,32 @@ pub fn instantiate(pn: &ProbabilisticNetwork, config: InstantiationConfig) -> In
     let approved = pn.feedback().approved();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let log_likelihood = |inst: &BitSet| -> f64 {
-        inst.iter().map(|c| probs[c.index()].max(f64::MIN_POSITIVE).ln()).sum()
-    };
-    // lexicographic: smaller Δ (= larger instance) first, then larger u
-    let better = |cand: &BitSet, cand_ll: f64, best: &BitSet, best_ll: f64| -> bool {
-        match cand.count().cmp(&best.count()) {
-            std::cmp::Ordering::Greater => true,
-            std::cmp::Ordering::Less => false,
-            std::cmp::Ordering::Equal => config.use_likelihood && cand_ll > best_ll,
-        }
+    // the likelihood measure and the lexicographic "smaller Δ, then larger
+    // u" ordering are shared with the greedy seed (probability.rs), so the
+    // local search optimizes exactly the criterion its initialization used
+    let log_likelihood = |inst: &BitSet| crate::probability::log_likelihood_of(probs, inst);
+    let better = |cand: &BitSet, cand_ll: f64, best: &BitSet, best_ll: f64| {
+        crate::probability::better_instance(cand, cand_ll, best, best_ll, config.use_likelihood)
     };
 
-    // Step 1: greedy pick among the samples
-    let mut best: Option<(BitSet, f64)> = None;
-    for s in pn.samples() {
-        let ll = log_likelihood(s);
-        match &best {
-            None => best = Some((s.clone(), ll)),
-            Some((b, bll)) => {
-                if better(s, ll, b, *bll) {
-                    best = Some((s.clone(), ll));
-                }
-            }
-        }
-    }
+    // Step 1: greedy pick among the stored samples — per shard and
+    // composed for the sharded representation, where the global best
+    // decomposes over independent components
     let mut scratch = Scratch::new(n);
-    let (mut best_inst, mut best_ll) = best.unwrap_or_else(|| {
-        // no samples (empty network / contradictory feedback): start from
-        // the maximized approved set
-        let mut seed_inst = approved.clone();
-        maximize_in(index, &mut seed_inst, forbidden, &mut rng, &mut scratch);
-        let ll = log_likelihood(&seed_inst);
-        (seed_inst, ll)
-    });
+    let (mut best_inst, mut best_ll) = match pn.greedy_seed(config.use_likelihood) {
+        Some(seed_inst) => {
+            let ll = log_likelihood(&seed_inst);
+            (seed_inst, ll)
+        }
+        None => {
+            // no samples (empty network / contradictory feedback): start
+            // from the maximized approved set
+            let mut seed_inst = approved.clone();
+            maximize_in(index, &mut seed_inst, forbidden, &mut rng, &mut scratch);
+            let ll = log_likelihood(&seed_inst);
+            (seed_inst, ll)
+        }
+    };
 
     // Step 2: randomized local search with tabu. Roulette proposals come
     // from a Fenwick wheel over `{⟨c, p_c⟩ | c ∈ C \ F− \ I \ tabu}`,

@@ -13,7 +13,11 @@
 //!    ([`exact`]) enumerate all instances; the tractable path is the
 //!    non-uniform sampler of Algorithm 3 ([`sampling`]: random walk +
 //!    simulated-annealing acceptance `1 − e^{−Δ}`) with view maintenance
-//!    under user assertions.
+//!    under user assertions. Because the constraints only couple
+//!    candidates that share a conflict, the model factorizes exactly over
+//!    conflict components; the [`shard`] module materializes that as one
+//!    independent store per component, making assertions and gain scans
+//!    local instead of global.
 //! 2. **Uncertainty reduction** (§IV). Network uncertainty is Shannon
 //!    entropy over inclusion variables ([`entropy`]); the expert is guided
 //!    by one-step expected information gain ([`selection`]), driven through
@@ -42,6 +46,7 @@ pub mod probability;
 pub mod reconcile;
 pub mod sampling;
 pub mod selection;
+pub mod shard;
 
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -53,10 +58,11 @@ pub use instantiate::{Instantiation, InstantiationConfig};
 pub use metrics::{kl_divergence, kl_ratio, PrecisionRecall};
 pub use network::MatchingNetwork;
 pub use oracle::{CrowdOracle, GroundTruthOracle, NoisyOracle, Oracle};
-pub use probability::ProbabilisticNetwork;
-pub use reconcile::{reconcile, ReconciliationGoal, TracePoint};
+pub use probability::{AssertError, ProbabilisticNetwork};
+pub use reconcile::{reconcile, ReconciliationGoal, StepOutcome, TracePoint};
 pub use sampling::SamplerConfig;
 pub use selection::{
     ConfidenceOrderSelection, InformationGainSelection, MaxEntropySelection, RandomSelection,
     SelectionStrategy,
 };
+pub use shard::ShardingConfig;

@@ -2,51 +2,125 @@
 //!
 //! [`ProbabilisticNetwork`] is the single mutable state of reconciliation:
 //! it owns the network, the accumulated feedback, the view-maintained
-//! sample store and the derived probabilities. Every user assertion flows
-//! through [`ProbabilisticNetwork::assert_candidate`], which updates all
-//! of them consistently — the probabilistic model "acts as a black-box …
-//! it contains all the information given by matchers and user assertions".
+//! sample representation and the derived probabilities. Every user
+//! assertion flows through [`ProbabilisticNetwork::assert_candidate`],
+//! which updates all of them consistently — the probabilistic model "acts
+//! as a black-box … it contains all the information given by matchers and
+//! user assertions".
+//!
+//! Two internal representations back the same public API:
+//!
+//! * **monolithic** ([`ProbabilisticNetwork::new`]) — one [`SampleStore`]
+//!   over the whole candidate set, the classic Algorithm 3 setup;
+//! * **component-sharded** ([`ProbabilisticNetwork::new_sharded`]) — one
+//!   independent store per conflict component (see [`crate::shard`]).
+//!   Because the distribution factorizes exactly over components, the two
+//!   representations agree on probabilities, entropy and information gain
+//!   (bit-for-bit on exhausted stores), while assertions and gain scans
+//!   cost per-shard instead of per-network.
 
 use crate::entropy::{binary_entropy, entropy_of};
 use crate::feedback::{Assertion, Feedback};
 use crate::network::MatchingNetwork;
-use crate::sampling::{row_and_count, SampleStore, SamplerConfig};
+use crate::sampling::{row_and_count, SampleMatrix, SampleStore, SamplerConfig};
+use crate::shard::{ShardSet, ShardingConfig};
 use smn_constraints::BitSet;
 use smn_schema::CandidateId;
+use std::collections::HashMap;
 use std::fmt;
 
-/// Error raised when an approval contradicts earlier approvals under the
-/// integrity constraints — no matching instance can contain both, so the
-/// probabilistic model would be empty.
+/// Why [`ProbabilisticNetwork::assert_candidate`] (and with it
+/// [`Session::answer`](crate::Session::answer)) rejected an assertion.
+/// Rejections never mutate the model; re-asserting a candidate the *same*
+/// way is a successful no-op, not an error.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct InconsistentApproval(pub CandidateId);
+pub enum AssertError {
+    /// Approving the candidate contradicts earlier approvals under the
+    /// integrity constraints — no matching instance can contain all of
+    /// them, so the probabilistic model would become empty.
+    InconsistentApproval(CandidateId),
+    /// The candidate was already asserted the other way. The paper assumes
+    /// "user assertions are always right", so flips are refused rather
+    /// than integrated.
+    Contradictory {
+        /// The re-asserted candidate.
+        candidate: CandidateId,
+        /// The standing verdict (`true` = it is approved, and the rejected
+        /// assertion tried to disapprove it).
+        previously_approved: bool,
+    },
+}
 
-impl fmt::Display for InconsistentApproval {
+impl fmt::Display for AssertError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "approving {} contradicts earlier approvals under the constraints", self.0)
+        match self {
+            AssertError::InconsistentApproval(c) => {
+                write!(f, "approving {c} contradicts earlier approvals under the constraints")
+            }
+            AssertError::Contradictory { candidate, previously_approved } => {
+                let standing = if *previously_approved { "approved" } else { "disapproved" };
+                write!(f, "{candidate} is already {standing}; assertions cannot be flipped")
+            }
+        }
     }
 }
 
-impl std::error::Error for InconsistentApproval {}
+impl std::error::Error for AssertError {}
+
+/// The sample representation behind the probability vector.
+#[derive(Debug, Clone)]
+enum Repr {
+    /// One store over the whole network.
+    Monolithic(SampleStore),
+    /// One independent store per conflict component.
+    Sharded(ShardSet),
+}
 
 /// The probabilistic matching network: network + feedback + samples + `P`.
 #[derive(Debug, Clone)]
 pub struct ProbabilisticNetwork {
     network: MatchingNetwork,
     feedback: Feedback,
-    store: SampleStore,
+    repr: Repr,
     probs: Vec<f64>,
     initial_entropy: f64,
 }
 
 impl ProbabilisticNetwork {
-    /// Builds the probabilistic network: samples matching instances and
-    /// derives initial probabilities.
+    /// Builds the probabilistic network with a monolithic sample store:
+    /// samples matching instances and derives initial probabilities.
     pub fn new(network: MatchingNetwork, config: SamplerConfig) -> Self {
         let feedback = Feedback::new(network.candidate_count());
         let store = SampleStore::new(&network, &feedback, config);
-        let mut pn = Self { network, feedback, store, probs: Vec::new(), initial_entropy: 0.0 };
-        pn.recompute_probabilities();
+        Self::finish(network, feedback, Repr::Monolithic(store))
+    }
+
+    /// Builds the probabilistic network sharded by conflict component
+    /// (shard `k` is seeded `config.seed + k`; components at or below
+    /// [`ShardingConfig::exact_threshold`] candidates get exact, exhausted
+    /// posteriors). With `sharding.enabled == false` this is
+    /// [`ProbabilisticNetwork::new`].
+    pub fn new_sharded(
+        network: MatchingNetwork,
+        config: SamplerConfig,
+        sharding: ShardingConfig,
+    ) -> Self {
+        if !sharding.enabled {
+            return Self::new(network, config);
+        }
+        let feedback = Feedback::new(network.candidate_count());
+        let set = ShardSet::build(network.index(), config, &sharding);
+        Self::finish(network, feedback, Repr::Sharded(set))
+    }
+
+    fn finish(network: MatchingNetwork, feedback: Feedback, repr: Repr) -> Self {
+        let n = network.candidate_count();
+        let mut probs = vec![0.0; n];
+        match &repr {
+            Repr::Monolithic(store) => recompute_monolithic(store, &feedback, &mut probs),
+            Repr::Sharded(set) => set.write_all_probabilities(&mut probs),
+        }
+        let mut pn = Self { network, feedback, repr, probs, initial_entropy: 0.0 };
         pn.initial_entropy = pn.entropy();
         pn
     }
@@ -61,14 +135,50 @@ impl ProbabilisticNetwork {
         &self.feedback
     }
 
-    /// The distinct sampled matching instances Ω\*.
+    /// The distinct sampled matching instances Ω\* of the *monolithic*
+    /// store. The sharded representation never materializes global
+    /// samples — that is the point of factorizing — so it returns an
+    /// empty slice; use
+    /// [`distinct_sample_count`](ProbabilisticNetwork::distinct_sample_count)
+    /// for coverage diagnostics that work for both.
     pub fn samples(&self) -> &[BitSet] {
-        self.store.samples()
+        match &self.repr {
+            Repr::Monolithic(store) => store.samples(),
+            Repr::Sharded(_) => &[],
+        }
     }
 
-    /// Whether Ω\* provably equals Ω (probabilities are exact).
+    /// Distinct stored instances: `|Ω*|` for the monolithic store, the sum
+    /// of per-shard counts for the sharded one (whose factorized coverage
+    /// is the *product* of the per-shard counts).
+    pub fn distinct_sample_count(&self) -> usize {
+        match &self.repr {
+            Repr::Monolithic(store) => store.len(),
+            Repr::Sharded(set) => set.distinct_samples(),
+        }
+    }
+
+    /// Number of independent sample stores: 1 for the monolithic
+    /// representation, the conflict-component count for the sharded one.
+    pub fn shard_count(&self) -> usize {
+        match &self.repr {
+            Repr::Monolithic(_) => 1,
+            Repr::Sharded(set) => set.shards.len(),
+        }
+    }
+
+    /// Whether this network uses the component-sharded representation.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.repr, Repr::Sharded(_))
+    }
+
+    /// Whether Ω\* provably equals Ω (probabilities are exact) — for the
+    /// sharded representation, whether *every* shard is exhausted.
     pub fn is_exhausted(&self) -> bool {
-        self.store.is_exhausted()
+        match &self.repr {
+            Repr::Monolithic(store) => store.is_exhausted(),
+            Repr::Sharded(set) => set.is_exhausted(),
+        }
     }
 
     /// The probability vector `P`, indexed by candidate id.
@@ -81,7 +191,9 @@ impl ProbabilisticNetwork {
         self.probs[c.index()]
     }
 
-    /// Network uncertainty `H(C, P)` in bits (Eq. 3).
+    /// Network uncertainty `H(C, P)` in bits (Eq. 3). For the sharded
+    /// representation this equals the sum of per-shard entropies — entropy
+    /// is additive over independent components.
     pub fn entropy(&self) -> f64 {
         entropy_of(&self.probs)
     }
@@ -112,53 +224,51 @@ impl ProbabilisticNetwork {
         self.feedback.effort(self.network.candidate_count())
     }
 
-    /// Integrates a user assertion: checks approval consistency, updates
-    /// the feedback, view-maintains the samples and recomputes `P`.
-    pub fn assert_candidate(&mut self, assertion: Assertion) -> Result<(), InconsistentApproval> {
+    /// Integrates a user assertion: checks it against the standing
+    /// feedback and the approval constraints, then updates the feedback,
+    /// view-maintains the samples and recomputes `P` — only the owning
+    /// shard in the sharded representation.
+    ///
+    /// Re-asserting a candidate the *same* way is a successful no-op (no
+    /// maintenance, no recompute). Asserting it the *other* way, or
+    /// approving a candidate that conflicts with earlier approvals,
+    /// returns an [`AssertError`] and leaves the model untouched — this
+    /// method never panics on any input.
+    pub fn assert_candidate(&mut self, assertion: Assertion) -> Result<(), AssertError> {
         let Assertion { candidate, approved } = assertion;
         if self.feedback.is_asserted(candidate) {
-            // idempotent re-assertion is a no-op; contradiction panics in
-            // Feedback::assert below, which we pre-empt here for approvals
+            let previously_approved = self.feedback.approved().contains(candidate);
+            return if previously_approved == approved {
+                Ok(())
+            } else {
+                Err(AssertError::Contradictory { candidate, previously_approved })
+            };
         }
-        if approved {
+        if approved && !self.approval_is_consistent(candidate) {
             // the approved set must stay consistent or Ω becomes empty
-            let mut approved_set = self.feedback.approved().clone();
-            if !approved_set.contains(candidate) {
-                if !self.network.index().can_add(&approved_set, candidate) {
-                    return Err(InconsistentApproval(candidate));
-                }
-                approved_set.insert(candidate);
-            }
+            return Err(AssertError::InconsistentApproval(candidate));
         }
         self.feedback.assert(assertion);
-        self.store.maintain(&self.network, &self.feedback, candidate, approved);
-        self.recompute_probabilities();
+        match &mut self.repr {
+            Repr::Monolithic(store) => {
+                store.maintain(&self.network, &self.feedback, candidate, approved);
+                recompute_monolithic(store, &self.feedback, &mut self.probs);
+            }
+            Repr::Sharded(set) => set.assert(candidate, approved, &mut self.probs),
+        }
         Ok(())
     }
 
-    /// Recomputes `P` from the sample store (Eq. 2): the fraction of
-    /// sampled instances containing each candidate (uniform weights over
-    /// the discovered set; exact Eq. 1 once the store is exhausted).
-    ///
-    /// One popcount pass per candidate row of the transposed sample
-    /// matrix — no per-instance membership scan.
-    fn recompute_probabilities(&mut self) {
-        let n = self.network.candidate_count();
-        let matrix = self.store.matrix();
-        let total = matrix.sample_count();
-        self.probs.clear();
-        if total == 0 {
-            // no instance (empty network): everything unasserted is 0
-            self.probs.resize(n, 0.0);
-            for c in self.feedback.approved().iter() {
-                self.probs[c.index()] = 1.0;
+    /// Whether approving `candidate` (currently unasserted) keeps the
+    /// approved set consistent. Conflicts never span components, so the
+    /// sharded check runs on the owning shard only.
+    fn approval_is_consistent(&self, candidate: CandidateId) -> bool {
+        match &self.repr {
+            Repr::Monolithic(_) => {
+                self.network.index().can_add(self.feedback.approved(), candidate)
             }
-            return;
+            Repr::Sharded(set) => set.approval_is_consistent(candidate),
         }
-        self.probs
-            .extend((0..n).map(|i| {
-                matrix.membership_count(CandidateId::from_index(i)) as f64 / total as f64
-            }));
     }
 
     /// Conditional network uncertainty `H(C | c, P)` (Eq. 4): the expected
@@ -168,94 +278,263 @@ impl ProbabilisticNetwork {
     /// For certain candidates this equals `H(C, P)` (one branch is empty),
     /// making their information gain zero.
     pub fn conditional_entropy(&self, c: CandidateId) -> f64 {
-        let p = self.probability(c);
-        if p <= 0.0 || p >= 1.0 {
-            return self.entropy();
-        }
-        let n = self.network.candidate_count();
-        let matrix = self.store.matrix();
-        let s_total = matrix.sample_count();
-        let row_c = matrix.row(c);
-        let w_plus = matrix.membership_count(c);
-        let w_minus = s_total - w_plus;
-        debug_assert!(w_plus > 0 && w_minus > 0);
-        let (mut h_plus, mut h_minus) = (0.0, 0.0);
-        for i in 0..n {
-            let x = CandidateId::from_index(i);
-            let total_x = matrix.membership_count(x);
-            if total_x == 0 || total_x == s_total {
-                continue; // certain candidate: both branch entropies are 0
+        match &self.repr {
+            Repr::Monolithic(store) => {
+                let p = self.probability(c);
+                if p <= 0.0 || p >= 1.0 {
+                    return self.entropy();
+                }
+                let n = self.network.candidate_count();
+                let matrix = store.matrix();
+                let s_total = matrix.sample_count();
+                let row_c = matrix.row(c);
+                let w_plus = matrix.membership_count(c);
+                let w_minus = s_total - w_plus;
+                debug_assert!(w_plus > 0 && w_minus > 0);
+                let (mut h_plus, mut h_minus) = (0.0, 0.0);
+                for i in 0..n {
+                    let x = CandidateId::from_index(i);
+                    let total_x = matrix.membership_count(x);
+                    if total_x == 0 || total_x == s_total {
+                        continue; // certain candidate: both branch entropies are 0
+                    }
+                    let plus = row_and_count(matrix.row(x), row_c);
+                    let minus = total_x - plus;
+                    h_plus += binary_entropy(plus as f64 / w_plus as f64);
+                    h_minus += binary_entropy(minus as f64 / w_minus as f64);
+                }
+                p * h_plus + (1.0 - p) * h_minus
             }
-            let plus = row_and_count(matrix.row(x), row_c);
-            let minus = total_x - plus;
-            h_plus += binary_entropy(plus as f64 / w_plus as f64);
-            h_minus += binary_entropy(minus as f64 / w_minus as f64);
+            // candidates outside c's component are independent of it, so
+            // they contribute their full marginal entropy to both branches:
+            // H(C | c) = H(C) − IG restricted to c's shard
+            Repr::Sharded(_) => (self.entropy() - self.sharded_gain(c)).max(0.0),
         }
-        p * h_plus + (1.0 - p) * h_minus
     }
 
     /// Information gain `IG(c) = H(C, P) − H(C | c, P)` (Eq. 5), clamped to
     /// zero against floating-point noise.
     pub fn information_gain(&self, c: CandidateId) -> f64 {
-        (self.entropy() - self.conditional_entropy(c)).max(0.0)
+        match &self.repr {
+            Repr::Monolithic(_) => (self.entropy() - self.conditional_entropy(c)).max(0.0),
+            Repr::Sharded(_) => self.sharded_gain(c),
+        }
     }
 
-    /// Batch information gain for a pool of candidates.
-    ///
-    /// Works entirely on the transposed sample matrix: co-occurrence masses
-    /// are AND+popcounts of candidate rows (cost `O(|pool|·n·S/64)` word
-    /// operations instead of the former `O(S·k̄²)` element scan), and the
-    /// branch entropies come from per-denominator lookup tables
-    /// (`O(|pool|·S)` `binary_entropy` evaluations instead of
-    /// `O(|pool|·n)`) — the difference between seconds and hours for the
-    /// 50-run uncertainty-reduction experiment (Fig. 9). Returns gains
-    /// aligned with `pool`.
-    pub fn information_gains(&self, pool: &[CandidateId]) -> Vec<f64> {
-        let n = self.network.candidate_count();
-        let matrix = self.store.matrix();
-        let s_total = matrix.sample_count();
-        if s_total == 0 || pool.is_empty() {
-            return vec![0.0; pool.len()];
-        }
-        // integer membership masses (weights are uniform)
-        let totals: Vec<usize> =
-            (0..n).map(|i| matrix.membership_count(CandidateId::from_index(i))).collect();
-        // uncertain candidates only: certain rows contribute zero entropy
-        // to both branches (plus ∈ {0, w_plus} exactly)
-        let uncertain: Vec<usize> =
-            (0..n).filter(|&i| totals[i] > 0 && totals[i] < s_total).collect();
-        let h_total = self.entropy();
-        // entropy_table[w][k] = H(k/w), built once per distinct denominator
-        let mut entropy_tables: Vec<Option<Vec<f64>>> = vec![None; s_total + 1];
-        let table = |w: usize, tables: &mut Vec<Option<Vec<f64>>>| {
-            if tables[w].is_none() {
-                tables[w] = Some((0..=w).map(|k| binary_entropy(k as f64 / w as f64)).collect());
-            }
+    /// Within-shard information gain of `c` — exactly Eq. 5, because
+    /// cross-component co-occurrence terms cancel.
+    fn sharded_gain(&self, c: CandidateId) -> f64 {
+        let Repr::Sharded(set) = &self.repr else {
+            unreachable!("sharded_gain on monolithic representation")
         };
-        pool.iter()
-            .map(|&c| {
-                let w_plus = totals[c.index()];
-                let w_minus = s_total - w_plus;
-                if w_plus == 0 || w_minus == 0 {
-                    return 0.0; // certain candidate: one branch is empty
-                }
-                table(w_plus, &mut entropy_tables);
-                table(w_minus, &mut entropy_tables);
-                let t_plus = entropy_tables[w_plus].as_deref().expect("built");
-                let t_minus = entropy_tables[w_minus].as_deref().expect("built");
-                let row_c = matrix.row(c);
-                let (mut h_plus, mut h_minus) = (0.0, 0.0);
-                for &x in &uncertain {
-                    let plus = row_and_count(matrix.row(CandidateId::from_index(x)), row_c);
-                    let minus = totals[x] - plus;
-                    h_plus += t_plus[plus];
-                    h_minus += t_minus[minus];
-                }
-                let p = self.probs[c.index()];
-                (h_total - (p * h_plus + (1.0 - p) * h_minus)).max(0.0)
-            })
-            .collect()
+        let (k, lc) = set.locate(c);
+        let shard = &set.shards[k];
+        let members = set.components.members(k);
+        let local_probs: Vec<f64> = members.iter().map(|&g| self.probs[g.index()]).collect();
+        gains_within(shard.store.matrix(), &local_probs, &[lc.index()])[0]
     }
+
+    /// Batch information gain for a pool of candidates; gains are aligned
+    /// with `pool`.
+    ///
+    /// Both representations run the word-parallel kernel of
+    /// `gains_within` kernel: co-occurrence masses are AND+popcounts of
+    /// candidate rows and branch entropies come from per-denominator
+    /// lookup tables. The monolithic scan costs `O(|pool|·n·S/64)` word
+    /// operations; the sharded one evaluates each candidate against its
+    /// own component only — cross-component candidates are independent, so
+    /// their co-occurrence terms contribute zero gain — which turns the
+    /// scan into a sum of per-shard costs.
+    pub fn information_gains(&self, pool: &[CandidateId]) -> Vec<f64> {
+        match &self.repr {
+            Repr::Monolithic(store) => {
+                let locals: Vec<usize> = pool.iter().map(|c| c.index()).collect();
+                gains_within(store.matrix(), &self.probs, &locals)
+            }
+            Repr::Sharded(set) => {
+                let mut out = vec![0.0; pool.len()];
+                // bucket pool positions by owning shard, then run the
+                // kernel once per touched shard
+                let mut by_shard: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+                for (pos, &c) in pool.iter().enumerate() {
+                    let (k, lc) = set.locate(c);
+                    by_shard.entry(k).or_default().push((pos, lc.index()));
+                }
+                for (k, entries) in by_shard {
+                    let shard = &set.shards[k];
+                    let members = set.components.members(k);
+                    let local_probs: Vec<f64> =
+                        members.iter().map(|&g| self.probs[g.index()]).collect();
+                    let locals: Vec<usize> = entries.iter().map(|&(_, l)| l).collect();
+                    let gains = gains_within(shard.store.matrix(), &local_probs, &locals);
+                    for (&(pos, _), g) in entries.iter().zip(gains) {
+                        out[pos] = g;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The greedy initialization of Algorithm 2: the best stored sample by
+    /// size (minimal repair distance), tie-broken by log-likelihood when
+    /// `use_likelihood`. Both criteria decompose over independent
+    /// components, so the sharded representation composes the per-shard
+    /// argmaxes into the global argmax without ever materializing global
+    /// samples. `None` when no sample exists (empty network).
+    pub fn greedy_seed(&self, use_likelihood: bool) -> Option<BitSet> {
+        match &self.repr {
+            Repr::Monolithic(store) => {
+                best_sample(store.samples(), &self.probs, use_likelihood).map(|(s, _)| s.clone())
+            }
+            Repr::Sharded(set) => {
+                if set.shards.is_empty() {
+                    return None;
+                }
+                let mut global = BitSet::new(self.network.candidate_count());
+                for (k, shard) in set.shards.iter().enumerate() {
+                    let members = set.components.members(k);
+                    let local_probs: Vec<f64> =
+                        members.iter().map(|&g| self.probs[g.index()]).collect();
+                    // a shard store is never empty (every component admits
+                    // at least one matching instance); bail defensively so
+                    // callers fall back to the maximize path
+                    let (local_best, _) =
+                        best_sample(shard.store.samples(), &local_probs, use_likelihood)?;
+                    for lc in local_best.iter() {
+                        global.insert(members[lc.index()]);
+                    }
+                }
+                Some(global)
+            }
+        }
+    }
+}
+
+/// `ln u(I) = Σ_{c∈I} ln p_c` under `probs` (`f64::MIN_POSITIVE` floors
+/// zero-probability members so the sum stays finite).
+pub(crate) fn log_likelihood_of(probs: &[f64], inst: &BitSet) -> f64 {
+    inst.iter().map(|c| probs[c.index()].max(f64::MIN_POSITIVE).ln()).sum()
+}
+
+/// Algorithm 2's lexicographic instance ordering: smaller repair distance
+/// (= larger instance) first, then larger likelihood when enabled — the
+/// single definition shared by the greedy seed (both representations) and
+/// the local search of [`crate::instantiate`].
+pub(crate) fn better_instance(
+    cand: &BitSet,
+    cand_ll: f64,
+    best: &BitSet,
+    best_ll: f64,
+    use_likelihood: bool,
+) -> bool {
+    match cand.count().cmp(&best.count()) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => use_likelihood && cand_ll > best_ll,
+    }
+}
+
+/// Best stored sample under [`better_instance`], with its log-likelihood
+/// over `probs` (which must index the same id space as the samples).
+fn best_sample<'a>(
+    samples: &'a [BitSet],
+    probs: &[f64],
+    use_likelihood: bool,
+) -> Option<(&'a BitSet, f64)> {
+    let mut best: Option<(&BitSet, f64)> = None;
+    for s in samples {
+        let ll = log_likelihood_of(probs, s);
+        match &best {
+            None => best = Some((s, ll)),
+            Some((b, bll)) => {
+                if better_instance(s, ll, b, *bll, use_likelihood) {
+                    best = Some((s, ll));
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Recomputes `P` from a monolithic store (Eq. 2): the fraction of sampled
+/// instances containing each candidate (uniform weights over the
+/// discovered set; exact Eq. 1 once the store is exhausted). One popcount
+/// pass per candidate row of the transposed sample matrix.
+fn recompute_monolithic(store: &SampleStore, feedback: &Feedback, probs: &mut Vec<f64>) {
+    let matrix = store.matrix();
+    let n = matrix.candidate_count();
+    let total = matrix.sample_count();
+    probs.clear();
+    if total == 0 {
+        // no instance (empty network): everything unasserted is 0
+        probs.resize(n, 0.0);
+        for c in feedback.approved().iter() {
+            probs[c.index()] = 1.0;
+        }
+        return;
+    }
+    probs.extend(
+        (0..n).map(|i| matrix.membership_count(CandidateId::from_index(i)) as f64 / total as f64),
+    );
+}
+
+/// The batch information-gain kernel over one sample matrix (Eq. 4/5):
+/// for each pool candidate `c`, split the samples on membership of `c`
+/// and measure the expected entropy drop across the matrix's *uncertain*
+/// rows. `probs` is aligned with the matrix rows; `pool` holds row
+/// indices; the returned gains align with `pool`.
+///
+/// Co-occurrence masses are AND+popcounts of candidate rows, and branch
+/// entropies come from per-denominator lookup tables (`O(|pool|·S)`
+/// `binary_entropy` evaluations instead of `O(|pool|·n)`) — the
+/// difference between seconds and hours for the 50-run
+/// uncertainty-reduction experiment (Fig. 9).
+pub(crate) fn gains_within(matrix: &SampleMatrix, probs: &[f64], pool: &[usize]) -> Vec<f64> {
+    let n = matrix.candidate_count();
+    debug_assert_eq!(probs.len(), n);
+    let s_total = matrix.sample_count();
+    if s_total == 0 || pool.is_empty() {
+        return vec![0.0; pool.len()];
+    }
+    // integer membership masses (weights are uniform)
+    let totals: Vec<usize> =
+        (0..n).map(|i| matrix.membership_count(CandidateId::from_index(i))).collect();
+    // uncertain candidates only: certain rows contribute zero entropy
+    // to both branches (plus ∈ {0, w_plus} exactly)
+    let uncertain: Vec<usize> = (0..n).filter(|&i| totals[i] > 0 && totals[i] < s_total).collect();
+    // H over the uncertain rows — certain rows add exactly 0 bits
+    let h_total: f64 = uncertain.iter().map(|&i| binary_entropy(probs[i])).sum();
+    // entropy_table[w][k] = H(k/w), built once per distinct denominator
+    let mut entropy_tables: Vec<Option<Vec<f64>>> = vec![None; s_total + 1];
+    let table = |w: usize, tables: &mut Vec<Option<Vec<f64>>>| {
+        if tables[w].is_none() {
+            tables[w] = Some((0..=w).map(|k| binary_entropy(k as f64 / w as f64)).collect());
+        }
+    };
+    pool.iter()
+        .map(|&ci| {
+            let w_plus = totals[ci];
+            let w_minus = s_total - w_plus;
+            if w_plus == 0 || w_minus == 0 {
+                return 0.0; // certain candidate: one branch is empty
+            }
+            table(w_plus, &mut entropy_tables);
+            table(w_minus, &mut entropy_tables);
+            let t_plus = entropy_tables[w_plus].as_deref().expect("built");
+            let t_minus = entropy_tables[w_minus].as_deref().expect("built");
+            let row_c = matrix.row(CandidateId::from_index(ci));
+            let (mut h_plus, mut h_minus) = (0.0, 0.0);
+            for &x in &uncertain {
+                let plus = row_and_count(matrix.row(CandidateId::from_index(x)), row_c);
+                let minus = totals[x] - plus;
+                h_plus += t_plus[plus];
+                h_minus += t_minus[minus];
+            }
+            let p = probs[ci];
+            (h_total - (p * h_plus + (1.0 - p) * h_minus)).max(0.0)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -263,18 +542,16 @@ mod tests {
     use super::*;
     use crate::testutil::fig1_network;
 
+    fn sampler() -> SamplerConfig {
+        SamplerConfig { anneal: true, n_samples: 200, walk_steps: 3, n_min: 50, seed: 5, chains: 1 }
+    }
+
     fn pn() -> ProbabilisticNetwork {
-        ProbabilisticNetwork::new(
-            fig1_network(),
-            SamplerConfig {
-                anneal: true,
-                n_samples: 200,
-                walk_steps: 3,
-                n_min: 50,
-                seed: 5,
-                chains: 1,
-            },
-        )
+        ProbabilisticNetwork::new(fig1_network(), sampler())
+    }
+
+    fn sharded_pn() -> ProbabilisticNetwork {
+        ProbabilisticNetwork::new_sharded(fig1_network(), sampler(), ShardingConfig::default())
     }
 
     #[test]
@@ -311,10 +588,55 @@ mod tests {
         let mut pn = pn();
         pn.assert_candidate(Assertion { candidate: CandidateId(1), approved: true }).unwrap();
         let err = pn.assert_candidate(Assertion { candidate: CandidateId(3), approved: true });
-        assert_eq!(err, Err(InconsistentApproval(CandidateId(3))));
+        assert_eq!(err, Err(AssertError::InconsistentApproval(CandidateId(3))));
         // state unchanged by the rejected assertion
         assert_eq!(pn.probability(CandidateId(1)), 1.0);
         assert!(!pn.feedback().is_asserted(CandidateId(3)));
+    }
+
+    #[test]
+    fn same_way_reassertion_is_a_true_noop() {
+        for mut pn in [pn(), sharded_pn()] {
+            pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: true }).unwrap();
+            let snapshot = pn.probabilities().to_vec();
+            let effort = pn.effort();
+            // re-approving must succeed without touching the model
+            pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: true }).unwrap();
+            assert_eq!(pn.probabilities(), &snapshot[..]);
+            assert_eq!(pn.effort(), effort, "no-op must not double-count effort");
+            // same for re-disapproving a disapproved candidate
+            pn.assert_candidate(Assertion { candidate: CandidateId(4), approved: false }).unwrap();
+            let snapshot = pn.probabilities().to_vec();
+            pn.assert_candidate(Assertion { candidate: CandidateId(4), approved: false }).unwrap();
+            assert_eq!(pn.probabilities(), &snapshot[..]);
+        }
+    }
+
+    #[test]
+    fn contradictory_reassertion_errors_without_panicking() {
+        for mut pn in [pn(), sharded_pn()] {
+            pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: true }).unwrap();
+            pn.assert_candidate(Assertion { candidate: CandidateId(0), approved: false }).unwrap();
+            let snapshot = pn.probabilities().to_vec();
+            assert_eq!(
+                pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: false }),
+                Err(AssertError::Contradictory {
+                    candidate: CandidateId(2),
+                    previously_approved: true
+                })
+            );
+            assert_eq!(
+                pn.assert_candidate(Assertion { candidate: CandidateId(0), approved: true }),
+                Err(AssertError::Contradictory {
+                    candidate: CandidateId(0),
+                    previously_approved: false
+                })
+            );
+            // rejected flips leave the model untouched
+            assert_eq!(pn.probabilities(), &snapshot[..]);
+            assert!(pn.feedback().approved().contains(CandidateId(2)));
+            assert!(pn.feedback().disapproved().contains(CandidateId(0)));
+        }
     }
 
     #[test]
@@ -393,5 +715,43 @@ mod tests {
         pn.assert_candidate(Assertion { candidate: CandidateId(1), approved: false }).unwrap();
         assert_eq!(pn.probability(CandidateId(0)), 1.0);
         assert_eq!(pn.probability(CandidateId(1)), 0.0);
+    }
+
+    #[test]
+    fn sharded_fig1_matches_monolithic_exactly() {
+        let mono = pn();
+        let sharded = sharded_pn();
+        assert!(sharded.is_sharded());
+        assert_eq!(sharded.shard_count(), 1, "fig1's conflict graph is connected");
+        assert!(sharded.is_exhausted());
+        assert_eq!(sharded.probabilities(), mono.probabilities());
+        assert_eq!(sharded.entropy(), mono.entropy());
+        let pool = mono.uncertain_candidates();
+        assert_eq!(sharded.uncertain_candidates(), pool);
+        let (g_mono, g_sharded) = (mono.information_gains(&pool), sharded.information_gains(&pool));
+        for (a, b) in g_mono.iter().zip(&g_sharded) {
+            assert!((a - b).abs() < 1e-12, "gain mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sharded_assertions_track_monolithic() {
+        let mut mono = pn();
+        let mut sharded = sharded_pn();
+        for (c, approved) in [(CandidateId(2), true), (CandidateId(0), false)] {
+            mono.assert_candidate(Assertion { candidate: c, approved }).unwrap();
+            sharded.assert_candidate(Assertion { candidate: c, approved }).unwrap();
+            assert_eq!(sharded.probabilities(), mono.probabilities());
+            assert_eq!(sharded.entropy(), mono.entropy());
+        }
+    }
+
+    #[test]
+    fn greedy_seed_is_a_largest_instance_on_both_representations() {
+        for pn in [pn(), sharded_pn()] {
+            let seed = pn.greedy_seed(true).expect("fig1 has samples");
+            assert_eq!(seed.count(), 3, "largest fig1 instances have 3 members");
+            assert!(pn.network().index().is_consistent(&seed));
+        }
     }
 }

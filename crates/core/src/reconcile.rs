@@ -25,6 +25,21 @@ pub enum ReconciliationGoal {
     Complete,
 }
 
+/// How an elicited assertion was integrated into the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The oracle's verdict was integrated as given.
+    Integrated,
+    /// The verdict was an approval the model rejected as inconsistent
+    /// with earlier approvals; the step was integrated as a *disapproval*
+    /// instead (the tool refuses input that would empty Ω).
+    Flipped,
+    /// Neither the verdict nor the disapproval fallback could be
+    /// integrated (the oracle re-asserted a candidate against its
+    /// standing feedback); the model is unchanged.
+    Skipped,
+}
+
 /// One step of the reconciliation trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TracePoint {
@@ -32,8 +47,14 @@ pub struct TracePoint {
     pub step: usize,
     /// The asserted candidate.
     pub candidate: CandidateId,
-    /// The oracle's verdict.
+    /// The recorded verdict: the oracle's verdict as integrated for
+    /// [`Integrated`](StepOutcome::Integrated) steps, the disapproval
+    /// fallback for [`Flipped`](StepOutcome::Flipped) ones, and the
+    /// oracle's *rejected* verdict for [`Skipped`](StepOutcome::Skipped)
+    /// ones (nothing was integrated — check `outcome` before counting).
     pub approved: bool,
+    /// How the verdict was integrated.
+    pub outcome: StepOutcome,
     /// User effort `E` after this step.
     pub effort: f64,
     /// Network uncertainty (bits) after this step.
@@ -49,7 +70,10 @@ pub struct TracePoint {
 /// oracle approving a candidate that conflicts with earlier approvals) are
 /// recorded as *disapprovals* of the contradicting candidate — the model
 /// stays consistent and the loop proceeds; this mirrors a real session
-/// where the tool would refuse the inconsistent input.
+/// where the tool would refuse the inconsistent input. If even the
+/// fallback is rejected (the oracle flipped its own earlier verdict), the
+/// step is traced as [`StepOutcome::Skipped`] with the model untouched —
+/// a noisy oracle can never panic the loop.
 pub fn reconcile(
     pn: &mut ProbabilisticNetwork,
     strategy: &mut dyn SelectionStrategy,
@@ -72,18 +96,23 @@ pub fn reconcile(
         let approved = oracle.assert(corr);
         // (3) integrate the feedback
         let assertion = Assertion { candidate, approved };
-        let effective = match pn.assert_candidate(assertion) {
-            Ok(()) => assertion,
+        let (effective, outcome) = match pn.assert_candidate(assertion) {
+            Ok(()) => (assertion, StepOutcome::Integrated),
             Err(_) => {
                 let fallback = Assertion { candidate, approved: false };
-                pn.assert_candidate(fallback).expect("disapprovals never contradict");
-                fallback
+                match pn.assert_candidate(fallback) {
+                    Ok(()) => (fallback, StepOutcome::Flipped),
+                    // the oracle contradicted its own earlier verdict:
+                    // nothing can be integrated, record the skip
+                    Err(_) => (assertion, StepOutcome::Skipped),
+                }
             }
         };
         trace.push(TracePoint {
             step: trace.len() + 1,
             candidate,
             approved: effective.approved,
+            outcome,
             effort: pn.effort(),
             entropy: pn.entropy(),
             normalized_entropy: pn.normalized_entropy(),
@@ -191,6 +220,86 @@ mod tests {
         }
         let last = trace.last().unwrap();
         assert_eq!(last.entropy, 0.0, "complete reconciliation ends certain");
+    }
+
+    /// Replays a fixed candidate script, re-selecting candidates even when
+    /// they are already asserted — the adversarial counterpart of the
+    /// built-in strategies, which never re-select.
+    struct ScriptedSelection {
+        script: Vec<smn_schema::CandidateId>,
+        pos: usize,
+    }
+
+    impl crate::selection::SelectionStrategy for ScriptedSelection {
+        fn name(&self) -> &'static str {
+            "scripted"
+        }
+
+        fn select(&mut self, _pn: &ProbabilisticNetwork) -> Option<smn_schema::CandidateId> {
+            let next = self.script.get(self.pos).copied();
+            self.pos += 1;
+            next
+        }
+    }
+
+    /// Answers each elicitation from a fixed verdict script.
+    struct ScriptedOracle {
+        verdicts: Vec<bool>,
+        pos: usize,
+    }
+
+    impl crate::oracle::Oracle for ScriptedOracle {
+        fn assert(&mut self, _corr: smn_schema::Correspondence) -> bool {
+            let v = self.verdicts[self.pos % self.verdicts.len()];
+            self.pos += 1;
+            v
+        }
+    }
+
+    #[test]
+    fn inconsistent_approval_is_flipped_not_panicked() {
+        use smn_schema::CandidateId;
+        // approve c1, then (noisily) approve its 1-1 conflict partner c3:
+        // the model refuses the approval and records a disapproval instead
+        let mut pn = fig1_pn(4);
+        let mut strat = ScriptedSelection { script: vec![CandidateId(1), CandidateId(3)], pos: 0 };
+        let mut oracle = ScriptedOracle { verdicts: vec![true, true], pos: 0 };
+        let trace = reconcile(&mut pn, &mut strat, &mut oracle, ReconciliationGoal::Complete);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].outcome, StepOutcome::Integrated);
+        assert_eq!(trace[1].outcome, StepOutcome::Flipped);
+        assert!(!trace[1].approved, "the flipped step records the integrated disapproval");
+        assert!(pn.feedback().disapproved().contains(CandidateId(3)));
+    }
+
+    #[test]
+    fn oracle_contradicting_itself_never_panics() {
+        use smn_schema::CandidateId;
+        // the oracle disapproves c2, is asked again and approves it: the
+        // approval is refused and the disapproval fallback lands on the
+        // standing verdict (a no-op) — the step surfaces as Flipped with
+        // the model unchanged. Before the typed-error fix this panicked
+        // inside Feedback::assert.
+        let mut pn = fig1_pn(5);
+        let mut strat = ScriptedSelection { script: vec![CandidateId(2), CandidateId(2)], pos: 0 };
+        let mut oracle = ScriptedOracle { verdicts: vec![false, true], pos: 0 };
+        let trace = reconcile(&mut pn, &mut strat, &mut oracle, ReconciliationGoal::Complete);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].outcome, StepOutcome::Integrated);
+        assert_eq!(trace[1].outcome, StepOutcome::Flipped);
+        // the contradictory step changed nothing
+        assert_eq!(trace[1].effort, trace[0].effort);
+        assert_eq!(trace[1].entropy, trace[0].entropy);
+        assert!(pn.feedback().disapproved().contains(CandidateId(2)));
+        // the reverse flip (disapproving an approved candidate) cannot use
+        // the fallback either — it surfaces as Skipped, through the path
+        // that used to panic on the `expect`
+        let mut strat = ScriptedSelection { script: vec![CandidateId(1), CandidateId(1)], pos: 0 };
+        let mut oracle = ScriptedOracle { verdicts: vec![true, false], pos: 0 };
+        let trace = reconcile(&mut pn, &mut strat, &mut oracle, ReconciliationGoal::Complete);
+        assert_eq!(trace[1].outcome, StepOutcome::Skipped);
+        assert_eq!(trace[1].effort, trace[0].effort);
+        assert!(pn.feedback().approved().contains(CandidateId(1)));
     }
 
     #[test]

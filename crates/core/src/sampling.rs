@@ -32,7 +32,7 @@ use crate::instance::{maximize_in, repair_in, Scratch};
 use crate::network::MatchingNetwork;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use smn_constraints::BitSet;
+use smn_constraints::{BitSet, ConflictIndex};
 use smn_schema::CandidateId;
 use std::collections::HashMap;
 
@@ -226,24 +226,52 @@ pub struct SampleStore {
 impl SampleStore {
     /// Creates an empty store and fills it for the given network/feedback.
     pub fn new(network: &MatchingNetwork, feedback: &Feedback, config: SamplerConfig) -> Self {
-        let n = network.candidate_count();
-        let rng = StdRng::seed_from_u64(config.seed);
-        let mut store = Self {
+        Self::with_index(network.index(), feedback, config)
+    }
+
+    /// Index-level form of [`SampleStore::new`]: everything the sampler
+    /// needs is the conflict structure, so per-shard stores of the
+    /// component-sharded model can run on a restricted sub-index.
+    /// `feedback` must be sized to `index.candidate_count()`.
+    pub fn with_index(index: &ConflictIndex, feedback: &Feedback, config: SamplerConfig) -> Self {
+        let mut store = Self::empty(index.candidate_count(), config);
+        store.fill(index, feedback);
+        store.sync_weights();
+        store
+    }
+
+    /// Builds an already-*exhausted* store directly from a complete
+    /// enumeration of the matching instances (the exact path of small
+    /// shards): probabilities derived from it are exact (Eq. 1) and view
+    /// maintenance never triggers a refill.
+    pub fn from_instances(
+        candidate_count: usize,
+        instances: impl IntoIterator<Item = BitSet>,
+        config: SamplerConfig,
+    ) -> Self {
+        let mut store = Self::empty(candidate_count, config);
+        for inst in instances {
+            store.record(&inst);
+        }
+        store.exhausted = true;
+        store.sync_weights();
+        store
+    }
+
+    fn empty(n: usize, config: SamplerConfig) -> Self {
+        Self {
             samples: Vec::new(),
             counts: Vec::new(),
             seen: HashMap::new(),
             matrix: SampleMatrix::new(n),
             uniform: Vec::new(),
             exhausted: false,
+            rng: StdRng::seed_from_u64(config.seed),
             config,
-            rng,
             scratch: Scratch::new(n),
             walk_buf: BitSet::new(n),
             pass_epoch: 0,
-        };
-        store.fill(network, feedback);
-        store.sync_weights();
-        store
+        }
     }
 
     /// Records `count` emissions of `inst`. Returns whether it was new.
@@ -317,8 +345,7 @@ impl SampleStore {
     /// Runs one single-chain sampling pass (`n_samples` emissions) on the
     /// caller thread, inserting distinct instances. Returns how many new
     /// distinct instances were found.
-    fn sample_pass(&mut self, network: &MatchingNetwork, feedback: &Feedback) -> usize {
-        let index = network.index();
+    fn sample_pass(&mut self, index: &ConflictIndex, feedback: &Feedback) -> usize {
         // the scratch frontier tracks whatever instance the previous pass
         // ended on; this pass starts from a different one
         self.scratch.invalidate_frontier();
@@ -345,7 +372,7 @@ impl SampleStore {
         }
         for _ in 0..self.config.n_samples {
             walk(
-                network,
+                index,
                 feedback,
                 &self.config,
                 &mut self.rng,
@@ -364,7 +391,7 @@ impl SampleStore {
     /// scoped threads, each with `n_samples / chains` (rounded up)
     /// emissions, merged in chain order. Returns how many new distinct
     /// instances were found.
-    fn parallel_pass(&mut self, network: &MatchingNetwork, feedback: &Feedback) -> usize {
+    fn parallel_pass(&mut self, index: &ConflictIndex, feedback: &Feedback) -> usize {
         let chains = self.config.chains.max(1);
         let per_chain = self.config.n_samples.div_ceil(chains);
         let config = self.config;
@@ -380,7 +407,7 @@ impl SampleStore {
                 .map(|chain| {
                     scope.spawn(move || {
                         run_chain(
-                            network,
+                            index,
                             feedback,
                             config,
                             chain_seed(config.seed, chain, epoch),
@@ -404,11 +431,11 @@ impl SampleStore {
 
     /// Fills the store until `n_min` distinct samples exist or two
     /// consecutive passes fail to reach it (→ exhausted).
-    fn fill(&mut self, network: &MatchingNetwork, feedback: &Feedback) {
+    fn fill(&mut self, index: &ConflictIndex, feedback: &Feedback) {
         if self.exhausted {
             return;
         }
-        if network.candidate_count() == 0 {
+        if index.candidate_count() == 0 {
             self.exhausted = true;
             return;
         }
@@ -417,9 +444,9 @@ impl SampleStore {
                 return;
             }
             if self.config.chains > 1 {
-                self.parallel_pass(network, feedback);
+                self.parallel_pass(index, feedback);
             } else {
-                self.sample_pass(network, feedback);
+                self.sample_pass(index, feedback);
             }
         }
         if self.samples.len() < self.config.n_min {
@@ -452,7 +479,18 @@ impl SampleStore {
         candidate: CandidateId,
         approved: bool,
     ) {
-        let index = network.index();
+        self.maintain_with_index(network.index(), feedback, candidate, approved);
+    }
+
+    /// Index-level form of [`SampleStore::maintain`] (see
+    /// [`SampleStore::with_index`]).
+    pub fn maintain_with_index(
+        &mut self,
+        index: &ConflictIndex,
+        feedback: &Feedback,
+        candidate: CandidateId,
+        approved: bool,
+    ) {
         // the matrix row of `candidate` is exactly the survivor mask
         // (complemented for disapprovals): filter columns row-wise
         let cols = self.matrix.sample_count();
@@ -496,7 +534,7 @@ impl SampleStore {
             }
         }
         if !self.exhausted && self.samples.len() < self.config.n_min {
-            self.fill(network, feedback);
+            self.fill(index, feedback);
         }
         self.sync_weights();
     }
@@ -536,7 +574,7 @@ fn chain_seed(seed: u64, chain: u64, epoch: u64) -> u64 {
 /// and accepting with probability `1 − e^{−Δ}`. `next` and `scratch` are
 /// reusable buffers; no allocation per step.
 fn walk(
-    network: &MatchingNetwork,
+    index: &ConflictIndex,
     feedback: &Feedback,
     config: &SamplerConfig,
     rng: &mut StdRng,
@@ -544,8 +582,7 @@ fn walk(
     next: &mut BitSet,
     scratch: &mut Scratch,
 ) {
-    let index = network.index();
-    let n = network.candidate_count();
+    let n = index.candidate_count();
     for _ in 0..config.walk_steps {
         // `Rand(C \ F− \ I_i)`: rejection-sample a few times (cheap when
         // most candidates qualify), then fall back to a counted scan
@@ -597,14 +634,13 @@ fn walk(
 /// walk state, starting from the maximized approved set. Returns the
 /// distinct instances in discovery order with their emission counts.
 fn run_chain(
-    network: &MatchingNetwork,
+    index: &ConflictIndex,
     feedback: &Feedback,
     config: SamplerConfig,
     chain_seed: u64,
     emissions: usize,
 ) -> (Vec<BitSet>, Vec<u64>) {
-    let n = network.candidate_count();
-    let index = network.index();
+    let n = index.candidate_count();
     let mut rng = StdRng::seed_from_u64(chain_seed);
     let mut scratch = Scratch::new(n);
     let mut next = BitSet::new(n);
@@ -616,7 +652,7 @@ fn run_chain(
     let mut counts: Vec<u64> = Vec::new();
     dedup_record(&mut seen, &mut instances, &mut counts, &current, 1);
     for _ in 0..emissions {
-        walk(network, feedback, &config, &mut rng, &mut current, &mut next, &mut scratch);
+        walk(index, feedback, &config, &mut rng, &mut current, &mut next, &mut scratch);
         dedup_record(&mut seen, &mut instances, &mut counts, &current, 1);
     }
     (instances, counts)

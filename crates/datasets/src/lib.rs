@@ -26,6 +26,7 @@
 //! Everything is deterministic in the seed.
 
 pub mod dataset;
+pub mod federation;
 pub mod generator;
 pub mod presets;
 pub mod stats;
@@ -33,6 +34,7 @@ pub mod variants;
 pub mod vocab;
 
 pub use dataset::Dataset;
+pub use federation::{webform_federation, Federation, FederationSpec};
 pub use generator::{DatasetSpec, SharingModel};
 pub use presets::{bp, po, uaf, webform};
 pub use stats::DatasetStats;

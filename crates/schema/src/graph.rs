@@ -68,6 +68,27 @@ impl InteractionGraph {
         g
     }
 
+    /// Disjoint union of `count` cliques of `size` schemas each: schemas
+    /// `g·size .. (g+1)·size` are pairwise matched, nothing crosses group
+    /// boundaries. This is the interaction graph of a *federation* of
+    /// independent sub-networks (many small webform clusters fused into
+    /// one catalog) — with no cross-group edges there are no cross-group
+    /// candidates, so the conflict graph decomposes into at least `count`
+    /// components and the component-sharded probabilistic model
+    /// factorizes.
+    pub fn disjoint_cliques(count: usize, size: usize) -> Self {
+        let mut g = Self::empty(count * size);
+        for group in 0..count {
+            let base = group * size;
+            for i in 0..size {
+                for j in (i + 1)..size {
+                    g.add_edge(SchemaId::from_index(base + i), SchemaId::from_index(base + j));
+                }
+            }
+        }
+        g
+    }
+
     /// Path `s_0 — s_1 — … — s_{n-1}`.
     pub fn path(vertex_count: usize) -> Self {
         let mut g = Self::empty(vertex_count);
@@ -240,6 +261,20 @@ mod tests {
         assert_eq!(s.edge_count(), 4);
         assert_eq!(s.neighbors(SchemaId(0)).len(), 4);
         assert_eq!(s.triangles().len(), 0);
+    }
+
+    #[test]
+    fn disjoint_cliques_have_no_cross_edges() {
+        let g = InteractionGraph::disjoint_cliques(3, 4);
+        assert_eq!(g.vertex_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 6); // 3 × C(4,2)
+        assert_eq!(g.component_count(), 3);
+        assert_eq!(g.triangles().len(), 3 * 4); // 3 × C(4,3)
+        assert!(g.has_edge(SchemaId(0), SchemaId(3)));
+        assert!(!g.has_edge(SchemaId(3), SchemaId(4)), "no edge across groups");
+        // degenerate shapes
+        assert_eq!(InteractionGraph::disjoint_cliques(0, 5).vertex_count(), 0);
+        assert_eq!(InteractionGraph::disjoint_cliques(4, 1).edge_count(), 0);
     }
 
     #[test]

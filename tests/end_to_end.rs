@@ -212,6 +212,7 @@ fn information_gain_beats_random_on_average() {
                 },
                 strategy,
                 strategy_seed: seed,
+                ..Default::default()
             },
         );
         let mut oracle = GroundTruthOracle::new(truth.iter().copied());

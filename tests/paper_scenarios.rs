@@ -177,6 +177,7 @@ fn fig1_reconciles_to_selective_matching() {
                 },
                 strategy,
                 strategy_seed: 17,
+                ..Default::default()
             },
         );
         let mut oracle = GroundTruthOracle::new(truth);

@@ -52,6 +52,7 @@ fn fast_config(seed: u64) -> SessionConfig {
         },
         strategy: Strategy::InformationGain,
         strategy_seed: seed,
+        ..Default::default()
     }
 }
 

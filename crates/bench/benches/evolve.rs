@@ -1,0 +1,79 @@
+//! Criterion wrappers for online network evolution: one candidate arrival
+//! integrated incrementally (`ProbabilisticNetwork::extend`, patching the
+//! index and rebuilding only the merged shard) vs the full
+//! index-build + sharded-fill a static pipeline would rerun. The
+//! raw-timing snapshot over whole arrival/churn schedules lives in
+//! `exp_evolve` / `BENCH_evolve.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smn_bench::evolve::{bench_sampler, candidate_pool, evolving_scenario, GROUPS};
+use smn_core::{MatchingNetwork, ProbabilisticNetwork, ShardingConfig};
+use smn_schema::CandidateSet;
+
+fn bench_arrival(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evolve/one-arrival");
+    for &groups in &GROUPS {
+        let evo = evolving_scenario(groups, 7);
+        let pool = candidate_pool(&evo, 7);
+        let cat = &evo.federation.dataset.catalog;
+        let graph = &evo.federation.graph;
+        // the t0 network; the measured arrival is the first scheduled one
+        let initial = evo.initial_count(pool.len());
+        let mut cs = CandidateSet::new(cat);
+        for &(corr, conf) in &pool[..initial] {
+            cs.add(cat, Some(graph), corr.a(), corr.b(), conf).unwrap();
+        }
+        let net = MatchingNetwork::new(
+            cat.clone(),
+            graph.clone(),
+            cs,
+            smn_constraints::ConstraintConfig::default(),
+        );
+        let pn =
+            ProbabilisticNetwork::new_sharded(net, bench_sampler(3), ShardingConfig::default());
+        let (corr, conf) = pool[initial];
+        // incremental: clone + extend (the clone is the same on both sides
+        // of the comparison — the vendored criterion has no iter_batched)
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("incremental/g{groups}")),
+            &pn,
+            |b, pn| {
+                b.iter(|| {
+                    let mut fresh = pn.clone();
+                    fresh.extend(corr.a(), corr.b(), conf).unwrap();
+                    fresh
+                })
+            },
+        );
+        // rebuild: re-index + re-fill the whole network at the same state
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("rebuild/g{groups}")),
+            &pn,
+            |b, pn| {
+                b.iter(|| {
+                    let mut cs = CandidateSet::new(cat);
+                    for cand in pn.network().candidates().candidates() {
+                        cs.add(cat, Some(graph), cand.corr.a(), cand.corr.b(), cand.confidence)
+                            .unwrap();
+                    }
+                    cs.add(cat, Some(graph), corr.a(), corr.b(), conf).unwrap();
+                    let net = MatchingNetwork::new(
+                        cat.clone(),
+                        graph.clone(),
+                        cs,
+                        smn_constraints::ConstraintConfig::default(),
+                    );
+                    ProbabilisticNetwork::new_sharded(
+                        net,
+                        bench_sampler(3),
+                        ShardingConfig::default(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arrival);
+criterion_main!(benches);

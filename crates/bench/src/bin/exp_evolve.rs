@@ -1,0 +1,67 @@
+//! Incremental maintenance vs full rebuild on an evolving federation.
+//!
+//! For each federation size, replays the evolving scenario's
+//! arrival/retirement schedule through `ProbabilisticNetwork::extend` /
+//! `retire` and times, at the same states, the full rebuild a static
+//! pipeline would run per event. Certifies the differential evidence
+//! alongside the win: the evolved posterior equals a from-scratch build at
+//! the final state (federation components are all exact), and two
+//! identical histories are byte-identical. The numbers are checked in as
+//! `BENCH_evolve.json`.
+//!
+//! Run: `cargo run --release -p smn-bench --bin exp_evolve -- [label]`
+//! (`SMN_BENCH_FAST=1` drops repetitions).
+
+use smn_bench::evolve::measure;
+use smn_bench::{save_json, Table};
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "run".into());
+    let iters = if std::env::var("SMN_BENCH_FAST").is_ok_and(|v| v == "1") { 1 } else { 5 };
+    let points = measure(iters);
+
+    let mut table = Table::new([
+        "groups",
+        "pool",
+        "|C| t0",
+        "|C| end",
+        "arrivals",
+        "retire",
+        "shards",
+        "arrive (ms)",
+        "retire (ms)",
+        "rebuild (ms)",
+        "speedup/arrival",
+        "max |Δp|",
+    ]);
+    for p in &points {
+        table.row([
+            p.groups.to_string(),
+            p.pool.to_string(),
+            p.initial_candidates.to_string(),
+            p.final_candidates.to_string(),
+            p.arrivals.to_string(),
+            p.retirements.to_string(),
+            p.final_components.to_string(),
+            format!("{:.4}", p.incremental_per_arrival_ms),
+            format!("{:.4}", p.incremental_per_retirement_ms),
+            format!("{:.4}", p.rebuild_per_event_ms),
+            format!("{:.1}×", p.speedup_per_arrival),
+            format!("{:.2e}", p.max_probability_delta),
+        ]);
+    }
+    println!("Online evolution: incremental maintain vs full rebuild (federation scenario)");
+    table.print();
+    for p in &points {
+        assert!(p.deterministic, "evolution must be bit-deterministic per seed");
+        assert!(
+            !p.all_exact || p.max_probability_delta < 1e-12,
+            "exact shards must match the from-scratch build (groups {})",
+            p.groups
+        );
+    }
+
+    if let Ok(path) = save_json(&format!("evolve_{label}"), &points) {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -14,11 +14,13 @@
 //! | `exp_fig10` | Fig. 10 — ordering strategies vs instantiation quality |
 //! | `exp_fig11` | Fig. 11 — likelihood criterion in instantiation |
 //! | `exp_sharding` | monolithic vs component-sharded probabilistic networks |
+//! | `exp_evolve` | incremental maintenance vs full rebuild on an evolving federation |
 //!
 //! Binaries print the paper's rows/series to stdout and write
 //! machine-readable JSON to `results/`. Criterion micro-benchmarks (incl.
 //! the ablations listed in DESIGN.md) live under `benches/`.
 
+pub mod evolve;
 pub mod grid;
 pub mod hotpaths;
 pub mod report;

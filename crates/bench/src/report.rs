@@ -61,12 +61,53 @@ impl Table {
 
 /// Writes a JSON result file under `results/` (created on demand) and
 /// returns its path.
+///
+/// With `SMN_SCRUB_TIMINGS=1` every wall-clock field (key suffix `_ms`,
+/// `_us` or `_seconds`, and derived `speedup*` ratios) is zeroed before
+/// writing: all remaining content of every experiment report is a
+/// deterministic function of its seeds, so the CI determinism smoke can
+/// require two identically-seeded runs of each bin to emit *byte-identical*
+/// files.
 pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
     let dir = PathBuf::from("results");
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    let mut body = serde_json::to_string_pretty(value)?;
+    if std::env::var("SMN_SCRUB_TIMINGS").is_ok_and(|v| v == "1") {
+        body = scrub_timings(&body);
+    }
+    fs::write(&path, body)?;
     Ok(path)
+}
+
+/// Replaces the numeric value of every timing line in pretty-printed JSON
+/// with `0.0`. Pretty printing puts one `"key": value` pair per line, so a
+/// line-based rewrite is exact; keys are classified by suffix.
+fn scrub_timings(pretty: &str) -> String {
+    let timing_key = |key: &str| {
+        key.ends_with("_ms")
+            || key.ends_with("_us")
+            || key.ends_with("_seconds")
+            || key.contains("micros")
+            || key.starts_with("speedup")
+    };
+    let mut out = String::with_capacity(pretty.len());
+    for line in pretty.lines() {
+        let scrubbed = (|| {
+            let (head, rest) = (line.find('"')?, line);
+            let key_end = rest[head + 1..].find('"')? + head + 1;
+            let key = &rest[head + 1..key_end];
+            let colon = rest[key_end..].find(':')? + key_end;
+            if !timing_key(key) {
+                return None;
+            }
+            let tail = if rest.trim_end().ends_with(',') { "," } else { "" };
+            Some(format!("{}: 0.0{}", &rest[..colon], tail))
+        })();
+        out.push_str(scrubbed.as_deref().unwrap_or(line));
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -92,5 +133,18 @@ mod tests {
     fn row_arity_checked() {
         let mut t = Table::new(["a", "b"]);
         t.row(["only-one"]);
+    }
+
+    #[test]
+    fn scrub_zeroes_timing_fields_only() {
+        let json = "{\n  \"groups\": 4,\n  \"fill_ms\": 1.25,\n  \"speedup_per_arrival\": 3.5,\n  \"kl_ratio\": 0.02,\n  \"elapsed_seconds\": 9.0\n}";
+        let scrubbed = scrub_timings(json);
+        assert!(scrubbed.contains("\"groups\": 4,"));
+        assert!(scrubbed.contains("\"fill_ms\": 0.0,"));
+        assert!(scrubbed.contains("\"speedup_per_arrival\": 0.0,"));
+        assert!(scrubbed.contains("\"kl_ratio\": 0.02,"));
+        assert!(scrubbed.contains("\"elapsed_seconds\": 0.0\n"));
+        // idempotent
+        assert_eq!(scrub_timings(&scrubbed), scrubbed);
     }
 }

@@ -262,6 +262,37 @@ impl BitSet {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// Grows the capacity to `new_len` (no-op when already that large);
+    /// new bits start unset. The online-arrival counterpart of
+    /// [`collapse`](BitSet::collapse).
+    pub fn grow(&mut self, new_len: usize) {
+        if new_len > self.len {
+            self.len = new_len;
+            self.words.resize(new_len.div_ceil(WORD_BITS), 0);
+        }
+    }
+
+    /// Removes the *position* `id` from the universe: bit `id` is dropped
+    /// and every higher bit shifts down by one, mirroring the dense-id
+    /// compaction of candidate retirement. Returns whether the dropped bit
+    /// was set.
+    pub fn collapse(&mut self, id: CandidateId) -> bool {
+        let i = id.index();
+        assert!(i < self.len, "collapse of bit {i} out of capacity {}", self.len);
+        let was = self.contains(id);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let low = self.words[w] & ((1u64 << b) - 1);
+        let high = if b == WORD_BITS - 1 { 0 } else { (self.words[w] >> (b + 1)) << b };
+        self.words[w] = low | high;
+        for j in (w + 1)..self.words.len() {
+            self.words[j - 1] |= (self.words[j] & 1) << (WORD_BITS - 1);
+            self.words[j] >>= 1;
+        }
+        self.len -= 1;
+        self.words.truncate(self.len.div_ceil(WORD_BITS));
+        was
+    }
 }
 
 #[cfg(test)]
@@ -394,6 +425,60 @@ mod tests {
         assert_eq!(BitSet::new(70).iter_unset().count(), 70);
         // full set: nothing is unset
         assert_eq!(BitSet::full(70).iter_unset().count(), 0);
+    }
+
+    #[test]
+    fn grow_extends_capacity_with_unset_bits() {
+        let mut s = BitSet::from_ids(63, ids(&[0, 62]));
+        s.grow(130);
+        assert_eq!(s.capacity(), 130);
+        assert_eq!(s.to_vec(), ids(&[0, 62]));
+        s.insert(CandidateId(129));
+        assert!(s.contains(CandidateId(129)));
+        // shrinking via grow is a no-op
+        s.grow(10);
+        assert_eq!(s.capacity(), 130);
+    }
+
+    #[test]
+    fn collapse_shifts_higher_bits_down() {
+        // ids straddling word boundaries, collapsing from the middle
+        let mut s = BitSet::from_ids(200, ids(&[0, 5, 63, 64, 70, 128, 199]));
+        assert!(!s.collapse(CandidateId(4)));
+        assert_eq!(s.capacity(), 199);
+        assert_eq!(s.to_vec(), ids(&[0, 4, 62, 63, 69, 127, 198]));
+        assert!(s.collapse(CandidateId(62)));
+        assert_eq!(s.to_vec(), ids(&[0, 4, 62, 68, 126, 197]));
+        // collapse of the last position
+        assert!(s.collapse(CandidateId(197)));
+        assert_eq!(s.to_vec(), ids(&[0, 4, 62, 68, 126]));
+    }
+
+    #[test]
+    fn collapse_matches_rebuild_reference() {
+        // differential against an id-remapped rebuild, across word sizes
+        let mut state = 0x9E37_79B9u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [1usize, 63, 64, 65, 130] {
+            let members: Vec<u32> = (0..n as u32).filter(|_| next() % 3 == 0).collect();
+            for victim in [0u32, (n as u32) / 2, n as u32 - 1] {
+                let mut s = BitSet::from_ids(n, ids(&members));
+                let was = s.collapse(CandidateId(victim));
+                assert_eq!(was, members.contains(&victim));
+                let expect: Vec<u32> = members
+                    .iter()
+                    .filter(|&&m| m != victim)
+                    .map(|&m| if m > victim { m - 1 } else { m })
+                    .collect();
+                assert_eq!(s.to_vec(), ids(&expect));
+                assert_eq!(s.capacity(), n - 1);
+            }
+        }
     }
 
     #[test]

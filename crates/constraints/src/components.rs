@@ -21,8 +21,13 @@ use smn_schema::CandidateId;
 /// Components are numbered by their smallest member id, and the members of
 /// each component are listed in ascending global id order — so the
 /// partition, the shard order and the local ids are all deterministic
-/// functions of the [`ConflictIndex`].
-#[derive(Debug, Clone)]
+/// functions of the [`ConflictIndex`]. The partition can be maintained
+/// online — [`add_candidate`](Components::add_candidate) merges the
+/// components a new arrival couples, and
+/// [`retire_candidate`](Components::retire_candidate) splits the one a
+/// departure may disconnect — and the maintained state is always `==` to a
+/// fresh [`of_index`](Components::of_index) over the patched index.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Components {
     /// `component_of[c]` = component id of candidate `c`.
     component_of: Vec<u32>,
@@ -116,6 +121,170 @@ impl Components {
                 .map(|(j, _)| CandidateId::from_index(j)),
         )
     }
+
+    /// Rebuilds the flattened arrays from a list of `(old component index,
+    /// member list)` entries — `None` marks a component with no surviving
+    /// old counterpart (the merged component of an arrival, the split
+    /// parts of a retirement). Entries are renumbered by smallest member;
+    /// the returned [`ComponentEvolution`] records the old → new index
+    /// remap and which new indices were freshly formed.
+    fn rebuild(
+        &mut self,
+        mut entries: Vec<(Option<usize>, Vec<CandidateId>)>,
+        old_count: usize,
+        candidate_count: usize,
+    ) -> ComponentEvolution {
+        entries.sort_by_key(|(_, members)| members[0]);
+        let mut remap = vec![None; old_count];
+        let mut rebuilt = Vec::new();
+        self.component_of = vec![u32::MAX; candidate_count];
+        self.local_of = vec![0; candidate_count];
+        self.members = Vec::with_capacity(entries.len());
+        for (new_k, (old_k, members)) in entries.into_iter().enumerate() {
+            match old_k {
+                Some(old) => remap[old] = Some(new_k),
+                None => rebuilt.push(new_k),
+            }
+            let k32 = u32::try_from(new_k).expect("component id fits u32");
+            for (j, &c) in members.iter().enumerate() {
+                self.component_of[c.index()] = k32;
+                self.local_of[c.index()] = u32::try_from(j).expect("local id fits u32");
+            }
+            self.members.push(members);
+        }
+        debug_assert!(self.component_of.iter().all(|&k| k != u32::MAX));
+        ComponentEvolution { remap, rebuilt, dissolved: Vec::new() }
+    }
+
+    /// Maintains the partition for the candidate just appended to `index`
+    /// (`index.candidate_count()` must be exactly one more than this
+    /// partition covers): the components of the arrival's conflict
+    /// partners merge — a union-find merge along the new conflict edges —
+    /// and everything untouched keeps its member list. An arrival without
+    /// conflicts forms a fresh singleton component.
+    pub fn add_candidate(&mut self, index: &ConflictIndex) -> ComponentEvolution {
+        let n = index.candidate_count();
+        assert_eq!(n, self.component_of.len() + 1, "index must hold exactly one new candidate");
+        let c = CandidateId::from_index(n - 1);
+        // the components the arrival couples (sorted, deduplicated)
+        let mut coupled: Vec<usize> = index
+            .pair_mask(c)
+            .iter()
+            .map(|p| self.component_of(p))
+            .chain(index.other_pairs(c).iter().flatten().map(|&p| self.component_of(p)))
+            .collect();
+        coupled.sort_unstable();
+        coupled.dedup();
+        let old_count = self.members.len();
+        // move the member lists rather than cloning them: untouched
+        // components keep theirs verbatim, merge sources hand theirs to
+        // the caller via `dissolved` (the sharded stores remap their
+        // feedback and samples through exactly those lists)
+        let old_members = std::mem::take(&mut self.members);
+        let mut entries: Vec<(Option<usize>, Vec<CandidateId>)> = Vec::with_capacity(old_count + 1);
+        let mut merged: Vec<CandidateId> = Vec::new();
+        let mut dissolved: Vec<(usize, Vec<CandidateId>)> = Vec::new();
+        for (k, members) in old_members.into_iter().enumerate() {
+            if coupled.binary_search(&k).is_ok() {
+                merged.extend_from_slice(&members);
+                dissolved.push((k, members));
+            } else {
+                entries.push((Some(k), members));
+            }
+        }
+        // member lists of different components interleave by id, so the
+        // concatenation must be re-sorted; `c` is the largest id
+        merged.sort_unstable();
+        merged.push(c);
+        entries.push((None, merged));
+        let mut evo = self.rebuild(entries, old_count, n);
+        evo.dissolved = dissolved;
+        evo
+    }
+
+    /// Maintains the partition after candidate `retired` was removed from
+    /// `index` (already patched and id-compacted): only the retired
+    /// candidate's component can disconnect, so its remaining members are
+    /// re-grouped by a union-find over their surviving conflicts while
+    /// every other component just renumbers. The split parts are reported
+    /// as `rebuilt`; a retired singleton dissolves without parts.
+    pub fn retire_candidate(
+        &mut self,
+        index: &ConflictIndex,
+        retired: CandidateId,
+    ) -> ComponentEvolution {
+        let n = index.candidate_count();
+        assert_eq!(n + 1, self.component_of.len(), "index must have dropped exactly one candidate");
+        let k_old = self.component_of(retired);
+        let shift = |x: CandidateId| if x > retired { CandidateId(x.0 - 1) } else { x };
+        // regroup the retired component's remaining members (new ids) by
+        // their surviving conflicts; everything stays inside the old
+        // component because retirement only removes conflict edges
+        let survivors: Vec<CandidateId> =
+            self.members[k_old].iter().filter(|&&m| m != retired).map(|&m| shift(m)).collect();
+        let mut uf = UnionFind::new(n);
+        for &m in &survivors {
+            for p in index.pair_mask(m).iter() {
+                uf.union(m.index(), p.index());
+            }
+            for &[a, b] in index.other_pairs(m) {
+                uf.union(m.index(), a.index());
+                uf.union(m.index(), b.index());
+            }
+        }
+        let mut parts: Vec<Vec<CandidateId>> = Vec::new();
+        let mut part_of_root: Vec<usize> = vec![usize::MAX; n];
+        for &m in &survivors {
+            let root = uf.find(m.index());
+            if part_of_root[root] == usize::MAX {
+                part_of_root[root] = parts.len();
+                parts.push(Vec::new());
+            }
+            parts[part_of_root[root]].push(m);
+        }
+        let old_count = self.members.len();
+        // move the member lists: untouched components shift theirs in
+        // place, the dissolving one hands its (pre-retirement, old-id)
+        // list to the caller for feedback/sample remapping
+        let old_members = std::mem::take(&mut self.members);
+        let mut entries: Vec<(Option<usize>, Vec<CandidateId>)> = Vec::with_capacity(old_count);
+        let mut dissolved: Vec<(usize, Vec<CandidateId>)> = Vec::new();
+        for (k, mut members) in old_members.into_iter().enumerate() {
+            if k == k_old {
+                dissolved.push((k, members));
+            } else {
+                for m in members.iter_mut() {
+                    *m = shift(*m);
+                }
+                entries.push((Some(k), members));
+            }
+        }
+        entries.extend(parts.into_iter().map(|p| (None, p)));
+        let mut evo = self.rebuild(entries, old_count, n);
+        evo.dissolved = dissolved;
+        evo
+    }
+}
+
+/// How one evolution step reshaped the component partition — the
+/// bookkeeping [`crate::ConflictIndex`]-sharded sample stores need to know
+/// which shards survive verbatim and which must be re-extracted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentEvolution {
+    /// `remap[old_k]` = index of old component `old_k` in the new
+    /// partition; `None` when it was absorbed by a merge or dissolved by a
+    /// split.
+    pub remap: Vec<Option<usize>>,
+    /// New component indices with no surviving old counterpart, ascending:
+    /// the merged component of an arrival (exactly one), the split parts
+    /// of a retirement (zero or more).
+    pub rebuilt: Vec<usize>,
+    /// The `remap == None` components, ascending by old index, *moved out*
+    /// with their pre-event member lists (old global ids; a retirement's
+    /// list still contains the retiree) — exactly what a per-component
+    /// store needs to remap its local feedback and samples into the
+    /// rebuilt components, without re-deriving or cloning the partition.
+    pub dissolved: Vec<(usize, Vec<CandidateId>)>,
 }
 
 /// Path-halving union-find over candidate indices.

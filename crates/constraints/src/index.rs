@@ -51,7 +51,16 @@ impl ConstraintConfig {
 /// AND+popcount word operations instead of per-element `contains` probes —
 /// the difference that keeps Algorithm 3's walk interactive at `|C|` in
 /// the thousands.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The index is *canonical*: posting lists ascend, and the triple table is
+/// kept in lexicographic order regardless of how the triples were
+/// discovered. Two indices over the same candidate set therefore compare
+/// equal with `==` whether they were
+/// built in one shot ([`build`](Self::build)) or grown online
+/// ([`add_candidate`](Self::add_candidate) /
+/// [`retire_candidate`](Self::retire_candidate)) — the structural half of
+/// the evolving-network differential harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConflictIndex {
     config: ConstraintConfig,
     candidate_count: usize,
@@ -100,14 +109,38 @@ impl ConflictIndex {
         index
     }
 
-    /// Derives the dense query structures (conflict masks + flattened
-    /// other-two table) from the posting lists.
+    /// Derives the dense query structures (conflict masks, per-candidate
+    /// triple postings, flattened other-two table) from the primary data:
+    /// the pair posting lists and the triple table.
+    ///
+    /// The triple table is canonicalized (sorted lexicographically) first,
+    /// so the derived structures — and the index as a whole — are a pure
+    /// function of the conflict *sets*, independent of discovery order.
+    /// This is what lets the incremental `add_candidate`/`retire_candidate`
+    /// patches compare `==` against a from-scratch [`build`](Self::build).
     fn build_dense(&mut self) {
         let n = self.candidate_count;
+        self.triples.sort_unstable();
+        self.triples_of = vec![Vec::new(); n];
+        for (i, t) in self.triples.iter().enumerate() {
+            let idx = u32::try_from(i).expect("triple index overflow");
+            for &m in t {
+                self.triples_of[m.index()].push(idx);
+            }
+        }
         self.pair_masks =
             self.pair_conflicts.iter().map(|l| BitSet::from_ids(n, l.iter().copied())).collect();
+        self.rebuild_other_table();
+    }
+
+    /// Re-derives the flattened other-two table from `triples` and
+    /// `triples_of`, reusing the existing buffers — the only full pass the
+    /// incremental patches keep (it is `O(n + T)` sequential writes with
+    /// no per-candidate allocation).
+    fn rebuild_other_table(&mut self) {
+        let n = self.candidate_count;
         self.triple_other.clear();
-        self.triple_other_start = Vec::with_capacity(n + 1);
+        self.triple_other_start.clear();
         for c in 0..n {
             self.triple_other_start
                 .push(u32::try_from(self.triple_other.len()).expect("table overflow"));
@@ -241,14 +274,14 @@ impl ConflictIndex {
         }
     }
 
+    /// Records one potential cycle triple (members sorted). The posting
+    /// lists (`triples_of`) are derived later by
+    /// [`build_dense`](Self::build_dense), which also canonicalizes the
+    /// table order.
     fn push_triple(&mut self, x: CandidateId, y: CandidateId, z: CandidateId) {
         let mut t = [x, y, z];
         t.sort_unstable();
-        let idx = u32::try_from(self.triples.len()).expect("triple index overflow");
         self.triples.push(t);
-        for m in t {
-            self.triples_of[m.index()].push(idx);
-        }
     }
 
     /// The constraint configuration this index was built with.
@@ -537,6 +570,252 @@ impl ConflictIndex {
             shard.build_dense();
         }
         shards
+    }
+
+    /// Extracts the sub-index of a *single* component (the same remapping
+    /// as [`shard`](ConflictIndex::shard), restricted to component `k`) in
+    /// one pass over that component's posting lists — the building block of
+    /// incremental shard maintenance, where only the merged or split
+    /// component must be re-extracted.
+    pub fn shard_component(
+        &self,
+        components: &crate::components::Components,
+        k: usize,
+    ) -> ConflictIndex {
+        debug_assert_eq!(components.candidate_count(), self.candidate_count);
+        let members = components.members(k);
+        let m = members.len();
+        let mut sub = ConflictIndex {
+            config: self.config,
+            candidate_count: m,
+            pair_conflicts: vec![Vec::new(); m],
+            triples: Vec::new(),
+            triples_of: Vec::new(),
+            pair_masks: Vec::new(),
+            triple_other: Vec::new(),
+            triple_other_start: Vec::new(),
+        };
+        let local = |c: CandidateId| CandidateId::from_index(components.local_index(c));
+        for (j, &g) in members.iter().enumerate() {
+            sub.pair_conflicts[j] =
+                self.pair_conflicts[g.index()].iter().map(|&x| local(x)).collect();
+            for &t in &self.triples_of[g.index()] {
+                let tr = self.triples[t as usize];
+                // emit each triple once: when visiting its smallest member
+                if tr[0] == g {
+                    sub.triples.push([local(tr[0]), local(tr[1]), local(tr[2])]);
+                }
+            }
+        }
+        sub.build_dense();
+        sub
+    }
+
+    /// Incrementally extends the index for the candidate just appended to
+    /// `candidates` (`candidates.len()` must be exactly one more than the
+    /// indexed count): computes the new candidate's pair conflicts and
+    /// cycle triples from its local neighbourhood — attribute-incident
+    /// candidates and the interaction-graph triangles through its schema
+    /// edge — and patches the posting lists and dense query structures.
+    /// New conflicts always involve the new candidate, so nothing else is
+    /// re-enumerated; the result is `==` to a from-scratch
+    /// [`build`](ConflictIndex::build) over the grown candidate set.
+    ///
+    /// Returns the new candidate's id.
+    pub fn add_candidate(
+        &mut self,
+        catalog: &Catalog,
+        graph: &InteractionGraph,
+        candidates: &CandidateSet,
+    ) -> CandidateId {
+        let n = self.candidate_count;
+        assert_eq!(candidates.len(), n + 1, "add_candidate expects exactly one appended candidate");
+        let c = CandidateId::from_index(n);
+        self.candidate_count = n + 1;
+        self.pair_conflicts.push(Vec::new());
+        let corr = candidates.corr(c);
+        if self.config.one_to_one {
+            // one-to-one: share an endpoint attribute with `c` while the
+            // other endpoints lie in the same schema
+            for attr in corr.endpoints() {
+                let oc = corr.other(attr).expect("endpoint of its own correspondence");
+                for &y in candidates.incident(attr) {
+                    if y == c {
+                        continue;
+                    }
+                    let oy = candidates.corr(y).other(attr).expect("incident candidate");
+                    if catalog.schema_of(oc) == catalog.schema_of(oy) {
+                        self.pair_conflicts[c.index()].push(y);
+                        // `c` is the largest id, so pushing keeps the
+                        // partner's list sorted
+                        self.pair_conflicts[y.index()].push(c);
+                    }
+                }
+            }
+            self.pair_conflicts[c.index()].sort_unstable();
+        }
+        let mut added: Vec<[CandidateId; 3]> = Vec::new();
+        if self.config.cycle {
+            // cycle: for every triangle through c's schema edge, a triple
+            // (c, e2, e3) with one candidate per remaining edge conflicts
+            // iff it closes at exactly two of the three junctions — the
+            // same open-3-path rule `build_triples` enumerates family-wise
+            let [pa, pb] = corr.endpoints();
+            let (sa, sb) = (catalog.schema_of(pa), catalog.schema_of(pb));
+            for &sc in graph.neighbors(sa) {
+                if sc == sb || !graph.has_edge(sb, sc) {
+                    continue;
+                }
+                let bc = candidates.for_edge(sb, sc);
+                let ac = candidates.for_edge(sa, sc);
+                for &e2 in bc {
+                    let (b2, c2) =
+                        (end_of(catalog, candidates, e2, sb), end_of(catalog, candidates, e2, sc));
+                    for &e3 in ac {
+                        let (a3, c3) = (
+                            end_of(catalog, candidates, e3, sa),
+                            end_of(catalog, candidates, e3, sc),
+                        );
+                        let closes =
+                            usize::from(pb == b2) + usize::from(c2 == c3) + usize::from(a3 == pa);
+                        if closes == 2 {
+                            let mut t = [c, e2, e3];
+                            t.sort_unstable();
+                            added.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        self.patch_dense_add(c, added);
+        c
+    }
+
+    /// Dense patch for an arrival: grow every pair mask by one slot and
+    /// set the partner bits; merge the (few) new triples into the
+    /// canonical table, remapping the existing postings in place; then
+    /// re-derive the flattened other-two table. `O(n + P + T)` sequential
+    /// work with no per-candidate allocation — versus
+    /// [`build`](ConflictIndex::build)'s full conflict enumeration over
+    /// the catalog plus `n` fresh mask and posting vectors.
+    fn patch_dense_add(&mut self, c: CandidateId, mut added: Vec<[CandidateId; 3]>) {
+        let n = self.candidate_count;
+        for mask in &mut self.pair_masks {
+            mask.grow(n);
+        }
+        for &y in &self.pair_conflicts[c.index()] {
+            self.pair_masks[y.index()].insert(c);
+        }
+        self.pair_masks.push(BitSet::from_ids(n, self.pair_conflicts[c.index()].iter().copied()));
+        self.triples_of.push(Vec::new());
+        if !added.is_empty() {
+            // one merge pass keeps the table canonical (new triples contain
+            // `c` but need not sort after the old ones) and yields the
+            // old → new position remap for the existing postings
+            added.sort_unstable();
+            let old = std::mem::take(&mut self.triples);
+            let mut merged = Vec::with_capacity(old.len() + added.len());
+            let mut old_pos = Vec::with_capacity(old.len());
+            let mut added_pos = Vec::with_capacity(added.len());
+            let (mut ai, mut oi) = (0usize, 0usize);
+            while oi < old.len() || ai < added.len() {
+                let take_added = ai < added.len() && (oi >= old.len() || added[ai] < old[oi]);
+                let pos = u32::try_from(merged.len()).expect("triple index overflow");
+                if take_added {
+                    added_pos.push(pos);
+                    merged.push(added[ai]);
+                    ai += 1;
+                } else {
+                    old_pos.push(pos);
+                    merged.push(old[oi]);
+                    oi += 1;
+                }
+            }
+            self.triples = merged;
+            for list in &mut self.triples_of {
+                for t in list.iter_mut() {
+                    *t = old_pos[*t as usize];
+                }
+            }
+            for (&p, t) in added_pos.iter().zip(&added) {
+                for &m in t {
+                    let list = &mut self.triples_of[m.index()];
+                    let at = list.partition_point(|&x| x < p);
+                    list.insert(at, p);
+                }
+            }
+        }
+        self.rebuild_other_table();
+    }
+
+    /// Incrementally removes candidate `c` from the index, compacting the
+    /// id space: every candidate above `c` shifts down by one (the same
+    /// order-preserving renumbering [`CandidateSet::remove`] applies).
+    /// Conflicts not involving `c` are untouched apart from the renumber,
+    /// so the result is `==` to a from-scratch
+    /// [`build`](ConflictIndex::build) over the shrunken candidate set.
+    pub fn retire_candidate(&mut self, c: CandidateId) {
+        assert!(c.index() < self.candidate_count, "retire of unknown candidate {c}");
+        let shift = |x: CandidateId| if x > c { CandidateId(x.0 - 1) } else { x };
+        self.pair_conflicts.remove(c.index());
+        for list in &mut self.pair_conflicts {
+            list.retain(|&x| x != c);
+            for x in list.iter_mut() {
+                *x = shift(*x);
+            }
+        }
+        // dense pair patch: drop c's mask, collapse its bit position in
+        // every other (the monotone renumbering keeps the words exact)
+        self.pair_masks.remove(c.index());
+        for mask in &mut self.pair_masks {
+            mask.collapse(c);
+        }
+        // compact the triple table in place (the retiree's triples die),
+        // tracking the old → new position remap for the postings; the
+        // order-preserving compaction plus the monotone id shift keep the
+        // table canonical without a re-sort
+        let mut alive_pos = vec![u32::MAX; self.triples.len()];
+        let mut write = 0usize;
+        for read in 0..self.triples.len() {
+            if !self.triples[read].contains(&c) {
+                alive_pos[read] = u32::try_from(write).expect("triple index overflow");
+                self.triples[write] = self.triples[read];
+                write += 1;
+            }
+        }
+        self.triples.truncate(write);
+        for t in &mut self.triples {
+            for m in t.iter_mut() {
+                *m = shift(*m);
+            }
+        }
+        self.triples_of.remove(c.index());
+        for list in &mut self.triples_of {
+            list.retain_mut(|t| {
+                let p = alive_pos[*t as usize];
+                *t = p;
+                p != u32::MAX
+            });
+        }
+        self.candidate_count -= 1;
+        self.rebuild_other_table();
+    }
+}
+
+/// Endpoint of candidate `c` lying in schema `s`.
+#[inline]
+fn end_of(
+    catalog: &Catalog,
+    candidates: &CandidateSet,
+    c: CandidateId,
+    s: smn_schema::SchemaId,
+) -> smn_schema::AttributeId {
+    let [x, y] = candidates.corr(c).endpoints();
+    if catalog.schema_of(x) == s {
+        x
+    } else {
+        debug_assert_eq!(catalog.schema_of(y), s);
+        y
     }
 }
 

@@ -147,6 +147,34 @@ impl Session {
         trace
     }
 
+    /// Admits a new candidate correspondence to the live session (see
+    /// [`ProbabilisticNetwork::extend`]): the probabilistic model is
+    /// patched incrementally and the next question reflects the arrival.
+    pub fn extend(
+        &mut self,
+        x: smn_schema::AttributeId,
+        y: smn_schema::AttributeId,
+        confidence: f64,
+    ) -> Result<CandidateId, smn_schema::SchemaError> {
+        self.pn.extend(x, y, confidence)
+    }
+
+    /// Retires a candidate from the live session (see
+    /// [`ProbabilisticNetwork::retire`]): any assertion on it is
+    /// discarded, and the recorded history renumbers to the compacted id
+    /// space so [`Session::history`] keeps addressing the surviving
+    /// candidates.
+    pub fn retire(&mut self, c: CandidateId) -> Result<(), smn_schema::SchemaError> {
+        self.pn.retire(c)?;
+        self.asked.retain(|a| a.candidate != c);
+        for a in &mut self.asked {
+            if a.candidate > c {
+                a.candidate = CandidateId(a.candidate.0 - 1);
+            }
+        }
+        Ok(())
+    }
+
     /// Instantiates a trusted matching from the current state
     /// (Algorithm 2); available at any time — the "pay-as-you-go" promise.
     pub fn instantiate(&self, config: InstantiationConfig) -> Instantiation {
@@ -178,7 +206,7 @@ impl Session {
 mod tests {
     use super::*;
     use crate::oracle::GroundTruthOracle;
-    use crate::testutil::fig1_network;
+    use crate::testutil::{fig1_network, fig1_truth};
     use smn_schema::AttributeId;
 
     fn config() -> SessionConfig {
@@ -195,15 +223,6 @@ mod tests {
             strategy_seed: 9,
             sharding: ShardingConfig::disabled(),
         }
-    }
-
-    fn fig1_truth() -> Vec<Correspondence> {
-        let a = AttributeId;
-        vec![
-            Correspondence::new(a(0), a(1)),
-            Correspondence::new(a(1), a(3)),
-            Correspondence::new(a(0), a(3)),
-        ]
     }
 
     #[test]
@@ -293,6 +312,27 @@ mod tests {
         // the rejected flips left the session usable
         assert_eq!(session.network().probability(CandidateId(2)), 1.0);
         assert_eq!(session.history().len(), 2);
+    }
+
+    #[test]
+    fn session_evolves_online_and_renumbers_history() {
+        let sharded_config =
+            SessionConfig { sharding: crate::shard::ShardingConfig::default(), ..config() };
+        let mut session = Session::new(fig1_network(), sharded_config);
+        session.answer(CandidateId(2), true).unwrap();
+        session.answer(CandidateId(4), false).unwrap();
+        assert_eq!(session.history().len(), 2);
+        // retire the approved c2: its history entry drops, c4's shifts to c3
+        session.retire(CandidateId(2)).unwrap();
+        assert_eq!(session.network().network().candidate_count(), 4);
+        assert_eq!(session.history(), &[Assertion { candidate: CandidateId(3), approved: false }]);
+        assert_eq!(session.network().probability(CandidateId(3)), 0.0);
+        // a new arrival becomes askable and reconciliation still terminates
+        let id = session.extend(AttributeId(0), AttributeId(2), 0.8).unwrap();
+        assert_eq!(id, CandidateId(4));
+        let mut oracle = GroundTruthOracle::new(fig1_truth());
+        session.run(&mut oracle, ReconciliationGoal::Complete);
+        assert_eq!(session.entropy(), 0.0);
     }
 
     #[test]

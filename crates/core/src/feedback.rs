@@ -54,6 +54,29 @@ impl Feedback {
         self.assert(Assertion { candidate: c, approved: false });
     }
 
+    /// Grows the candidate universe by one (a new arrival, initially
+    /// unasserted).
+    pub fn grow(&mut self) {
+        let n = self.approved.capacity() + 1;
+        self.approved.grow(n);
+        self.disapproved.grow(n);
+    }
+
+    /// Drops candidate `c` from the universe, compacting ids (every later
+    /// candidate shifts down by one). Returns the verdict that was
+    /// discarded with it, if `c` had been asserted.
+    pub fn retire(&mut self, c: CandidateId) -> Option<bool> {
+        let approved = self.approved.collapse(c);
+        let disapproved = self.disapproved.collapse(c);
+        if approved {
+            Some(true)
+        } else if disapproved {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
     /// `F+` as a bitset.
     pub fn approved(&self) -> &BitSet {
         &self.approved
@@ -138,6 +161,23 @@ mod tests {
         assert!(f.respected_by(&good));
         assert!(!f.respected_by(&missing_approved));
         assert!(!f.respected_by(&has_disapproved));
+    }
+
+    #[test]
+    fn grow_and_retire_track_the_candidate_universe() {
+        let mut f = Feedback::new(3);
+        f.approve(CandidateId(0));
+        f.disapprove(CandidateId(2));
+        f.grow();
+        f.approve(CandidateId(3));
+        assert_eq!(f.len(), 3);
+        // retiring the disapproved c2 shifts c3's approval down to id 2
+        assert_eq!(f.retire(CandidateId(2)), Some(false));
+        assert_eq!(f.len(), 2);
+        assert!(f.approved().contains(CandidateId(0)));
+        assert!(f.approved().contains(CandidateId(2)));
+        assert_eq!(f.retire(CandidateId(1)), None, "unasserted candidates drop silently");
+        assert_eq!(f.approved().capacity(), 2);
     }
 
     #[test]

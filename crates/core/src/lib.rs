@@ -32,6 +32,10 @@
 //! [`engine::Session`] ties the steps into the pay-as-you-go loop a
 //! downstream application drives. See the repository examples.
 
+// Lets the shared fixture source (smn-testkit's `fixtures.rs`, included
+// below as `testutil`) refer to this crate by its external name.
+extern crate self as smn_core;
+
 pub mod engine;
 pub mod entropy;
 pub mod exact;
@@ -48,7 +52,14 @@ pub mod sampling;
 pub mod selection;
 pub mod shard;
 
+/// The shared workspace fixtures (`smn-testkit`), included at the source
+/// level: unit tests compile this crate separately from the library the
+/// testkit links, so importing the testkit *crate* here would yield
+/// mismatched types — importing its *source* does not. Fixtures used only
+/// by the integration suites are dead in this inclusion, hence the allow.
 #[cfg(test)]
+#[path = "../../testkit/src/fixtures.rs"]
+#[allow(dead_code)]
 pub(crate) mod testutil;
 
 pub use engine::{Session, SessionConfig};

@@ -1,7 +1,10 @@
 //! The (non-probabilistic) matching network `N = ⟨S, G_S, Γ, C⟩`.
 
 use smn_constraints::{BitSet, ConflictIndex, ConstraintConfig, ViolationCounts};
-use smn_schema::{CandidateId, CandidateSet, Catalog, Correspondence, InteractionGraph};
+use smn_schema::{
+    AttributeId, Candidate, CandidateId, CandidateSet, Catalog, Correspondence, InteractionGraph,
+    SchemaError,
+};
 
 /// A network of schemas: catalog, interaction graph, candidate
 /// correspondences and the (pre-indexed) integrity constraints.
@@ -68,6 +71,34 @@ impl MatchingNetwork {
     /// An empty instance sized for this network.
     pub fn empty_instance(&self) -> BitSet {
         BitSet::new(self.candidates.len())
+    }
+
+    /// Admits a new candidate correspondence online: validates and appends
+    /// it to the candidate set (it gets the next dense id) and patches the
+    /// conflict index incrementally
+    /// ([`ConflictIndex::add_candidate`]) instead of
+    /// rebuilding it — new conflicts always involve the arrival, so only
+    /// its attribute/triangle neighbourhood is enumerated.
+    pub fn extend(
+        &mut self,
+        x: AttributeId,
+        y: AttributeId,
+        confidence: f64,
+    ) -> Result<CandidateId, SchemaError> {
+        let id = self.candidates.add(&self.catalog, Some(&self.graph), x, y, confidence)?;
+        let patched = self.index.add_candidate(&self.catalog, &self.graph, &self.candidates);
+        debug_assert_eq!(patched, id);
+        Ok(id)
+    }
+
+    /// Retires candidate `c` online: removes it from the candidate set
+    /// (every later id shifts down by one) and patches the conflict index
+    /// incrementally ([`ConflictIndex::retire_candidate`]). Returns the
+    /// retired candidate.
+    pub fn retire(&mut self, c: CandidateId) -> Result<Candidate, SchemaError> {
+        let removed = self.candidates.remove(&self.catalog, c)?;
+        self.index.retire_candidate(c);
+        Ok(removed)
     }
 }
 

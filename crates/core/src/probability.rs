@@ -25,7 +25,7 @@ use crate::network::MatchingNetwork;
 use crate::sampling::{row_and_count, SampleMatrix, SampleStore, SamplerConfig};
 use crate::shard::{ShardSet, ShardingConfig};
 use smn_constraints::BitSet;
-use smn_schema::CandidateId;
+use smn_schema::{AttributeId, CandidateId, SchemaError};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -84,6 +84,13 @@ pub struct ProbabilisticNetwork {
     repr: Repr,
     probs: Vec<f64>,
     initial_entropy: f64,
+    /// The sampler configuration the network was built with — evolution
+    /// ([`extend`](Self::extend) / [`retire`](Self::retire)) reuses it for
+    /// shard rebuilds.
+    sampler: SamplerConfig,
+    /// The sharding configuration (`None` for the monolithic
+    /// representation), kept for the same reason.
+    sharding: Option<ShardingConfig>,
 }
 
 impl ProbabilisticNetwork {
@@ -92,7 +99,7 @@ impl ProbabilisticNetwork {
     pub fn new(network: MatchingNetwork, config: SamplerConfig) -> Self {
         let feedback = Feedback::new(network.candidate_count());
         let store = SampleStore::new(&network, &feedback, config);
-        Self::finish(network, feedback, Repr::Monolithic(store))
+        Self::finish(network, feedback, Repr::Monolithic(store), config, None)
     }
 
     /// Builds the probabilistic network sharded by conflict component
@@ -110,17 +117,24 @@ impl ProbabilisticNetwork {
         }
         let feedback = Feedback::new(network.candidate_count());
         let set = ShardSet::build(network.index(), config, &sharding);
-        Self::finish(network, feedback, Repr::Sharded(set))
+        Self::finish(network, feedback, Repr::Sharded(set), config, Some(sharding))
     }
 
-    fn finish(network: MatchingNetwork, feedback: Feedback, repr: Repr) -> Self {
+    fn finish(
+        network: MatchingNetwork,
+        feedback: Feedback,
+        repr: Repr,
+        sampler: SamplerConfig,
+        sharding: Option<ShardingConfig>,
+    ) -> Self {
         let n = network.candidate_count();
         let mut probs = vec![0.0; n];
         match &repr {
             Repr::Monolithic(store) => recompute_monolithic(store, &feedback, &mut probs),
             Repr::Sharded(set) => set.write_all_probabilities(&mut probs),
         }
-        let mut pn = Self { network, feedback, repr, probs, initial_entropy: 0.0 };
+        let mut pn =
+            Self { network, feedback, repr, probs, initial_entropy: 0.0, sampler, sharding };
         pn.initial_entropy = pn.entropy();
         pn
     }
@@ -268,6 +282,87 @@ impl ProbabilisticNetwork {
                 self.network.index().can_add(self.feedback.approved(), candidate)
             }
             Repr::Sharded(set) => set.approval_is_consistent(candidate),
+        }
+    }
+
+    /// Admits a new candidate correspondence online and returns its id
+    /// (the next dense id).
+    ///
+    /// The network is patched incrementally:
+    /// [`MatchingNetwork::extend`] grows the conflict index from the
+    /// arrival's neighbourhood, and the sharded representation merges only
+    /// the conflict components the arrival couples — carrying over
+    /// still-consistent samples and refilling (or exactly re-enumerating)
+    /// just the merged shard, while every other shard and probability is
+    /// untouched. The monolithic representation has no locality to
+    /// exploit; its store is refilled under the accumulated feedback.
+    ///
+    /// Errors (duplicate pair, non-edge, bad confidence, …) leave the
+    /// model untouched.
+    pub fn extend(
+        &mut self,
+        x: AttributeId,
+        y: AttributeId,
+        confidence: f64,
+    ) -> Result<CandidateId, SchemaError> {
+        let id = self.network.extend(x, y, confidence)?;
+        self.feedback.grow();
+        match &mut self.repr {
+            Repr::Monolithic(store) => {
+                *store =
+                    SampleStore::with_index(self.network.index(), &self.feedback, self.sampler);
+                recompute_monolithic(store, &self.feedback, &mut self.probs);
+            }
+            Repr::Sharded(set) => {
+                self.probs.push(0.0);
+                let sharding = self.sharding.expect("sharded repr carries its sharding config");
+                set.extend(self.network.index(), self.sampler, &sharding, &mut self.probs);
+            }
+        }
+        self.refresh_entropy_baseline();
+        Ok(id)
+    }
+
+    /// Retires candidate `c` online: it leaves the candidate set (every
+    /// later id shifts down by one), any assertion on it is discarded, and
+    /// the model re-derives the posterior over the survivors.
+    ///
+    /// As with [`extend`](Self::extend) the patch is incremental: only the
+    /// retired candidate's conflict component is re-extracted — split into
+    /// its surviving sub-components, their samples carried over and
+    /// re-maximized — while every other shard survives verbatim. An
+    /// unknown id is a typed error that leaves the model untouched.
+    pub fn retire(&mut self, c: CandidateId) -> Result<(), SchemaError> {
+        if c.index() >= self.network.candidate_count() {
+            return Err(SchemaError::UnknownCandidate(c));
+        }
+        self.network.retire(c)?;
+        match &mut self.repr {
+            Repr::Monolithic(store) => {
+                self.feedback.retire(c);
+                *store =
+                    SampleStore::with_index(self.network.index(), &self.feedback, self.sampler);
+                recompute_monolithic(store, &self.feedback, &mut self.probs);
+            }
+            Repr::Sharded(set) => {
+                self.probs.remove(c.index());
+                let sharding = self.sharding.expect("sharded repr carries its sharding config");
+                set.retire(self.network.index(), c, self.sampler, &sharding, &mut self.probs);
+                self.feedback.retire(c);
+            }
+        }
+        self.refresh_entropy_baseline();
+        Ok(())
+    }
+
+    /// Keeps [`normalized_entropy`](Self::normalized_entropy) meaningful
+    /// across evolution: the baseline stays the construction-time
+    /// uncertainty, except that a network whose baseline was zero (born
+    /// certain, or fully reconciled before candidates arrived) adopts the
+    /// current uncertainty as its new reference.
+    fn refresh_entropy_baseline(&mut self) {
+        if self.initial_entropy == 0.0 {
+            self.initial_entropy = self.entropy();
         }
     }
 
@@ -753,5 +848,200 @@ mod tests {
             assert_eq!(seed.count(), 3, "largest fig1 instances have 3 members");
             assert!(pn.network().index().is_consistent(&seed));
         }
+    }
+
+    /// Fig. 1 without its last candidate (c4 = a0–a3).
+    fn fig1_without_c4() -> crate::network::MatchingNetwork {
+        use smn_schema::{AttributeId, CandidateSet, CatalogBuilder, InteractionGraph};
+        let mut b = CatalogBuilder::new();
+        b.add_schema_with_attributes("EoverI", ["productionDate"]).unwrap();
+        b.add_schema_with_attributes("BBC", ["date"]).unwrap();
+        b.add_schema_with_attributes("DVDizzy", ["releaseDate", "screenDate"]).unwrap();
+        let cat = b.build();
+        let g = InteractionGraph::complete(3);
+        let mut cs = CandidateSet::new(&cat);
+        let a = AttributeId;
+        cs.add(&cat, Some(&g), a(0), a(1), 0.9).unwrap();
+        cs.add(&cat, Some(&g), a(1), a(2), 0.8).unwrap();
+        cs.add(&cat, Some(&g), a(0), a(2), 0.8).unwrap();
+        cs.add(&cat, Some(&g), a(1), a(3), 0.7).unwrap();
+        crate::network::MatchingNetwork::new(
+            cat,
+            g,
+            cs,
+            smn_constraints::ConstraintConfig::default(),
+        )
+    }
+
+    #[test]
+    fn extend_matches_a_from_scratch_build_on_both_representations() {
+        use smn_schema::AttributeId;
+        let partial_mono = ProbabilisticNetwork::new(fig1_without_c4(), sampler());
+        let partial_sharded = ProbabilisticNetwork::new_sharded(
+            fig1_without_c4(),
+            sampler(),
+            ShardingConfig::default(),
+        );
+        for (mut evolved, fresh) in [(partial_mono, pn()), (partial_sharded, sharded_pn())] {
+            let id = evolved.extend(AttributeId(0), AttributeId(3), 0.7).unwrap();
+            assert_eq!(id, CandidateId(4));
+            // the patched conflict index equals the full fig1 build exactly
+            assert_eq!(evolved.network().index(), fresh.network().index());
+            // exact (exhausted) stores: identical posteriors
+            assert!(evolved.is_exhausted());
+            assert_eq!(evolved.probabilities(), fresh.probabilities());
+            assert_eq!(evolved.entropy(), fresh.entropy());
+            let pool = fresh.uncertain_candidates();
+            assert_eq!(evolved.information_gains(&pool), fresh.information_gains(&pool));
+        }
+    }
+
+    #[test]
+    fn retire_matches_a_from_scratch_build_on_both_representations() {
+        let fresh_mono = ProbabilisticNetwork::new(fig1_without_c4(), sampler());
+        let fresh_sharded = ProbabilisticNetwork::new_sharded(
+            fig1_without_c4(),
+            sampler(),
+            ShardingConfig::default(),
+        );
+        for (mut evolved, fresh) in [(pn(), fresh_mono), (sharded_pn(), fresh_sharded)] {
+            evolved.retire(CandidateId(4)).unwrap();
+            assert_eq!(evolved.network().candidate_count(), 4);
+            assert_eq!(evolved.network().index(), fresh.network().index());
+            assert!(evolved.is_exhausted());
+            assert_eq!(evolved.probabilities(), fresh.probabilities());
+            assert_eq!(evolved.entropy(), fresh.entropy());
+        }
+    }
+
+    #[test]
+    fn retire_drops_assertions_and_shifts_ids() {
+        for mut pn in [pn(), sharded_pn()] {
+            pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: true }).unwrap();
+            pn.assert_candidate(Assertion { candidate: CandidateId(4), approved: false }).unwrap();
+            // retiring c2 discards its approval; c4's disapproval becomes c3's
+            pn.retire(CandidateId(2)).unwrap();
+            assert_eq!(pn.network().candidate_count(), 4);
+            assert!(pn.feedback().approved().is_empty());
+            assert!(pn.feedback().disapproved().contains(CandidateId(3)));
+            assert_eq!(pn.probability(CandidateId(3)), 0.0);
+            // the survivors keep a well-formed posterior
+            for &p in pn.probabilities() {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn evolution_errors_leave_the_model_untouched() {
+        use smn_schema::AttributeId;
+        for mut pn in [pn(), sharded_pn()] {
+            let snapshot = pn.probabilities().to_vec();
+            // duplicate pair
+            assert!(pn.extend(AttributeId(0), AttributeId(1), 0.5).is_err());
+            // intra-schema pair
+            assert!(pn.extend(AttributeId(2), AttributeId(3), 0.5).is_err());
+            // unknown retiree
+            assert_eq!(
+                pn.retire(CandidateId(9)),
+                Err(SchemaError::UnknownCandidate(CandidateId(9)))
+            );
+            assert_eq!(pn.probabilities(), &snapshot[..]);
+            assert_eq!(pn.network().candidate_count(), 5);
+        }
+    }
+
+    /// Two disjoint one-to-one conflict clusters over a 2-schema catalog:
+    /// `{c0 = a0–b0, c1 = a0–b1}` and `{c2 = a1–b2, c3 = a1–b3}`.
+    fn two_cluster_network() -> crate::network::MatchingNetwork {
+        use smn_schema::{AttributeId, CandidateSet, CatalogBuilder, InteractionGraph};
+        let mut b = CatalogBuilder::new();
+        b.add_schema_with_attributes("A", ["a0", "a1"]).unwrap();
+        b.add_schema_with_attributes("B", ["b0", "b1", "b2", "b3"]).unwrap();
+        let cat = b.build();
+        let g = InteractionGraph::complete(2);
+        let mut cs = CandidateSet::new(&cat);
+        let a = AttributeId;
+        cs.add(&cat, Some(&g), a(0), a(2), 0.9).unwrap(); // c0
+        cs.add(&cat, Some(&g), a(0), a(3), 0.8).unwrap(); // c1
+        cs.add(&cat, Some(&g), a(1), a(4), 0.8).unwrap(); // c2
+        cs.add(&cat, Some(&g), a(1), a(5), 0.7).unwrap(); // c3
+        crate::network::MatchingNetwork::new(
+            cat,
+            g,
+            cs,
+            smn_constraints::ConstraintConfig::default(),
+        )
+    }
+
+    #[test]
+    fn sharded_assert_errors_are_typed_and_leave_the_model_untouched() {
+        // a *multi-shard* network (fig1 is a single component, so the PR 3
+        // regression tests exercised the shard-local error paths only
+        // through the trivial one-shard case)
+        let mut pn = ProbabilisticNetwork::new_sharded(
+            two_cluster_network(),
+            sampler(),
+            ShardingConfig::default(),
+        );
+        assert_eq!(pn.shard_count(), 2);
+        // shard-local InconsistentApproval: c0 and c1 conflict inside the
+        // first cluster
+        pn.assert_candidate(Assertion { candidate: CandidateId(0), approved: true }).unwrap();
+        let snapshot = pn.probabilities().to_vec();
+        assert_eq!(
+            pn.assert_candidate(Assertion { candidate: CandidateId(1), approved: true }),
+            Err(AssertError::InconsistentApproval(CandidateId(1)))
+        );
+        assert_eq!(pn.probabilities(), &snapshot[..]);
+        assert!(!pn.feedback().is_asserted(CandidateId(1)));
+        // an approval in the *other* shard is unaffected by shard-1 state
+        pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: true }).unwrap();
+        assert_eq!(pn.probability(CandidateId(2)), 1.0);
+        // same-way re-assertions are true no-ops on both shards
+        let snapshot = pn.probabilities().to_vec();
+        pn.assert_candidate(Assertion { candidate: CandidateId(0), approved: true }).unwrap();
+        pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: true }).unwrap();
+        assert_eq!(pn.probabilities(), &snapshot[..]);
+        assert!((pn.effort() - 0.5).abs() < 1e-12, "no-ops must not double-count effort");
+        // contradictory flips are typed errors with the standing verdict
+        assert_eq!(
+            pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: false }),
+            Err(AssertError::Contradictory {
+                candidate: CandidateId(2),
+                previously_approved: true
+            })
+        );
+        assert_eq!(pn.probabilities(), &snapshot[..]);
+    }
+
+    #[test]
+    fn arrival_coupling_two_components_merges_their_shards_and_retirement_splits() {
+        use smn_schema::AttributeId;
+        let mut pn = ProbabilisticNetwork::new_sharded(
+            two_cluster_network(),
+            sampler(),
+            ShardingConfig::default(),
+        );
+        assert_eq!(pn.shard_count(), 2);
+        let before = pn.probabilities().to_vec();
+        assert_eq!(before, vec![0.5; 4]);
+        // c4 = a1–b0 conflicts with c0 (shared b0) and with c2, c3 (shared
+        // a1): the arrival couples both clusters into one shard
+        let id = pn.extend(AttributeId(1), AttributeId(2), 0.6).unwrap();
+        assert_eq!(pn.shard_count(), 1);
+        // differential: the merged posterior equals a from-scratch build
+        let fresh = ProbabilisticNetwork::new_sharded(
+            pn.network().clone(),
+            sampler(),
+            ShardingConfig::default(),
+        );
+        assert_eq!(pn.probabilities(), fresh.probabilities());
+        // instances: {c0,c2},{c0,c3},{c1,c2},{c1,c3},{c1,c4} → p(c4) = 1/5
+        assert!((pn.probability(id) - 0.2).abs() < 1e-12);
+        // retiring the bridge splits the shard back into the two clusters
+        pn.retire(id).unwrap();
+        assert_eq!(pn.shard_count(), 2);
+        assert_eq!(pn.probabilities(), &before[..]);
     }
 }

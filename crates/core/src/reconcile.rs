@@ -222,39 +222,7 @@ mod tests {
         assert_eq!(last.entropy, 0.0, "complete reconciliation ends certain");
     }
 
-    /// Replays a fixed candidate script, re-selecting candidates even when
-    /// they are already asserted — the adversarial counterpart of the
-    /// built-in strategies, which never re-select.
-    struct ScriptedSelection {
-        script: Vec<smn_schema::CandidateId>,
-        pos: usize,
-    }
-
-    impl crate::selection::SelectionStrategy for ScriptedSelection {
-        fn name(&self) -> &'static str {
-            "scripted"
-        }
-
-        fn select(&mut self, _pn: &ProbabilisticNetwork) -> Option<smn_schema::CandidateId> {
-            let next = self.script.get(self.pos).copied();
-            self.pos += 1;
-            next
-        }
-    }
-
-    /// Answers each elicitation from a fixed verdict script.
-    struct ScriptedOracle {
-        verdicts: Vec<bool>,
-        pos: usize,
-    }
-
-    impl crate::oracle::Oracle for ScriptedOracle {
-        fn assert(&mut self, _corr: smn_schema::Correspondence) -> bool {
-            let v = self.verdicts[self.pos % self.verdicts.len()];
-            self.pos += 1;
-            v
-        }
-    }
+    use crate::testutil::{ScriptedOracle, ScriptedSelection};
 
     #[test]
     fn inconsistent_approval_is_flipped_not_panicked() {
@@ -262,8 +230,8 @@ mod tests {
         // approve c1, then (noisily) approve its 1-1 conflict partner c3:
         // the model refuses the approval and records a disapproval instead
         let mut pn = fig1_pn(4);
-        let mut strat = ScriptedSelection { script: vec![CandidateId(1), CandidateId(3)], pos: 0 };
-        let mut oracle = ScriptedOracle { verdicts: vec![true, true], pos: 0 };
+        let mut strat = ScriptedSelection::new([CandidateId(1), CandidateId(3)]);
+        let mut oracle = ScriptedOracle::new([true, true]);
         let trace = reconcile(&mut pn, &mut strat, &mut oracle, ReconciliationGoal::Complete);
         assert_eq!(trace.len(), 2);
         assert_eq!(trace[0].outcome, StepOutcome::Integrated);
@@ -281,8 +249,8 @@ mod tests {
         // the model unchanged. Before the typed-error fix this panicked
         // inside Feedback::assert.
         let mut pn = fig1_pn(5);
-        let mut strat = ScriptedSelection { script: vec![CandidateId(2), CandidateId(2)], pos: 0 };
-        let mut oracle = ScriptedOracle { verdicts: vec![false, true], pos: 0 };
+        let mut strat = ScriptedSelection::new([CandidateId(2), CandidateId(2)]);
+        let mut oracle = ScriptedOracle::new([false, true]);
         let trace = reconcile(&mut pn, &mut strat, &mut oracle, ReconciliationGoal::Complete);
         assert_eq!(trace.len(), 2);
         assert_eq!(trace[0].outcome, StepOutcome::Integrated);
@@ -294,8 +262,8 @@ mod tests {
         // the reverse flip (disapproving an approved candidate) cannot use
         // the fallback either — it surfaces as Skipped, through the path
         // that used to panic on the `expect`
-        let mut strat = ScriptedSelection { script: vec![CandidateId(1), CandidateId(1)], pos: 0 };
-        let mut oracle = ScriptedOracle { verdicts: vec![true, false], pos: 0 };
+        let mut strat = ScriptedSelection::new([CandidateId(1), CandidateId(1)]);
+        let mut oracle = ScriptedOracle::new([true, false]);
         let trace = reconcile(&mut pn, &mut strat, &mut oracle, ReconciliationGoal::Complete);
         assert_eq!(trace[1].outcome, StepOutcome::Skipped);
         assert_eq!(trace[1].effort, trace[0].effort);

@@ -258,6 +258,35 @@ impl SampleStore {
         store
     }
 
+    /// Builds a store pre-seeded with *carried-over* instances — matching
+    /// instances salvaged from the stores of merged or split shards during
+    /// network evolution — then fills normally. Every carried instance
+    /// must already be a valid matching instance of `index` under
+    /// `feedback`; duplicates collapse. Unlike
+    /// [`from_instances`](SampleStore::from_instances) the carried set
+    /// makes no completeness claim, so the store is *not* exhausted unless
+    /// the fill pass concludes so (§III-B's two-failed-refills rule).
+    pub fn with_carried(
+        index: &ConflictIndex,
+        feedback: &Feedback,
+        config: SamplerConfig,
+        carried: impl IntoIterator<Item = BitSet>,
+    ) -> Self {
+        let mut store = Self::empty(index.candidate_count(), config);
+        for inst in carried {
+            debug_assert!(index.is_consistent(&inst), "carried instance inconsistent");
+            debug_assert!(feedback.respected_by(&inst), "carried instance breaks feedback");
+            debug_assert!(
+                index.is_maximal(&inst, feedback.disapproved()),
+                "carried instance not maximal"
+            );
+            store.record(&inst);
+        }
+        store.fill(index, feedback);
+        store.sync_weights();
+        store
+    }
+
     fn empty(n: usize, config: SamplerConfig) -> Self {
         Self {
             samples: Vec::new(),

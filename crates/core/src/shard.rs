@@ -33,7 +33,7 @@
 use crate::exact;
 use crate::feedback::{Assertion, Feedback};
 use crate::sampling::{SampleStore, SamplerConfig};
-use smn_constraints::{Components, ConflictIndex};
+use smn_constraints::{BitSet, Components, ConflictIndex};
 use smn_schema::CandidateId;
 use std::sync::Mutex;
 
@@ -162,6 +162,185 @@ impl ShardSet {
         }
     }
 
+    /// Maintains the shard set for the candidate just appended to `index`
+    /// (the patched global conflict index): the components its conflicts
+    /// couple merge into one shard — still-consistent cross-combinations
+    /// of their samples are carried over, and only that shard enumerates
+    /// or refills — while every other shard survives verbatim. The merged
+    /// shard's slice of `probs` is rewritten; nothing else moves (global
+    /// ids are stable under arrival).
+    pub(crate) fn extend(
+        &mut self,
+        index: &ConflictIndex,
+        sampler: SamplerConfig,
+        sharding: &ShardingConfig,
+        probs: &mut [f64],
+    ) {
+        let c = CandidateId::from_index(index.candidate_count() - 1);
+        let evo = self.components.add_candidate(index);
+        let old_shards = std::mem::take(&mut self.shards);
+        let mut new_shards: Vec<Option<Shard>> =
+            (0..self.components.count()).map(|_| None).collect();
+        // merge sources, paired with their pre-merge member lists (both
+        // ascend by old component index)
+        let mut absorbed: Vec<(&[CandidateId], Shard)> = Vec::new();
+        {
+            let mut dissolved = evo.dissolved.iter();
+            for (old_k, shard) in old_shards.into_iter().enumerate() {
+                match evo.remap[old_k] {
+                    Some(new_k) => new_shards[new_k] = Some(shard),
+                    None => {
+                        let (dk, members) =
+                            dissolved.next().expect("one dissolved entry per absorbed shard");
+                        debug_assert_eq!(*dk, old_k);
+                        absorbed.push((members.as_slice(), shard));
+                    }
+                }
+            }
+        }
+        let &[merged_k] = evo.rebuilt.as_slice() else {
+            unreachable!("an arrival always forms exactly one new component")
+        };
+        let sub = index.shard_component(&self.components, merged_k);
+        let m = sub.candidate_count();
+        let local = |g: CandidateId| CandidateId::from_index(self.components.local_index(g));
+        // merged local feedback: every absorbed shard's assertions remapped
+        // old-local → global → merged-local (the arrival is unasserted, and
+        // approvals of different components never conflict)
+        let mut feedback = Feedback::new(m);
+        for (members, shard) in &absorbed {
+            for lc in shard.feedback.approved().iter() {
+                feedback.approve(local(members[lc.index()]));
+            }
+            for lc in shard.feedback.disapproved().iter() {
+                feedback.disapprove(local(members[lc.index()]));
+            }
+        }
+        // sampled merges carry over cross-combined old samples: each
+        // combination is maximal over the union of the old components, so
+        // with the arrival inserted when addable (kept otherwise) it is a
+        // matching instance of the merged component; the sampler refills
+        // on top of them instead of restarting cold
+        let carried = if m > sharding.exact_threshold {
+            let cap = sampler.n_samples.max(sampler.n_min).max(1);
+            let mut combos: Vec<BitSet> = vec![BitSet::new(m)];
+            for (members, shard) in &absorbed {
+                let mut next = Vec::new();
+                'cross: for combo in &combos {
+                    for s in shard.store.samples() {
+                        let mut merged = combo.clone();
+                        for lc in s.iter() {
+                            merged.insert(local(members[lc.index()]));
+                        }
+                        next.push(merged);
+                        if next.len() >= cap {
+                            break 'cross;
+                        }
+                    }
+                }
+                combos = next;
+            }
+            let lc_new = local(c);
+            for inst in &mut combos {
+                if sub.can_add(inst, lc_new) {
+                    inst.insert(lc_new);
+                }
+            }
+            combos
+        } else {
+            Vec::new()
+        };
+        new_shards[merged_k] =
+            Some(build_evolved_shard(merged_k, sub, feedback, carried, sampler, sharding));
+        self.shards =
+            new_shards.into_iter().map(|s| s.expect("every component assigned")).collect();
+        self.write_shard_probabilities(merged_k, probs);
+    }
+
+    /// Maintains the shard set after `retired` was removed from `index`
+    /// (already patched and id-compacted): only the retired candidate's
+    /// shard dissolves — its surviving conflict components are re-extracted,
+    /// their feedback carried over, and their stores rebuilt from the old
+    /// shard's samples (restricted, deterministically re-maximized) plus a
+    /// refill — while every other shard survives verbatim. The split
+    /// parts' slices of `probs` are rewritten; `probs` must already be
+    /// compacted to the new id space.
+    pub(crate) fn retire(
+        &mut self,
+        index: &ConflictIndex,
+        retired: CandidateId,
+        sampler: SamplerConfig,
+        sharding: &ShardingConfig,
+        probs: &mut [f64],
+    ) {
+        let evo = self.components.retire_candidate(index, retired);
+        // OLD global ids of the dissolving component (ascending, still
+        // containing the retiree), moved out by the partition update
+        let old_comp: &[CandidateId] =
+            &evo.dissolved.first().expect("the retiree's component dissolves").1;
+        let old_shards = std::mem::take(&mut self.shards);
+        let mut new_shards: Vec<Option<Shard>> =
+            (0..self.components.count()).map(|_| None).collect();
+        let mut dissolved: Option<Shard> = None;
+        for (old_k, shard) in old_shards.into_iter().enumerate() {
+            match evo.remap[old_k] {
+                Some(new_k) => new_shards[new_k] = Some(shard),
+                None => dissolved = Some(shard),
+            }
+        }
+        let old_shard = dissolved.expect("the retired candidate's shard dissolves");
+        // OLD-local id of an OLD global id within the dissolved shard
+        let old_local = |g: CandidateId| {
+            CandidateId::from_index(old_comp.binary_search(&g).expect("member of the old shard"))
+        };
+        // NEW global id → OLD global id (undo the retirement compaction)
+        let unshift = |g: CandidateId| if g >= retired { CandidateId(g.0 + 1) } else { g };
+        for &part_k in &evo.rebuilt {
+            let sub = index.shard_component(&self.components, part_k);
+            let m = sub.candidate_count();
+            let part_members = self.components.members(part_k).to_vec(); // NEW global ids
+            let mut feedback = Feedback::new(m);
+            for (j, &g) in part_members.iter().enumerate() {
+                let ol = old_local(unshift(g));
+                let lc = CandidateId::from_index(j);
+                if old_shard.feedback.approved().contains(ol) {
+                    feedback.approve(lc);
+                } else if old_shard.feedback.disapproved().contains(ol) {
+                    feedback.disapprove(lc);
+                }
+            }
+            // sampled parts carry over the old samples, restricted to the
+            // part and greedily re-maximized: retirement can unblock
+            // candidates that conflicted only with the departed one
+            let carried = if m > sharding.exact_threshold {
+                old_shard
+                    .store
+                    .samples()
+                    .iter()
+                    .map(|s| {
+                        let mut inst = BitSet::new(m);
+                        for (j, &g) in part_members.iter().enumerate() {
+                            if s.contains(old_local(unshift(g))) {
+                                inst.insert(CandidateId::from_index(j));
+                            }
+                        }
+                        complete_greedily(&sub, &feedback, &mut inst);
+                        inst
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            new_shards[part_k] =
+                Some(build_evolved_shard(part_k, sub, feedback, carried, sampler, sharding));
+        }
+        self.shards =
+            new_shards.into_iter().map(|s| s.expect("every component assigned")).collect();
+        for &part_k in &evo.rebuilt {
+            self.write_shard_probabilities(part_k, probs);
+        }
+    }
+
     /// Writes one shard's probabilities (Eq. 2 over its own store) into
     /// the global vector.
     pub(crate) fn write_shard_probabilities(&self, k: usize, probs: &mut [f64]) {
@@ -194,8 +373,24 @@ fn build_shard(
     sampler: SamplerConfig,
     sharding: &ShardingConfig,
 ) -> Shard {
+    let feedback = Feedback::new(sub.candidate_count());
+    build_evolved_shard(k, sub, feedback, Vec::new(), sampler, sharding)
+}
+
+/// The general shard builder behind both the initial
+/// [`ShardSet::build`] and the evolution paths: exact enumeration (under
+/// the given feedback) for small components, the Algorithm 3 sampler
+/// seeded with any `carried`-over instances otherwise; shard `k` is
+/// seeded `seed + k` either way.
+fn build_evolved_shard(
+    k: usize,
+    sub: ConflictIndex,
+    feedback: Feedback,
+    carried: Vec<BitSet>,
+    sampler: SamplerConfig,
+    sharding: &ShardingConfig,
+) -> Shard {
     let m = sub.candidate_count();
-    let feedback = Feedback::new(m);
     let config = SamplerConfig { seed: sampler.seed.wrapping_add(k as u64), ..sampler };
     let exact_attempt = if m <= sharding.exact_threshold {
         exact::enumerate_with_index(&sub, &feedback, sharding.exact_cap)
@@ -204,9 +399,21 @@ fn build_shard(
     };
     let store = match exact_attempt {
         Some(instances) => SampleStore::from_instances(m, instances, config),
-        None => SampleStore::with_index(&sub, &feedback, config),
+        None => SampleStore::with_carried(&sub, &feedback, config, carried),
     };
     Shard { index: sub, feedback, store }
+}
+
+/// Extends `inst` to a maximal consistent instance by scanning candidates
+/// in ascending id order — the deterministic (RNG-free) re-maximization
+/// used on carried-over samples after a retirement.
+fn complete_greedily(index: &ConflictIndex, feedback: &Feedback, inst: &mut BitSet) {
+    for j in 0..index.candidate_count() {
+        let c = CandidateId::from_index(j);
+        if !inst.contains(c) && !feedback.disapproved().contains(c) && index.can_add(inst, c) {
+            inst.insert(c);
+        }
+    }
 }
 
 /// Fills shards across a scoped worker pool. Each shard's store depends

@@ -26,6 +26,7 @@
 //! Everything is deterministic in the seed.
 
 pub mod dataset;
+pub mod evolving;
 pub mod federation;
 pub mod generator;
 pub mod presets;
@@ -34,6 +35,9 @@ pub mod variants;
 pub mod vocab;
 
 pub use dataset::Dataset;
+pub use evolving::{
+    evolving_webform_federation, ChurnEvent, EvolvingFederation, EvolvingFederationSpec,
+};
 pub use federation::{webform_federation, Federation, FederationSpec};
 pub use generator::{DatasetSpec, SharingModel};
 pub use presets::{bp, po, uaf, webform};

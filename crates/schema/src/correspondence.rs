@@ -95,7 +95,7 @@ pub struct Candidate {
 }
 
 /// The candidate set `C` of a matching network, with dense ids and indexes.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CandidateSet {
     candidates: Vec<Candidate>,
     by_pair: HashMap<Correspondence, CandidateId>,
@@ -154,6 +154,37 @@ impl CandidateSet {
         self.by_edge.entry(edge).or_default().push(id);
         self.candidates.push(Candidate { id, corr, confidence });
         Ok(id)
+    }
+
+    /// Removes a candidate, compacting the dense id space: every candidate
+    /// with a higher id shifts down by one (order-preserving renumbering),
+    /// and the derived indexes are rebuilt in the new id order — so the
+    /// result is indistinguishable from a set built by re-adding the
+    /// survivors in order. Returns the removed candidate (with its
+    /// original id).
+    ///
+    /// This is the candidate-retirement primitive of the evolving-network
+    /// stack; `catalog` must be the catalog the set was built against.
+    pub fn remove(&mut self, catalog: &Catalog, id: CandidateId) -> Result<Candidate, SchemaError> {
+        if id.index() >= self.candidates.len() {
+            return Err(SchemaError::UnknownCandidate(id));
+        }
+        let removed = self.candidates.remove(id.index());
+        self.by_pair.clear();
+        self.by_edge.clear();
+        for inc in &mut self.incident {
+            inc.clear();
+        }
+        for (i, cand) in self.candidates.iter_mut().enumerate() {
+            cand.id = CandidateId::from_index(i);
+            self.by_pair.insert(cand.corr, cand.id);
+            self.incident[cand.corr.a().index()].push(cand.id);
+            self.incident[cand.corr.b().index()].push(cand.id);
+            let (sx, sy) = (catalog.schema_of(cand.corr.a()), catalog.schema_of(cand.corr.b()));
+            let edge = if sx.0 <= sy.0 { (sx, sy) } else { (sy, sx) };
+            self.by_edge.entry(edge).or_default().push(cand.id);
+        }
+        Ok(removed)
     }
 
     /// Number of candidates (`|C|`).
@@ -329,6 +360,35 @@ mod tests {
         for c in set.candidates() {
             assert_eq!(set.get(c.id).corr, c.corr);
         }
+    }
+
+    #[test]
+    fn remove_compacts_ids_like_a_rebuild() {
+        let (cat, g) = setup();
+        let mut set = CandidateSet::new(&cat);
+        set.add(&cat, Some(&g), AttributeId(0), AttributeId(2), 0.5).unwrap();
+        set.add(&cat, Some(&g), AttributeId(1), AttributeId(3), 0.6).unwrap();
+        set.add(&cat, Some(&g), AttributeId(2), AttributeId(4), 0.7).unwrap();
+        let removed = set.remove(&cat, CandidateId(1)).unwrap();
+        assert_eq!(removed.corr, Correspondence::new(AttributeId(1), AttributeId(3)));
+        // survivors renumbered in order; equal to re-adding them from scratch
+        let mut rebuilt = CandidateSet::new(&cat);
+        rebuilt.add(&cat, Some(&g), AttributeId(0), AttributeId(2), 0.5).unwrap();
+        rebuilt.add(&cat, Some(&g), AttributeId(2), AttributeId(4), 0.7).unwrap();
+        assert_eq!(set, rebuilt);
+        assert_eq!(set.find(AttributeId(2), AttributeId(4)), Some(CandidateId(1)));
+        assert_eq!(set.incident(AttributeId(2)), &[CandidateId(0), CandidateId(1)]);
+        // unknown ids are a typed error, and the set is untouched
+        assert_eq!(
+            set.remove(&cat, CandidateId(9)),
+            Err(SchemaError::UnknownCandidate(CandidateId(9)))
+        );
+        assert_eq!(set.len(), 2);
+        // removing everything leaves a usable empty set
+        set.remove(&cat, CandidateId(0)).unwrap();
+        set.remove(&cat, CandidateId(0)).unwrap();
+        assert!(set.is_empty());
+        assert!(set.for_edge(SchemaId(0), SchemaId(1)).is_empty());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Error type for catalog and candidate-set construction.
 
-use crate::ids::{AttributeId, SchemaId};
+use crate::ids::{AttributeId, CandidateId, SchemaId};
 use std::fmt;
 
 /// Errors raised while building catalogs, graphs or candidate sets.
@@ -21,6 +21,8 @@ pub enum SchemaError {
     NotAnInteractionEdge(SchemaId, SchemaId),
     /// The same correspondence was added twice to a candidate set.
     DuplicateCandidate(AttributeId, AttributeId),
+    /// A referenced candidate id does not exist in the candidate set.
+    UnknownCandidate(CandidateId),
     /// A confidence value was outside `[0, 1]`.
     InvalidConfidence(f64),
 }
@@ -43,6 +45,7 @@ impl fmt::Display for SchemaError {
             SchemaError::DuplicateCandidate(a, b) => {
                 write!(f, "candidate correspondence {a}–{b} was added twice")
             }
+            SchemaError::UnknownCandidate(id) => write!(f, "unknown candidate {id}"),
             SchemaError::InvalidConfidence(v) => {
                 write!(f, "confidence {v} is outside the unit interval")
             }

@@ -5,35 +5,13 @@ use smn::core::{
     GroundTruthOracle, InstantiationConfig, MatchingNetwork, PrecisionRecall, ReconciliationGoal,
     SamplerConfig, Session, SessionConfig,
 };
-use smn::datasets::{DatasetSpec, SharingModel, Vocabulary};
 use smn::matchers::{ensemble, matcher::match_network, MatchQuality, PerturbationMatcher};
 use smn_constraints::ConstraintConfig;
 use smn_core::engine::Strategy;
-
-fn small_dataset(seed: u64) -> smn::datasets::Dataset {
-    DatasetSpec {
-        name: "E2E".into(),
-        vocabulary: Vocabulary::business_partner(),
-        schema_count: 3,
-        attrs_min: 20,
-        attrs_max: 30,
-        sharing: SharingModel::RankBiased { alpha: 0.7 },
-    }
-    .generate(seed)
-}
+use smn_testkit::{business_dataset as small_dataset, fast_sampler};
 
 fn fast_session_config() -> SessionConfig {
-    SessionConfig {
-        sampler: SamplerConfig {
-            anneal: true,
-            n_samples: 300,
-            walk_steps: 3,
-            n_min: 120,
-            seed: 1,
-            chains: 1,
-        },
-        ..Default::default()
-    }
+    SessionConfig { sampler: fast_sampler(1), ..Default::default() }
 }
 
 /// The full pipeline with a real string matcher: reconciliation improves

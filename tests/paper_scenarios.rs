@@ -9,27 +9,7 @@ use smn::prelude::*;
 use smn_constraints::ConstraintConfig;
 use smn_core::feedback::Feedback;
 use smn_core::Assertion;
-
-/// Builds the Fig. 1 network of the paper.
-fn fig1() -> MatchingNetwork {
-    let mut b = CatalogBuilder::new();
-    let sa = b.add_schema("EoverI").unwrap();
-    let pd = b.add_attribute(sa, "productionDate").unwrap();
-    let sb = b.add_schema("BBC").unwrap();
-    let date = b.add_attribute(sb, "date").unwrap();
-    let sc = b.add_schema("DVDizzy").unwrap();
-    let rd = b.add_attribute(sc, "releaseDate").unwrap();
-    let sd = b.add_attribute(sc, "screenDate").unwrap();
-    let catalog = b.build();
-    let graph = InteractionGraph::complete(3);
-    let mut c = CandidateSet::new(&catalog);
-    c.add(&catalog, Some(&graph), pd, date, 0.9).unwrap();
-    c.add(&catalog, Some(&graph), date, rd, 0.8).unwrap();
-    c.add(&catalog, Some(&graph), pd, rd, 0.8).unwrap();
-    c.add(&catalog, Some(&graph), date, sd, 0.7).unwrap();
-    c.add(&catalog, Some(&graph), pd, sd, 0.7).unwrap();
-    MatchingNetwork::new(catalog, graph, c, ConstraintConfig::default())
-}
+use smn_testkit::fig1_network as fig1;
 
 /// §II-A: "The set of correspondences {c3, c5} violates the one-to-one
 /// constraint, whereas the set {c2, c1, c5} violates the cycle constraint."

@@ -4,57 +4,11 @@
 
 use smn::core::{
     CrowdOracle, GroundTruthOracle, InstantiationConfig, MatchingNetwork, NoisyOracle,
-    PrecisionRecall, ReconciliationGoal, SamplerConfig, Session, SessionConfig,
+    PrecisionRecall, ReconciliationGoal, Session,
 };
-use smn::matchers::{matcher::match_network, PerturbationMatcher};
 use smn::prelude::*;
 use smn_constraints::{ClosureChecker, ConstraintConfig};
-use smn_core::engine::Strategy;
-
-fn identity_network(
-    schemas: usize,
-    attrs: usize,
-    precision: f64,
-    seed: u64,
-) -> (MatchingNetwork, Vec<Correspondence>) {
-    let mut b = CatalogBuilder::new();
-    for s in 0..schemas {
-        b.add_schema_with_attributes(format!("s{s}"), (0..attrs).map(|i| format!("a{s}_{i}")))
-            .unwrap();
-    }
-    let catalog = b.build();
-    let graph = InteractionGraph::complete(schemas);
-    let mut truth = Vec::new();
-    for s1 in 0..schemas {
-        for s2 in (s1 + 1)..schemas {
-            for i in 0..attrs {
-                truth.push(Correspondence::new(
-                    AttributeId::from_index(s1 * attrs + i),
-                    AttributeId::from_index(s2 * attrs + i),
-                ));
-            }
-        }
-    }
-    let matcher = PerturbationMatcher::new(truth.iter().copied(), precision, 0.9, seed);
-    let candidates = match_network(&matcher, &catalog, &graph).unwrap();
-    (MatchingNetwork::new(catalog, graph, candidates, ConstraintConfig::default()), truth)
-}
-
-fn fast_config(seed: u64) -> SessionConfig {
-    SessionConfig {
-        sampler: SamplerConfig {
-            anneal: true,
-            n_samples: 300,
-            walk_steps: 3,
-            n_min: 120,
-            seed,
-            chains: 1,
-        },
-        strategy: Strategy::InformationGain,
-        strategy_seed: seed,
-        ..Default::default()
-    }
-}
+use smn_testkit::{fast_session_config as fast_config, identity_network};
 
 /// An empty candidate set is a legal (if useless) network: entropy zero,
 /// instantiation empty, no questions.

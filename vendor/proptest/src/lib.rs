@@ -10,7 +10,9 @@
 //! * **derived determinism** — each test's RNG is seeded from the hash of
 //!   its function name, so runs are reproducible without a persistence file;
 //! * **default cases = 64** (real proptest: 256) to keep `cargo test -q`
-//!   fast; tests that need a specific count set it via `proptest_config`.
+//!   fast; tests that need a specific count set it via `proptest_config`,
+//!   and the `PROPTEST_CASES` environment variable overrides the default
+//!   (as in real proptest) so CI can run the property suites deeper.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,8 +37,17 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 64 cases (real proptest: 256) to keep `cargo test -q` quick, or the
+    /// `PROPTEST_CASES` environment variable when set — the same override
+    /// real proptest honors, used by CI to run the property suites deeper
+    /// than local iteration does.
     fn default() -> Self {
-        Self { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(64);
+        Self { cases }
     }
 }
 
@@ -373,7 +384,8 @@ macro_rules! prop_assert {
     };
 }
 
-/// Asserts equality within a property.
+/// Asserts equality within a property, with an optional context message
+/// (same surface as real proptest's `prop_assert_eq!`).
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {{
@@ -385,6 +397,18 @@ macro_rules! prop_assert_eq {
             stringify!($right),
             l,
             r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`): {}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r,
+            format!($($fmt)+)
         );
     }};
 }

@@ -15,6 +15,7 @@
 //! | `exp_fig11` | Fig. 11 — likelihood criterion in instantiation |
 //! | `exp_sharding` | monolithic vs component-sharded probabilistic networks |
 //! | `exp_evolve` | incremental maintenance vs full rebuild on an evolving federation |
+//! | `exp_service` | concurrent multi-worker reconciliation: fork/commit costs, worker × error × redundancy grid |
 //!
 //! Binaries print the paper's rows/series to stdout and write
 //! machine-readable JSON to `results/`. Criterion micro-benchmarks (incl.
@@ -25,6 +26,7 @@ pub mod grid;
 pub mod hotpaths;
 pub mod report;
 pub mod runner;
+pub mod service;
 pub mod setup;
 pub mod sharding;
 

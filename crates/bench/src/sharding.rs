@@ -33,10 +33,14 @@ use std::time::Instant;
 /// `webform_federation` preset shape.
 pub const GROUPS: [usize; 3] = [4, 12, 24];
 
-/// Builds the standard sharding bench network: a federation of `groups`
+/// Builds the standard sharding bench scenario — a federation of `groups`
 /// webform clusters (3 schemas each), matched by the calibrated
-/// perturbation matcher.
-pub fn federation_network(groups: usize, seed: u64) -> MatchingNetwork {
+/// perturbation matcher — returning the network *and* its verified
+/// matching (the service benches track precision/recall against it).
+pub fn federation_case(
+    groups: usize,
+    seed: u64,
+) -> (MatchingNetwork, Vec<smn_schema::Correspondence>) {
     let fed = FederationSpec {
         name: format!("Fed{groups}"),
         vocabulary: Vocabulary::web_form(),
@@ -47,7 +51,12 @@ pub fn federation_network(groups: usize, seed: u64) -> MatchingNetwork {
         sharing: SharingModel::RankBiased { alpha: 1.3 },
     }
     .generate(seed);
-    matched_network(&fed.dataset, &fed.graph, MatcherKind::perturbation(seed)).0
+    matched_network(&fed.dataset, &fed.graph, MatcherKind::perturbation(seed))
+}
+
+/// [`federation_case`] without the ground truth.
+pub fn federation_network(groups: usize, seed: u64) -> MatchingNetwork {
+    federation_case(groups, seed).0
 }
 
 /// Sampler configuration of the sharding bench: the §VI-B shape scaled to
@@ -103,6 +112,23 @@ pub struct ShardingPoint {
     pub sharded_gains_ms: f64,
 }
 
+/// Two uncertain candidates sharing a shard — the warm-up-then-measure
+/// pair of the owned-assert protocol: asserting the first unshares the
+/// shard so timing the second measures the owned hot path, not the
+/// copy-on-write. (On a monolithic network every candidate shares the
+/// single shard, so any warm-up works.) Shared by this module's
+/// `measure_point` and the `service` bench module.
+pub fn owned_probe(pn: &ProbabilisticNetwork) -> (CandidateId, CandidateId) {
+    let uncertain = pn.uncertain_candidates();
+    uncertain
+        .iter()
+        .enumerate()
+        .find_map(|(i, &a)| {
+            uncertain[i + 1..].iter().find(|&&b| pn.shard_of(a) == pn.shard_of(b)).map(|&b| (a, b))
+        })
+        .expect("federation networks have a shard with two uncertain candidates")
+}
+
 fn min_ms(iters: usize, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..iters.max(1) {
@@ -142,17 +168,18 @@ pub fn measure_point(groups: usize, iters: usize) -> ShardingPoint {
     let sharded_fill_ms =
         min_ms(iters, || drop(ProbabilisticNetwork::new_sharded(net.clone(), sampler, sharding)));
 
-    let probe = (0..n)
-        .map(CandidateId::from_index)
-        .find(|&c| {
-            let p = mono.probability(c);
-            p > 0.0 && p < 1.0
-        })
-        .expect("federation network has uncertain candidates");
+    // Since the copy-on-write refactor a clone *shares* its snapshots, so
+    // the first assertion on it would pay the snapshot copy. This bench
+    // tracks the owned hot path (comparable with the PR-2/PR-3 baselines
+    // checked in as BENCH_sharding.json): a warm-up assertion in the
+    // probe's shard unshares it before the timer starts. The copy-on-write
+    // commit cost itself is measured separately in BENCH_service.json.
+    let (warm, probe) = owned_probe(&sharded);
     let timed_assert = |pn: &ProbabilisticNetwork| {
         let mut best = f64::INFINITY;
         for _ in 0..iters.max(1) {
             let mut fresh = pn.clone();
+            fresh.assert_candidate(Assertion { candidate: warm, approved: false }).unwrap();
             let start = Instant::now();
             fresh.assert_candidate(Assertion { candidate: probe, approved: true }).unwrap();
             best = best.min(start.elapsed().as_secs_f64() * 1e3);

@@ -17,6 +17,7 @@ use crate::bitset::BitSet;
 use crate::violation::{Violation, ViolationCounts, ViolationKind};
 use serde::{Deserialize, Serialize};
 use smn_schema::{CandidateId, CandidateSet, Catalog, InteractionGraph};
+use std::sync::Arc;
 
 /// Which constraints the index enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -537,7 +538,12 @@ impl ConflictIndex {
     /// triple of `self`
     /// lands — remapped — in exactly one sub-index, in one pass over the
     /// posting lists and the triple table.
-    pub fn shard(&self, components: &crate::components::Components) -> Vec<ConflictIndex> {
+    ///
+    /// Sub-indices are returned behind [`Arc`] because they are immutable
+    /// once built: the copy-on-write shard snapshots of `smn-core` share
+    /// them by pointer across forks and overlay clones, so a sub-index is
+    /// built exactly once per (re)extraction and never deep-cloned.
+    pub fn shard(&self, components: &crate::components::Components) -> Vec<Arc<ConflictIndex>> {
         debug_assert_eq!(components.candidate_count(), self.candidate_count);
         let mut shards: Vec<ConflictIndex> = (0..components.count())
             .map(|k| {
@@ -569,19 +575,20 @@ impl ConflictIndex {
         for shard in &mut shards {
             shard.build_dense();
         }
-        shards
+        shards.into_iter().map(Arc::new).collect()
     }
 
     /// Extracts the sub-index of a *single* component (the same remapping
     /// as [`shard`](ConflictIndex::shard), restricted to component `k`) in
     /// one pass over that component's posting lists — the building block of
     /// incremental shard maintenance, where only the merged or split
-    /// component must be re-extracted.
+    /// component must be re-extracted. Like [`shard`](ConflictIndex::shard)
+    /// the result is [`Arc`]-shared, never deep-cloned downstream.
     pub fn shard_component(
         &self,
         components: &crate::components::Components,
         k: usize,
-    ) -> ConflictIndex {
+    ) -> Arc<ConflictIndex> {
         debug_assert_eq!(components.candidate_count(), self.candidate_count);
         let members = components.members(k);
         let m = members.len();
@@ -608,7 +615,7 @@ impl ConflictIndex {
             }
         }
         sub.build_dense();
-        sub
+        Arc::new(sub)
     }
 
     /// Incrementally extends the index for the candidate just appended to

@@ -62,7 +62,7 @@ pub mod shard;
 #[allow(dead_code)]
 pub(crate) mod testutil;
 
-pub use engine::{Session, SessionConfig};
+pub use engine::{Question, Session, SessionConfig, Strategy};
 pub use entropy::{binary_entropy, entropy_of};
 pub use feedback::{Assertion, Feedback};
 pub use instantiate::{Instantiation, InstantiationConfig};

@@ -5,6 +5,7 @@ use smn_schema::{
     AttributeId, Candidate, CandidateId, CandidateSet, Catalog, Correspondence, InteractionGraph,
     SchemaError,
 };
+use std::sync::Arc;
 
 /// A network of schemas: catalog, interaction graph, candidate
 /// correspondences and the (pre-indexed) integrity constraints.
@@ -12,12 +13,19 @@ use smn_schema::{
 /// This is the immutable substrate; all reconciliation state (feedback,
 /// probabilities, samples) lives in
 /// [`ProbabilisticNetwork`](crate::probability::ProbabilisticNetwork).
+/// Every part is `Arc`-shared so cloning a network — which happens on
+/// every [`ProbabilisticNetwork::fork`](crate::ProbabilisticNetwork::fork)
+/// — copies four pointers; in particular the [`ConflictIndex`] is never
+/// deep-cloned by a fork. Online evolution
+/// ([`extend`](Self::extend)/[`retire`](Self::retire)) copy-on-writes the
+/// candidate set and index (`Arc::make_mut` — a real copy only when a
+/// fork still shares them).
 #[derive(Debug, Clone)]
 pub struct MatchingNetwork {
-    catalog: Catalog,
-    graph: InteractionGraph,
-    candidates: CandidateSet,
-    index: ConflictIndex,
+    catalog: Arc<Catalog>,
+    graph: Arc<InteractionGraph>,
+    candidates: Arc<CandidateSet>,
+    index: Arc<ConflictIndex>,
 }
 
 impl MatchingNetwork {
@@ -29,7 +37,12 @@ impl MatchingNetwork {
         config: ConstraintConfig,
     ) -> Self {
         let index = ConflictIndex::build(&catalog, &graph, &candidates, config);
-        Self { catalog, graph, candidates, index }
+        Self {
+            catalog: Arc::new(catalog),
+            graph: Arc::new(graph),
+            candidates: Arc::new(candidates),
+            index: Arc::new(index),
+        }
     }
 
     /// The schemas.
@@ -85,8 +98,18 @@ impl MatchingNetwork {
         y: AttributeId,
         confidence: f64,
     ) -> Result<CandidateId, SchemaError> {
-        let id = self.candidates.add(&self.catalog, Some(&self.graph), x, y, confidence)?;
-        let patched = self.index.add_candidate(&self.catalog, &self.graph, &self.candidates);
+        let id = Arc::make_mut(&mut self.candidates).add(
+            &self.catalog,
+            Some(&self.graph),
+            x,
+            y,
+            confidence,
+        )?;
+        let patched = Arc::make_mut(&mut self.index).add_candidate(
+            &self.catalog,
+            &self.graph,
+            &self.candidates,
+        );
         debug_assert_eq!(patched, id);
         Ok(id)
     }
@@ -96,8 +119,8 @@ impl MatchingNetwork {
     /// incrementally ([`ConflictIndex::retire_candidate`]). Returns the
     /// retired candidate.
     pub fn retire(&mut self, c: CandidateId) -> Result<Candidate, SchemaError> {
-        let removed = self.candidates.remove(&self.catalog, c)?;
-        self.index.retire_candidate(c);
+        let removed = Arc::make_mut(&mut self.candidates).remove(&self.catalog, c)?;
+        Arc::make_mut(&mut self.index).retire_candidate(c);
         Ok(removed)
     }
 }

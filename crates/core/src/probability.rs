@@ -238,6 +238,58 @@ impl ProbabilisticNetwork {
         self.feedback.effort(self.network.candidate_count())
     }
 
+    /// Forks the network into an independent copy-on-write branch.
+    ///
+    /// The fork shares every immutable snapshot with `self` by pointer:
+    /// the underlying [`MatchingNetwork`] (catalog, candidates, conflict
+    /// index), the component partition and every shard snapshot (sub-index
+    /// + sample matrix + cached weights). Cost is `O(#shards)` pointer
+    /// copies plus the `O(|C|)` probability vector and feedback bitsets —
+    /// **no sample matrix or conflict index is copied** until one side
+    /// writes, and a write copies exactly the one shard it touches
+    /// (`Arc::make_mut`). `Clone` has the same semantics; `fork` is the
+    /// intent-revealing name the what-if / undo / multi-worker machinery
+    /// uses.
+    pub fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    /// Exact what-if analysis: the network uncertainty `H(C, P)` (bits)
+    /// that integrating the assertion `(c, approved)` would produce,
+    /// without touching `self`.
+    ///
+    /// Unlike the sampled split of [`conditional_entropy`](Self::conditional_entropy)
+    /// — which estimates the *expected* post-assertion entropy from the
+    /// Eq. 4 branch split of the current store — this runs the real
+    /// integration (view maintenance, disapproval re-insertion, refill) on
+    /// a throwaway [`fork`](Self::fork) and reads the entropy off it, so
+    /// it is exactly the value [`assert_candidate`](Self::assert_candidate)
+    /// would leave behind. The copy-on-write snapshot layer prices that at
+    /// one shard copy per call.
+    ///
+    /// An assertion the model would reject (a contradiction of standing
+    /// feedback, or an approval that conflicts with earlier approvals)
+    /// leaves a real model unchanged, so its what-if uncertainty is the
+    /// current entropy.
+    pub fn what_if(&self, candidate: CandidateId, approved: bool) -> f64 {
+        let mut branch = self.fork();
+        match branch.assert_candidate(Assertion { candidate, approved }) {
+            Ok(()) => branch.entropy(),
+            Err(_) => self.entropy(),
+        }
+    }
+
+    /// Which shard owns `c`: its conflict-component id in the sharded
+    /// representation, `0` in the monolithic one (a single store owns
+    /// everything). The service-layer dispatcher uses this to spread
+    /// concurrent questions across distinct shards.
+    pub fn shard_of(&self, c: CandidateId) -> usize {
+        match &self.repr {
+            Repr::Monolithic(_) => 0,
+            Repr::Sharded(set) => set.components.component_of(c),
+        }
+    }
+
     /// Integrates a user assertion: checks it against the standing
     /// feedback and the approval constraints, then updates the feedback,
     /// view-maintains the samples and recomputes `P` — only the owning
@@ -371,47 +423,24 @@ impl ProbabilisticNetwork {
     /// membership of `c`.
     ///
     /// For certain candidates this equals `H(C, P)` (one branch is empty),
-    /// making their information gain zero.
+    /// making their information gain zero. Defined — for both
+    /// representations — as `H(C, P) − IG(c)` over the single
+    /// `gains_within` split kernel, so the Eq. 4/5 math lives in exactly
+    /// one place.
     pub fn conditional_entropy(&self, c: CandidateId) -> f64 {
-        match &self.repr {
-            Repr::Monolithic(store) => {
-                let p = self.probability(c);
-                if p <= 0.0 || p >= 1.0 {
-                    return self.entropy();
-                }
-                let n = self.network.candidate_count();
-                let matrix = store.matrix();
-                let s_total = matrix.sample_count();
-                let row_c = matrix.row(c);
-                let w_plus = matrix.membership_count(c);
-                let w_minus = s_total - w_plus;
-                debug_assert!(w_plus > 0 && w_minus > 0);
-                let (mut h_plus, mut h_minus) = (0.0, 0.0);
-                for i in 0..n {
-                    let x = CandidateId::from_index(i);
-                    let total_x = matrix.membership_count(x);
-                    if total_x == 0 || total_x == s_total {
-                        continue; // certain candidate: both branch entropies are 0
-                    }
-                    let plus = row_and_count(matrix.row(x), row_c);
-                    let minus = total_x - plus;
-                    h_plus += binary_entropy(plus as f64 / w_plus as f64);
-                    h_minus += binary_entropy(minus as f64 / w_minus as f64);
-                }
-                p * h_plus + (1.0 - p) * h_minus
-            }
-            // candidates outside c's component are independent of it, so
-            // they contribute their full marginal entropy to both branches:
-            // H(C | c) = H(C) − IG restricted to c's shard
-            Repr::Sharded(_) => (self.entropy() - self.sharded_gain(c)).max(0.0),
-        }
+        (self.entropy() - self.information_gain(c)).max(0.0)
     }
 
     /// Information gain `IG(c) = H(C, P) − H(C | c, P)` (Eq. 5), clamped to
     /// zero against floating-point noise.
+    ///
+    /// Monolithic networks run the `gains_within` kernel on the global
+    /// sample matrix; sharded ones on the owning shard only — candidates
+    /// outside `c`'s component are independent of it, so their
+    /// co-occurrence terms contribute zero gain.
     pub fn information_gain(&self, c: CandidateId) -> f64 {
         match &self.repr {
-            Repr::Monolithic(_) => (self.entropy() - self.conditional_entropy(c)).max(0.0),
+            Repr::Monolithic(store) => gains_within(store.matrix(), &self.probs, &[c.index()])[0],
             Repr::Sharded(_) => self.sharded_gain(c),
         }
     }
@@ -1013,6 +1042,117 @@ mod tests {
             })
         );
         assert_eq!(pn.probabilities(), &snapshot[..]);
+    }
+
+    #[test]
+    fn fork_is_independent_and_copy_on_write() {
+        for base in [pn(), sharded_pn()] {
+            let branch = base.fork();
+            assert_eq!(branch.probabilities(), base.probabilities());
+            assert_eq!(branch.entropy(), base.entropy());
+            // assert on the fork: the base must not move
+            let mut branch = branch;
+            let snapshot = base.probabilities().to_vec();
+            branch
+                .assert_candidate(Assertion { candidate: CandidateId(2), approved: true })
+                .unwrap();
+            assert_eq!(base.probabilities(), &snapshot[..]);
+            assert_eq!(branch.probability(CandidateId(2)), 1.0);
+            // and the other way around
+            let mut base = base;
+            let branch_snapshot = branch.probabilities().to_vec();
+            base.assert_candidate(Assertion { candidate: CandidateId(0), approved: false })
+                .unwrap();
+            assert_eq!(branch.probabilities(), &branch_snapshot[..]);
+        }
+    }
+
+    #[test]
+    fn fork_of_a_multi_shard_network_copy_on_writes_one_shard() {
+        let base = ProbabilisticNetwork::new_sharded(
+            two_cluster_network(),
+            sampler(),
+            ShardingConfig::default(),
+        );
+        assert_eq!(base.shard_count(), 2);
+        assert_eq!(base.shard_of(CandidateId(0)), base.shard_of(CandidateId(1)));
+        assert_ne!(base.shard_of(CandidateId(0)), base.shard_of(CandidateId(2)));
+        let mut branch = base.fork();
+        branch.assert_candidate(Assertion { candidate: CandidateId(0), approved: true }).unwrap();
+        // the untouched shard's snapshot is still pointer-shared
+        let (Repr::Sharded(a), Repr::Sharded(b)) = (&base.repr, &branch.repr) else {
+            unreachable!("both sharded")
+        };
+        let k_written = base.shard_of(CandidateId(0));
+        let k_shared = 1 - k_written;
+        assert!(
+            std::sync::Arc::ptr_eq(&a.shards[k_shared], &b.shards[k_shared]),
+            "foreign shard must stay shared after a fork write"
+        );
+        assert!(
+            !std::sync::Arc::ptr_eq(&a.shards[k_written], &b.shards[k_written]),
+            "written shard must have been copy-on-written"
+        );
+        // the sub-index inside the copied shard is still the same allocation
+        assert!(std::sync::Arc::ptr_eq(&a.shards[k_written].index, &b.shards[k_written].index));
+    }
+
+    #[test]
+    fn what_if_equals_fork_assert_entropy_and_leaves_self_untouched() {
+        for base in [pn(), sharded_pn()] {
+            let snapshot = base.probabilities().to_vec();
+            for c in (0..5).map(CandidateId::from_index) {
+                for approved in [true, false] {
+                    let predicted = base.what_if(c, approved);
+                    let mut replay = base.fork();
+                    let expected =
+                        match replay.assert_candidate(Assertion { candidate: c, approved }) {
+                            Ok(()) => replay.entropy(),
+                            Err(_) => base.entropy(),
+                        };
+                    assert!(
+                        (predicted - expected).abs() < 1e-12,
+                        "what_if({c}, {approved}) = {predicted} vs {expected}"
+                    );
+                }
+            }
+            assert_eq!(base.probabilities(), &snapshot[..], "what_if must not mutate");
+            assert!(base.feedback().is_empty());
+        }
+    }
+
+    #[test]
+    fn what_if_of_a_rejected_assertion_is_the_current_entropy() {
+        let mut base = pn();
+        base.assert_candidate(Assertion { candidate: CandidateId(2), approved: true }).unwrap();
+        let h = base.entropy();
+        // flipping the approved c2 is contradictory: the model would
+        // reject it, so the what-if entropy is the standing uncertainty
+        assert_eq!(base.what_if(CandidateId(2), false), h);
+    }
+
+    #[test]
+    fn what_if_approval_on_exhausted_store_matches_the_eq4_plus_branch() {
+        // on an exhausted store an approval's view maintenance keeps
+        // exactly the instances containing the candidate — the Eq. 4
+        // plus-branch — so the fork-measured entropy must equal the
+        // entropy of that branch computed independently from the samples
+        let base = pn();
+        assert!(base.is_exhausted());
+        for c in base.uncertain_candidates() {
+            let plus: Vec<_> = base.samples().iter().filter(|s| s.contains(c)).cloned().collect();
+            let n = base.network().candidate_count();
+            let branch_probs: Vec<f64> = (0..n)
+                .map(CandidateId::from_index)
+                .map(|x| plus.iter().filter(|s| s.contains(x)).count() as f64 / plus.len() as f64)
+                .collect();
+            let h_plus = crate::entropy::entropy_of(&branch_probs);
+            let measured = base.what_if(c, true);
+            assert!(
+                (measured - h_plus).abs() < 1e-12,
+                "{c}: what_if {measured} vs plus-branch entropy {h_plus}"
+            );
+        }
     }
 
     #[test]

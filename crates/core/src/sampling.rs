@@ -14,6 +14,14 @@
 //! chains across scoped threads per fill pass, merging discoveries in
 //! chain order so the result is deterministic given the config.
 //!
+//! The store is split copy-on-write: the per-sample state (instances,
+//! counts, matrix, cached weights) lives in an immutable `Arc`-shared
+//! snapshot, while the walk machinery (RNG, scratch buffers) is a thin
+//! mutable overlay. Cloning a store — the engine of
+//! [`ProbabilisticNetwork::fork`](crate::ProbabilisticNetwork::fork) —
+//! copies a pointer plus the overlay; the snapshot is copied only by the
+//! first mutation after a fork (`Arc::make_mut`).
+//!
 //! [`SampleStore`] keeps the *distinct* instances found (Ω\*) twice: as a
 //! list of instance bitsets and as a transposed candidate×sample bit
 //! matrix ([`SampleMatrix`]) that turns probability recomputation and the
@@ -35,6 +43,7 @@ use rand::{Rng, SeedableRng};
 use smn_constraints::{BitSet, ConflictIndex};
 use smn_schema::CandidateId;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Configuration of the Algorithm 3 sampler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,11 +217,10 @@ pub fn row_and_count(a: &[u64], b: &[u64]) -> usize {
 /// exactly Eq. 1.
 #[derive(Debug, Clone)]
 pub struct SampleStore {
-    samples: Vec<BitSet>,
-    counts: Vec<u64>,
-    seen: HashMap<BitSet, usize>,
-    matrix: SampleMatrix,
-    uniform: Vec<f64>,
+    /// The immutable sample snapshot, shared across forks; every mutation
+    /// goes through `Arc::make_mut`, so the first write after a fork
+    /// copy-on-writes exactly this block and nothing before that.
+    data: Arc<SampleData>,
     exhausted: bool,
     config: SamplerConfig,
     rng: StdRng,
@@ -221,6 +229,25 @@ pub struct SampleStore {
     /// Monotone pass counter seeding multi-chain passes (advances across
     /// refills so chains never replay earlier trajectories).
     pass_epoch: u64,
+}
+
+/// The snapshot half of a [`SampleStore`]: the distinct instances Ω\*,
+/// their visit counts and dedup map, the transposed sample matrix and the
+/// cached uniform weight slice — everything whose copy cost scales with
+/// the number of samples.
+///
+/// A store clone (and with it
+/// [`ProbabilisticNetwork::fork`](crate::ProbabilisticNetwork::fork))
+/// copies one `Arc` pointer instead of this block; the thin mutable
+/// overlay that *is* cloned per fork (RNG, scratch buffers, config,
+/// exhaustion flag) is O(candidates), independent of the sample count.
+#[derive(Debug, Clone)]
+struct SampleData {
+    samples: Vec<BitSet>,
+    counts: Vec<u64>,
+    seen: HashMap<BitSet, usize>,
+    matrix: SampleMatrix,
+    uniform: Vec<f64>,
 }
 
 impl SampleStore {
@@ -289,11 +316,13 @@ impl SampleStore {
 
     fn empty(n: usize, config: SamplerConfig) -> Self {
         Self {
-            samples: Vec::new(),
-            counts: Vec::new(),
-            seen: HashMap::new(),
-            matrix: SampleMatrix::new(n),
-            uniform: Vec::new(),
+            data: Arc::new(SampleData {
+                samples: Vec::new(),
+                counts: Vec::new(),
+                seen: HashMap::new(),
+                matrix: SampleMatrix::new(n),
+                uniform: Vec::new(),
+            }),
             exhausted: false,
             rng: StdRng::seed_from_u64(config.seed),
             config,
@@ -305,9 +334,10 @@ impl SampleStore {
 
     /// Records `count` emissions of `inst`. Returns whether it was new.
     fn record_with_count(&mut self, inst: &BitSet, count: u64) -> bool {
-        let new = dedup_record(&mut self.seen, &mut self.samples, &mut self.counts, inst, count);
+        let data = Arc::make_mut(&mut self.data);
+        let new = dedup_record(&mut data.seen, &mut data.samples, &mut data.counts, inst, count);
         if new {
-            self.matrix.push_sample(inst);
+            data.matrix.push_sample(inst);
         }
         new
     }
@@ -318,20 +348,24 @@ impl SampleStore {
     }
 
     /// Restores the `weights()` invariant (`uniform.len() == samples.len()`,
-    /// all 1.0) — the single place the cached weight slice is sized.
+    /// all 1.0) — the single place the cached weight slice is sized. A
+    /// no-op (no copy-on-write) when the invariant already holds.
     fn sync_weights(&mut self) {
-        self.uniform.resize(self.samples.len(), 1.0);
+        if self.data.uniform.len() != self.data.samples.len() {
+            let data = Arc::make_mut(&mut self.data);
+            data.uniform.resize(data.samples.len(), 1.0);
+        }
     }
 
     /// The distinct sampled instances.
     pub fn samples(&self) -> &[BitSet] {
-        &self.samples
+        &self.data.samples
     }
 
     /// The transposed candidate×sample membership matrix, aligned with
     /// [`samples`](SampleStore::samples).
     pub fn matrix(&self) -> &SampleMatrix {
-        &self.matrix
+        &self.data.matrix
     }
 
     /// The sampling weight of each instance, aligned with
@@ -345,24 +379,30 @@ impl SampleStore {
     /// — as a mixing diagnostic. The slice is cached; no allocation per
     /// query.
     pub fn weights(&self) -> &[f64] {
-        &self.uniform
+        &self.data.uniform
     }
 
     /// How often each distinct instance was emitted by the walk (mixing
     /// diagnostic; aligned with [`samples`](SampleStore::samples)).
     pub fn visit_counts(&self) -> &[u64] {
-        &self.counts
+        &self.data.counts
     }
 
     /// Number of distinct samples `|Ω*|`.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.data.samples.len()
     }
 
     /// Whether the store holds no samples (only possible for empty
     /// networks or contradictory feedback).
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.data.samples.is_empty()
+    }
+
+    /// Whether this store still shares its sample snapshot with another
+    /// (forked) store — diagnostic for the copy-on-write tests and benches.
+    pub fn shares_snapshot(&self) -> bool {
+        Arc::strong_count(&self.data) > 1
     }
 
     /// Whether the store has concluded `Ω* = Ω` (all matching instances
@@ -379,7 +419,7 @@ impl SampleStore {
         // ended on; this pass starts from a different one
         self.scratch.invalidate_frontier();
         // start from a surviving sample if any, else from maximized F+
-        let mut current = match self.samples.last() {
+        let mut current = match self.data.samples.last() {
             Some(s) => s.clone(),
             None => {
                 let mut seed_inst = feedback.approved().clone();
@@ -469,7 +509,7 @@ impl SampleStore {
             return;
         }
         for _pass in 0..2u64 {
-            if self.samples.len() >= self.config.n_min {
+            if self.data.samples.len() >= self.config.n_min {
                 return;
             }
             if self.config.chains > 1 {
@@ -478,7 +518,7 @@ impl SampleStore {
                 self.sample_pass(index, feedback);
             }
         }
-        if self.samples.len() < self.config.n_min {
+        if self.data.samples.len() < self.config.n_min {
             // two consecutive passes could not reach n_min: per §III-B the
             // store concludes that all matching instances were generated
             self.exhausted = true;
@@ -521,48 +561,54 @@ impl SampleStore {
         approved: bool,
     ) {
         // the matrix row of `candidate` is exactly the survivor mask
-        // (complemented for disapprovals): filter columns row-wise
-        let cols = self.matrix.sample_count();
-        let mut mask = self.matrix.row(candidate).to_vec();
-        if !approved {
-            for w in &mut mask {
-                *w = !*w;
+        // (complemented for disapprovals): filter columns row-wise. The
+        // whole filter runs on a copy-on-write overlay of the snapshot, so
+        // forked stores sharing the old snapshot are untouched.
+        {
+            let data = Arc::make_mut(&mut self.data);
+            let cols = data.matrix.sample_count();
+            let mut mask = data.matrix.row(candidate).to_vec();
+            if !approved {
+                for w in &mut mask {
+                    *w = !*w;
+                }
+                if cols % 64 != 0 {
+                    if let Some(last) = mask.last_mut() {
+                        *last &= u64::MAX >> (64 - cols % 64);
+                    }
+                }
             }
-            if cols % 64 != 0 {
-                if let Some(last) = mask.last_mut() {
-                    *last &= u64::MAX >> (64 - cols % 64);
+            data.matrix.filter_columns(&mask);
+            let old: Vec<(BitSet, u64)> =
+                data.samples.drain(..).zip(data.counts.drain(..)).collect();
+            data.seen.clear();
+            let mut dying: Vec<(BitSet, u64)> = Vec::new();
+            for (inst, count) in old {
+                if inst.contains(candidate) == approved {
+                    data.seen.insert(inst.clone(), data.samples.len());
+                    data.samples.push(inst);
+                    data.counts.push(count);
+                } else {
+                    dying.push((inst, count));
+                }
+            }
+            debug_assert_eq!(data.matrix.sample_count(), data.samples.len());
+            if !approved {
+                for (mut inst, count) in dying {
+                    inst.remove(candidate);
+                    if index.is_maximal_in(&inst, feedback.disapproved(), &mut self.walk_buf)
+                        && !data.seen.contains_key(&inst)
+                    {
+                        // the shrunken instance inherits its ancestor's weight
+                        data.seen.insert(inst.clone(), data.samples.len());
+                        data.matrix.push_sample(&inst);
+                        data.samples.push(inst);
+                        data.counts.push(count);
+                    }
                 }
             }
         }
-        self.matrix.filter_columns(&mask);
-        let old: Vec<(BitSet, u64)> = self.samples.drain(..).zip(self.counts.drain(..)).collect();
-        self.seen.clear();
-        let mut dying: Vec<(BitSet, u64)> = Vec::new();
-        for (inst, count) in old {
-            if inst.contains(candidate) == approved {
-                self.seen.insert(inst.clone(), self.samples.len());
-                self.samples.push(inst);
-                self.counts.push(count);
-            } else {
-                dying.push((inst, count));
-            }
-        }
-        debug_assert_eq!(self.matrix.sample_count(), self.samples.len());
-        if !approved {
-            for (mut inst, count) in dying {
-                inst.remove(candidate);
-                if index.is_maximal_in(&inst, feedback.disapproved(), &mut self.walk_buf)
-                    && !self.seen.contains_key(&inst)
-                {
-                    // the shrunken instance inherits its ancestor's weight
-                    self.seen.insert(inst.clone(), self.samples.len());
-                    self.matrix.push_sample(&inst);
-                    self.samples.push(inst);
-                    self.counts.push(count);
-                }
-            }
-        }
-        if !self.exhausted && self.samples.len() < self.config.n_min {
+        if !self.exhausted && self.data.samples.len() < self.config.n_min {
             self.fill(index, feedback);
         }
         self.sync_weights();

@@ -22,7 +22,11 @@ use smn_schema::CandidateId;
 /// no allocation of the eligible pool. Consumes exactly one RNG draw (like
 /// `choose` on a materialized pool would), and only when the pool is
 /// non-empty.
-pub(crate) fn nth_matching(
+///
+/// Public because the service-layer dispatcher replicates the built-in
+/// strategies' RNG stream draw for draw (its single-worker schedule must
+/// replay a sequential session exactly).
+pub fn nth_matching(
     n: usize,
     rng: &mut impl rand::Rng,
     pred: impl Fn(CandidateId) -> bool,
@@ -41,6 +45,38 @@ fn random_unasserted(pn: &ProbabilisticNetwork, rng: &mut StdRng) -> Option<Cand
     nth_matching(n, rng, |c| !pn.feedback().is_asserted(c))
 }
 
+/// Argmax with random tie-breaking over a scored pool: collects every
+/// candidate whose score lies within 1e-12 of the maximum and resolves
+/// with exactly one RNG draw — the paper's "if the highest information
+/// gain is observed for multiple correspondences, one is randomly
+/// chosen".
+///
+/// This is the single definition of the selection kernel: both
+/// [`InformationGainSelection`] and the `smn-service` dispatcher (whose
+/// single-worker schedule must replay a sequential session draw for
+/// draw) call it, so the tie window and the RNG consumption cannot
+/// drift apart. `scores` is aligned with `pool`; `None` iff the pool is
+/// empty (no draw consumed).
+pub fn scored_argmax(
+    pool: &[CandidateId],
+    scores: &[f64],
+    rng: &mut StdRng,
+) -> Option<(CandidateId, f64)> {
+    debug_assert_eq!(pool.len(), scores.len());
+    let mut best_score = f64::NEG_INFINITY;
+    let mut best: Vec<CandidateId> = Vec::new();
+    for (&c, &score) in pool.iter().zip(scores) {
+        if score > best_score + 1e-12 {
+            best_score = score;
+            best.clear();
+            best.push(c);
+        } else if (score - best_score).abs() <= 1e-12 {
+            best.push(c);
+        }
+    }
+    best.choose(rng).copied().map(|c| (c, best_score))
+}
+
 /// Picks the next candidate to show the expert.
 pub trait SelectionStrategy {
     /// Strategy name for reports.
@@ -49,6 +85,28 @@ pub trait SelectionStrategy {
     /// Selects an uncertain candidate, or `None` when every candidate is
     /// certain (reconciliation finished).
     fn select(&mut self, pn: &ProbabilisticNetwork) -> Option<CandidateId>;
+
+    /// Like [`select`](Self::select), additionally reporting the scalar
+    /// score that justified the pick (the information gain for the
+    /// paper's heuristic, the marginal entropy / matcher confidence for
+    /// the ablations) so callers — the session, the service dispatcher,
+    /// the experiment bins — can log *why* a question was chosen without
+    /// recomputing gains. `None` means the strategy has no meaningful
+    /// scalar for this pick (random selection, fallback picks).
+    ///
+    /// The default delegates to [`select`](Self::select) with no score;
+    /// strategies that already compute one should override both so the two
+    /// entry points consume identical RNG streams.
+    fn select_with_score(
+        &mut self,
+        pn: &ProbabilisticNetwork,
+    ) -> Option<(CandidateId, Option<f64>)> {
+        self.select(pn).map(|c| (c, None))
+    }
+
+    /// Clones the strategy behind a box — what lets a
+    /// [`Session`](crate::Session) fork mid-reconciliation.
+    fn clone_box(&self) -> Box<dyn SelectionStrategy>;
 }
 
 /// Uniformly random *unasserted* candidate — the paper's baseline of
@@ -57,7 +115,7 @@ pub trait SelectionStrategy {
 /// model already considers certain (the expert cannot know). This is what
 /// makes the baseline's uncertainty curve stretch towards 100% effort in
 /// Fig. 9.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RandomSelection {
     rng: StdRng,
 }
@@ -77,10 +135,14 @@ impl SelectionStrategy for RandomSelection {
     fn select(&mut self, pn: &ProbabilisticNetwork) -> Option<CandidateId> {
         random_unasserted(pn, &mut self.rng)
     }
+
+    fn clone_box(&self) -> Box<dyn SelectionStrategy> {
+        Box::new(self.clone())
+    }
 }
 
 /// Maximal information gain (the paper's heuristic, §IV-D).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct InformationGainSelection {
     rng: StdRng,
     /// Optional cap: evaluate the (expensive) gain only on the `limit`
@@ -108,13 +170,21 @@ impl SelectionStrategy for InformationGainSelection {
     }
 
     fn select(&mut self, pn: &ProbabilisticNetwork) -> Option<CandidateId> {
+        self.select_with_score(pn).map(|(c, _)| c)
+    }
+
+    fn select_with_score(
+        &mut self,
+        pn: &ProbabilisticNetwork,
+    ) -> Option<(CandidateId, Option<f64>)> {
         let mut pool = pn.uncertain_candidates();
         if pool.is_empty() {
             // no uncertainty left: every further assertion has zero gain,
             // but the expert can still validate certain candidates (this is
             // what lets the heuristic's precision curve continue towards
-            // 100% effort in Figs. 9/10). Pick a random unasserted one.
-            return random_unasserted(pn, &mut self.rng);
+            // 100% effort in Figs. 9/10). Pick a random unasserted one —
+            // scoreless, the pick carries no gain estimate.
+            return random_unasserted(pn, &mut self.rng).map(|c| (c, None));
         }
         if let Some(limit) = self.limit {
             if pool.len() > limit {
@@ -127,25 +197,16 @@ impl SelectionStrategy for InformationGainSelection {
             }
         }
         let gains = pn.information_gains(&pool);
-        let mut best_gain = f64::NEG_INFINITY;
-        let mut best: Vec<CandidateId> = Vec::new();
-        for (&c, &gain) in pool.iter().zip(&gains) {
-            if gain > best_gain + 1e-12 {
-                best_gain = gain;
-                best.clear();
-                best.push(c);
-            } else if (gain - best_gain).abs() <= 1e-12 {
-                best.push(c);
-            }
-        }
-        // "if the highest information gain is observed for multiple
-        // correspondences, one is randomly chosen"
-        best.choose(&mut self.rng).copied()
+        scored_argmax(&pool, &gains, &mut self.rng).map(|(c, gain)| (c, Some(gain)))
+    }
+
+    fn clone_box(&self) -> Box<dyn SelectionStrategy> {
+        Box::new(self.clone())
     }
 }
 
 /// Maximal marginal entropy: probability closest to ½ (ablation strategy).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct MaxEntropySelection;
 
 impl SelectionStrategy for MaxEntropySelection {
@@ -160,12 +221,23 @@ impl SelectionStrategy for MaxEntropySelection {
             ha.total_cmp(&hb).then(b.cmp(&a))
         })
     }
+
+    fn select_with_score(
+        &mut self,
+        pn: &ProbabilisticNetwork,
+    ) -> Option<(CandidateId, Option<f64>)> {
+        self.select(pn).map(|c| (c, Some(crate::entropy::binary_entropy(pn.probability(c)))))
+    }
+
+    fn clone_box(&self) -> Box<dyn SelectionStrategy> {
+        Box::new(self.clone())
+    }
 }
 
 /// Ascending matcher confidence among uncertain candidates (ablation
 /// strategy: review the least confident matches first, ignoring the
 /// network structure entirely).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ConfidenceOrderSelection;
 
 impl SelectionStrategy for ConfidenceOrderSelection {
@@ -179,6 +251,17 @@ impl SelectionStrategy for ConfidenceOrderSelection {
             let cb = pn.network().candidates().confidence(b);
             ca.total_cmp(&cb).then(a.cmp(&b))
         })
+    }
+
+    fn select_with_score(
+        &mut self,
+        pn: &ProbabilisticNetwork,
+    ) -> Option<(CandidateId, Option<f64>)> {
+        self.select(pn).map(|c| (c, Some(pn.network().candidates().confidence(c))))
+    }
+
+    fn clone_box(&self) -> Box<dyn SelectionStrategy> {
+        Box::new(self.clone())
     }
 }
 

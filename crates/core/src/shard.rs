@@ -35,7 +35,7 @@ use crate::feedback::{Assertion, Feedback};
 use crate::sampling::{SampleStore, SamplerConfig};
 use smn_constraints::{BitSet, Components, ConflictIndex};
 use smn_schema::CandidateId;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Configuration of the component-sharded representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,22 +68,35 @@ impl ShardingConfig {
     }
 }
 
-/// One conflict component: its restricted index, local feedback and
-/// independent sample store. Candidate ids are shard-local; the
+/// One conflict component's snapshot: its restricted index, local feedback
+/// and independent sample store. Candidate ids are shard-local; the
 /// [`Components`] partition owns the global ↔ local mapping.
+///
+/// Snapshots are immutable behind `Arc` (see [`ShardSet`]): an assertion
+/// copy-on-writes exactly the owning shard (`Arc::make_mut`), and even
+/// that copy is thin — the sub-index is itself `Arc`-shared and the
+/// store's sample matrix sits behind its own snapshot pointer, so the
+/// first write after a fork duplicates one shard's feedback bitsets and
+/// store overlay, nothing network-wide.
 #[derive(Debug, Clone)]
-pub(crate) struct Shard {
-    pub(crate) index: ConflictIndex,
+pub(crate) struct ShardSnapshot {
+    pub(crate) index: Arc<ConflictIndex>,
     pub(crate) feedback: Feedback,
     pub(crate) store: SampleStore,
 }
 
-/// The sharded sample representation: the component partition plus one
-/// [`Shard`] per component.
+/// The sharded sample representation: the (shared) component partition
+/// plus one [`ShardSnapshot`] per component.
+///
+/// This is the copy-on-write layer behind
+/// [`ProbabilisticNetwork::fork`](crate::ProbabilisticNetwork::fork):
+/// cloning a `ShardSet` is `O(#shards)` pointer copies — no sample matrix,
+/// conflict index or partition is duplicated until one side writes a
+/// shard.
 #[derive(Debug, Clone)]
 pub(crate) struct ShardSet {
-    pub(crate) components: Components,
-    pub(crate) shards: Vec<Shard>,
+    pub(crate) components: Arc<Components>,
+    pub(crate) shards: Vec<Arc<ShardSnapshot>>,
 }
 
 impl ShardSet {
@@ -113,10 +126,10 @@ impl ShardSet {
             sub_indices
                 .into_iter()
                 .enumerate()
-                .map(|(k, sub)| build_shard(k, sub, sampler, sharding))
+                .map(|(k, sub)| Arc::new(build_shard(k, sub, sampler, sharding)))
                 .collect()
         };
-        Self { components, shards }
+        Self { components: Arc::new(components), shards }
     }
 
     /// Whether every shard store is exhausted — then the factorized
@@ -144,14 +157,16 @@ impl ShardSet {
         shard.index.can_add(shard.feedback.approved(), lc)
     }
 
-    /// Integrates an assertion: updates the owning shard's feedback,
-    /// view-maintains its store and rewrites that shard's slice of the
-    /// global probability vector. Other shards are untouched.
+    /// Integrates an assertion: copy-on-writes the owning shard (a no-op
+    /// copy when the snapshot is not shared with a fork), updates its
+    /// feedback, view-maintains its store and rewrites that shard's slice
+    /// of the global probability vector. Other shards are untouched — and
+    /// stay shared with any fork by pointer.
     pub(crate) fn assert(&mut self, candidate: CandidateId, approved: bool, probs: &mut [f64]) {
         let (k, lc) = self.locate(candidate);
-        let shard = &mut self.shards[k];
-        shard.feedback.assert(Assertion { candidate: lc, approved });
-        shard.store.maintain_with_index(&shard.index, &shard.feedback, lc, approved);
+        let ShardSnapshot { index, feedback, store } = Arc::make_mut(&mut self.shards[k]);
+        feedback.assert(Assertion { candidate: lc, approved });
+        store.maintain_with_index(index, feedback, lc, approved);
         self.write_shard_probabilities(k, probs);
     }
 
@@ -177,13 +192,13 @@ impl ShardSet {
         probs: &mut [f64],
     ) {
         let c = CandidateId::from_index(index.candidate_count() - 1);
-        let evo = self.components.add_candidate(index);
+        let evo = Arc::make_mut(&mut self.components).add_candidate(index);
         let old_shards = std::mem::take(&mut self.shards);
-        let mut new_shards: Vec<Option<Shard>> =
+        let mut new_shards: Vec<Option<Arc<ShardSnapshot>>> =
             (0..self.components.count()).map(|_| None).collect();
         // merge sources, paired with their pre-merge member lists (both
         // ascend by old component index)
-        let mut absorbed: Vec<(&[CandidateId], Shard)> = Vec::new();
+        let mut absorbed: Vec<(&[CandidateId], Arc<ShardSnapshot>)> = Vec::new();
         {
             let mut dissolved = evo.dissolved.iter();
             for (old_k, shard) in old_shards.into_iter().enumerate() {
@@ -250,8 +265,9 @@ impl ShardSet {
         } else {
             Vec::new()
         };
-        new_shards[merged_k] =
-            Some(build_evolved_shard(merged_k, sub, feedback, carried, sampler, sharding));
+        new_shards[merged_k] = Some(Arc::new(build_evolved_shard(
+            merged_k, sub, feedback, carried, sampler, sharding,
+        )));
         self.shards =
             new_shards.into_iter().map(|s| s.expect("every component assigned")).collect();
         self.write_shard_probabilities(merged_k, probs);
@@ -273,15 +289,15 @@ impl ShardSet {
         sharding: &ShardingConfig,
         probs: &mut [f64],
     ) {
-        let evo = self.components.retire_candidate(index, retired);
+        let evo = Arc::make_mut(&mut self.components).retire_candidate(index, retired);
         // OLD global ids of the dissolving component (ascending, still
         // containing the retiree), moved out by the partition update
         let old_comp: &[CandidateId] =
             &evo.dissolved.first().expect("the retiree's component dissolves").1;
         let old_shards = std::mem::take(&mut self.shards);
-        let mut new_shards: Vec<Option<Shard>> =
+        let mut new_shards: Vec<Option<Arc<ShardSnapshot>>> =
             (0..self.components.count()).map(|_| None).collect();
-        let mut dissolved: Option<Shard> = None;
+        let mut dissolved: Option<Arc<ShardSnapshot>> = None;
         for (old_k, shard) in old_shards.into_iter().enumerate() {
             match evo.remap[old_k] {
                 Some(new_k) => new_shards[new_k] = Some(shard),
@@ -331,8 +347,9 @@ impl ShardSet {
             } else {
                 Vec::new()
             };
-            new_shards[part_k] =
-                Some(build_evolved_shard(part_k, sub, feedback, carried, sampler, sharding));
+            new_shards[part_k] = Some(Arc::new(build_evolved_shard(
+                part_k, sub, feedback, carried, sampler, sharding,
+            )));
         }
         self.shards =
             new_shards.into_iter().map(|s| s.expect("every component assigned")).collect();
@@ -369,10 +386,10 @@ impl ShardSet {
 /// Algorithm 3 sampler otherwise; seeded `seed + shard_id` either way.
 fn build_shard(
     k: usize,
-    sub: ConflictIndex,
+    sub: Arc<ConflictIndex>,
     sampler: SamplerConfig,
     sharding: &ShardingConfig,
-) -> Shard {
+) -> ShardSnapshot {
     let feedback = Feedback::new(sub.candidate_count());
     build_evolved_shard(k, sub, feedback, Vec::new(), sampler, sharding)
 }
@@ -384,12 +401,12 @@ fn build_shard(
 /// seeded `seed + k` either way.
 fn build_evolved_shard(
     k: usize,
-    sub: ConflictIndex,
+    sub: Arc<ConflictIndex>,
     feedback: Feedback,
     carried: Vec<BitSet>,
     sampler: SamplerConfig,
     sharding: &ShardingConfig,
-) -> Shard {
+) -> ShardSnapshot {
     let m = sub.candidate_count();
     let config = SamplerConfig { seed: sampler.seed.wrapping_add(k as u64), ..sampler };
     let exact_attempt = if m <= sharding.exact_threshold {
@@ -401,7 +418,7 @@ fn build_evolved_shard(
         Some(instances) => SampleStore::from_instances(m, instances, config),
         None => SampleStore::with_carried(&sub, &feedback, config, carried),
     };
-    Shard { index: sub, feedback, store }
+    ShardSnapshot { index: sub, feedback, store }
 }
 
 /// Extends `inst` to a maximal consistent instance by scanning candidates
@@ -420,14 +437,14 @@ fn complete_greedily(index: &ConflictIndex, feedback: &Feedback, inst: &mut BitS
 /// only on its own sub-index and seed, so the merged result is identical
 /// to the sequential build regardless of scheduling.
 fn build_parallel(
-    sub_indices: Vec<ConflictIndex>,
+    sub_indices: Vec<Arc<ConflictIndex>>,
     sampler: SamplerConfig,
     sharding: &ShardingConfig,
     workers: usize,
-) -> Vec<Shard> {
+) -> Vec<Arc<ShardSnapshot>> {
     let count = sub_indices.len();
     let queue = Mutex::new(sub_indices.into_iter().enumerate());
-    let done: Mutex<Vec<(usize, Shard)>> = Mutex::new(Vec::with_capacity(count));
+    let done: Mutex<Vec<(usize, Arc<ShardSnapshot>)>> = Mutex::new(Vec::with_capacity(count));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -435,7 +452,7 @@ fn build_parallel(
                 let Some((k, sub)) = next else {
                     return;
                 };
-                let shard = build_shard(k, sub, sampler, sharding);
+                let shard = Arc::new(build_shard(k, sub, sampler, sharding));
                 done.lock().expect("result vec").push((k, shard));
             });
         }

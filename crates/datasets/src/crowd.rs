@@ -1,0 +1,129 @@
+//! Crowd / worker-pool scenario generation.
+//!
+//! The paper's §VI crowdsourcing evaluation has many workers of varying
+//! reliability answer validation questions against one shared network.
+//! A [`CrowdSpec`] generates the *quality side* of that scenario — a
+//! deterministic list of per-worker error rates — for the concurrent
+//! reconciliation service (`smn-service`) and the `exp_service`
+//! experiment. Worker behaviour itself (noisy answers, vote aggregation)
+//! lives in the service crate; this module only decides *how good* each
+//! worker is, the way the dataset generators decide how messy each schema
+//! is.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of a worker pool's quality mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrowdSpec {
+    /// Number of workers.
+    pub workers: usize,
+    /// Fraction of *reliable* workers (error rates drawn from the low
+    /// band); the rest draw from the high band.
+    pub reliable_fraction: f64,
+    /// Error-rate band of reliable workers `[lo, hi)`.
+    pub reliable_band: (f64, f64),
+    /// Error-rate band of unreliable workers `[lo, hi)`.
+    pub noisy_band: (f64, f64),
+}
+
+impl CrowdSpec {
+    /// Generates the per-worker error rates, deterministic in `seed`.
+    /// Worker `0` is always drawn first, so growing the pool keeps the
+    /// existing workers' profiles stable.
+    ///
+    /// # Panics
+    /// Panics on an empty pool, a fraction outside `[0, 1]` or a band
+    /// outside `[0, 1]`.
+    pub fn generate(&self, seed: u64) -> Vec<f64> {
+        assert!(self.workers >= 1, "crowd needs at least one worker");
+        assert!((0.0..=1.0).contains(&self.reliable_fraction), "fraction out of range");
+        for (lo, hi) in [self.reliable_band, self.noisy_band] {
+            assert!(0.0 <= lo && lo <= hi && hi <= 1.0, "error band out of range");
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_90D5_EED5);
+        (0..self.workers)
+            .map(|_| {
+                let (lo, hi) = if rng.random_bool(self.reliable_fraction) {
+                    self.reliable_band
+                } else {
+                    self.noisy_band
+                };
+                if hi > lo {
+                    lo + (hi - lo) * rng.random::<f64>()
+                } else {
+                    lo
+                }
+            })
+            .collect()
+    }
+}
+
+/// Preset crowd in the shape crowdsourcing studies report: 70% reliable
+/// workers (2–12% error) and 30% noisy ones (20–40% error).
+pub fn mixed_crowd(workers: usize, seed: u64) -> Vec<f64> {
+    CrowdSpec {
+        workers,
+        reliable_fraction: 0.7,
+        reliable_band: (0.02, 0.12),
+        noisy_band: (0.2, 0.4),
+    }
+    .generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_in_band() {
+        let a = mixed_crowd(40, 7);
+        let b = mixed_crowd(40, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, mixed_crowd(40, 8));
+        for &e in &a {
+            assert!(
+                (0.02..0.12).contains(&e) || (0.2..0.4).contains(&e),
+                "error rate {e} outside both bands"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_pool_keeps_existing_profiles() {
+        let small = mixed_crowd(5, 3);
+        let large = mixed_crowd(9, 3);
+        assert_eq!(&large[..5], &small[..]);
+    }
+
+    #[test]
+    fn mixture_respects_the_reliable_fraction() {
+        let rates = mixed_crowd(400, 1);
+        let reliable = rates.iter().filter(|&&e| e < 0.12).count();
+        let frac = reliable as f64 / rates.len() as f64;
+        assert!((frac - 0.7).abs() < 0.08, "reliable fraction {frac}");
+    }
+
+    #[test]
+    fn degenerate_band_is_constant() {
+        let spec = CrowdSpec {
+            workers: 3,
+            reliable_fraction: 1.0,
+            reliable_band: (0.1, 0.1),
+            noisy_band: (0.5, 0.5),
+        };
+        assert_eq!(spec.generate(2), vec![0.1; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_crowd_rejected() {
+        let _ = CrowdSpec {
+            workers: 0,
+            reliable_fraction: 0.5,
+            reliable_band: (0.0, 0.1),
+            noisy_band: (0.2, 0.4),
+        }
+        .generate(1);
+    }
+}

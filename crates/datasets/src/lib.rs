@@ -25,6 +25,7 @@
 //!
 //! Everything is deterministic in the seed.
 
+pub mod crowd;
 pub mod dataset;
 pub mod evolving;
 pub mod federation;
@@ -34,6 +35,7 @@ pub mod stats;
 pub mod variants;
 pub mod vocab;
 
+pub use crowd::{mixed_crowd, CrowdSpec};
 pub use dataset::Dataset;
 pub use evolving::{
     evolving_webform_federation, ChurnEvent, EvolvingFederation, EvolvingFederationSpec,

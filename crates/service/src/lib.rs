@@ -1,0 +1,42 @@
+//! # smn-service
+//!
+//! A concurrent multi-worker reconciliation service over copy-on-write
+//! network snapshots — the multi-user extension the paper's conclusion
+//! points to ("our framework is extensible as the underlying probabilistic
+//! model is independent of the number of users", §VII/§VIII), built on the
+//! fork/commit ownership model of `smn-core`:
+//!
+//! * a [`WorkerPool`] of simulated crowd workers with
+//!   per-worker error rates (the quality-aware-matching regime of
+//!   PoWareMatch, Shraga & Gal 2021), whose noisy answers are a pure
+//!   function of `(seed, worker, correspondence)` — consistent like a
+//!   memoized oracle, yet independent of query order and scheduling;
+//! * a shard-aware [`Dispatcher`] that leases
+//!   distinct candidates to distinct workers per round, spreading
+//!   concurrent questions across conflict components and replicating the
+//!   information-gain strategy's selection (draw for draw) so a
+//!   single-worker schedule replays a sequential [`smn_core::Session`]
+//!   exactly;
+//! * a redundancy-`k` [`aggregator`](mod@aggregate) — majority or
+//!   quality-weighted (log-odds) voting — that commits one aggregated
+//!   assertion per leased candidate back to the base snapshot;
+//! * the [`ReconciliationService`] driving
+//!   worker evaluations across `std::thread::scope` threads: every vote
+//!   reports the exact what-if entropy of its verdict, measured on a
+//!   copy-on-write [fork](smn_core::ProbabilisticNetwork::fork) of the
+//!   base network (one evaluation per distinct verdict per lease — at
+//!   most two forks however large the crowd), and results are committed
+//!   in lease order under a seeded virtual schedule — so a run is **byte-reproducible at any thread
+//!   count**, and precision/recall against the verified matching is
+//!   tracked per round (in the spirit of Validation of Matching, Le et
+//!   al. 2014).
+
+pub mod aggregate;
+pub mod dispatch;
+pub mod service;
+pub mod worker;
+
+pub use aggregate::{aggregate, Aggregation, Verdict, Vote};
+pub use dispatch::{Dispatcher, Lease};
+pub use service::{CommitRecord, ReconciliationService, RoundStats, ServiceConfig, ServiceReport};
+pub use worker::{WorkerPool, WorkerProfile, WorkerStats};

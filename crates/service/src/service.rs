@@ -1,0 +1,515 @@
+//! The concurrent reconciliation service.
+//!
+//! [`ReconciliationService`] owns the base probabilistic network behind
+//! the copy-on-write snapshot layer and drives rounds of a *seeded
+//! virtual schedule*:
+//!
+//! 1. the [`Dispatcher`] leases up to
+//!    `⌊W/k⌋` distinct uncertain candidates, each to `k` distinct workers
+//!    (disjoint across the round's leases, rotated across rounds);
+//! 2. worker evaluations fan out across `std::thread::scope` threads —
+//!    each worker answers from its error-rate profile, and the exact
+//!    uncertainty each distinct verdict would produce is measured on a
+//!    private [fork](smn_core::ProbabilisticNetwork::fork) of the base
+//!    (at most two forks per lease, shared by all its votes);
+//! 3. votes are reassembled by `(lease, vote)` slot and
+//!    [aggregated](mod@crate::aggregate) in lease order; each aggregated
+//!    assertion commits to the base (inconsistent approvals fall back to
+//!    disapproval, exactly like [`smn_core::reconcile`](mod@smn_core::reconcile)).
+//!
+//! Because every worker answer is a pure function, every fork is
+//! evaluated against the same base snapshot, and commits happen in lease
+//! order, the number of OS threads only changes *who computes what* —
+//! never the result. Two runs with the same config are byte-identical at
+//! any thread count, which the `determinism` integration suite asserts at
+//! 1, 4 and 8 threads.
+
+use crate::aggregate::{aggregate, Aggregation, Verdict, Vote};
+use crate::dispatch::{Dispatcher, Lease};
+use crate::worker::{WorkerPool, WorkerStats};
+use serde::Serialize;
+use smn_constraints::BitSet;
+use smn_core::feedback::Assertion;
+use smn_core::shard::ShardingConfig;
+use smn_core::{
+    MatchingNetwork, PrecisionRecall, ProbabilisticNetwork, ReconciliationGoal, SamplerConfig,
+    StepOutcome, TracePoint,
+};
+use smn_schema::{CandidateId, Correspondence};
+use std::sync::Mutex;
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Sampler parameters of the base network.
+    pub sampler: SamplerConfig,
+    /// Sample representation of the base network; the component-sharded
+    /// default is what makes concurrent copy-on-write commits local.
+    pub sharding: ShardingConfig,
+    /// Votes per leased candidate (`k`), clamped to the worker count.
+    pub redundancy: usize,
+    /// How votes reduce to one assertion.
+    pub aggregation: Aggregation,
+    /// OS threads for worker evaluation; `0` uses the machine's available
+    /// parallelism. Never affects results, only wall-clock.
+    pub threads: usize,
+    /// Seed of the virtual schedule (dispatcher tie-breaking) and the
+    /// worker noise.
+    pub seed: u64,
+    /// When the service stops: a commit budget, an entropy threshold, or
+    /// complete validation of every candidate.
+    pub goal: ReconciliationGoal,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            sampler: SamplerConfig::default(),
+            sharding: ShardingConfig::default(),
+            redundancy: 3,
+            aggregation: Aggregation::Majority,
+            threads: 0,
+            seed: 0xC0FFEE,
+            goal: ReconciliationGoal::Complete,
+        }
+    }
+}
+
+/// One committed (aggregated) assertion — the service-level analogue of a
+/// [`TracePoint`], enriched with the crowd evidence behind it.
+#[derive(Debug, Clone, Serialize)]
+pub struct CommitRecord {
+    /// 1-based commit count.
+    pub step: usize,
+    /// Round the commit happened in.
+    pub round: usize,
+    /// The asserted candidate id.
+    pub candidate: u32,
+    /// The shard (conflict component) the commit copy-on-wrote.
+    pub shard: usize,
+    /// The committed verdict (after any inconsistency fallback).
+    pub approved: bool,
+    /// `integrated`, `flipped` or `skipped` (see [`StepOutcome`]).
+    pub outcome: String,
+    /// The dispatcher's information-gain estimate behind the lease
+    /// (`None` for fallback leases of certain candidates) — logged, not
+    /// recomputed.
+    pub score: Option<f64>,
+    /// Raw approving votes.
+    pub votes_for: usize,
+    /// Raw disapproving votes.
+    pub votes_against: usize,
+    /// The lowest exact what-if entropy any voter measured on its fork.
+    pub min_expected_entropy: f64,
+    /// Network uncertainty after the commit.
+    pub entropy_after: f64,
+    /// User effort after the commit.
+    pub effort_after: f64,
+}
+
+/// Per-round aggregates for effort/quality curves.
+#[derive(Debug, Clone, Serialize)]
+pub struct RoundStats {
+    /// 0-based round index.
+    pub round: usize,
+    /// Leases dispatched this round.
+    pub leases: usize,
+    /// Assertions committed this round.
+    pub commits: usize,
+    /// Network uncertainty after the round.
+    pub entropy: f64,
+    /// User effort after the round.
+    pub effort: f64,
+    /// Precision of the probability-majority matching `{c : p_c > ½}`
+    /// against the verified matching.
+    pub precision: f64,
+    /// Recall of the same matching.
+    pub recall: f64,
+}
+
+/// The machine-readable outcome of a service run. Deliberately carries no
+/// thread count and no wall-clock: everything in here is a deterministic
+/// function of the configuration seeds, so identically-configured runs
+/// serialize byte-identically at any parallelism.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceReport {
+    /// Workers in the pool.
+    pub workers: usize,
+    /// Effective redundancy `k`.
+    pub redundancy: usize,
+    /// Aggregation scheme label.
+    pub aggregation: String,
+    /// Per-worker configured error rates.
+    pub worker_error_rates: Vec<f64>,
+    /// Total worker answers collected.
+    pub questions_asked: u64,
+    /// Committed assertions.
+    pub commits: Vec<CommitRecord>,
+    /// Per-round quality/effort curve.
+    pub rounds: Vec<RoundStats>,
+    /// Per-worker tallies (answers, errors vs ground truth).
+    pub worker_stats: Vec<WorkerStats>,
+    /// Final network uncertainty.
+    pub final_entropy: f64,
+    /// Final user effort.
+    pub final_effort: f64,
+    /// Final precision of the probability-majority matching.
+    pub final_precision: f64,
+    /// Final recall of the probability-majority matching.
+    pub final_recall: f64,
+}
+
+/// The concurrent multi-worker reconciliation service.
+pub struct ReconciliationService {
+    base: ProbabilisticNetwork,
+    pool: WorkerPool,
+    dispatcher: Dispatcher,
+    config: ServiceConfig,
+    truth: Vec<Correspondence>,
+    history: Vec<TracePoint>,
+    commits: Vec<CommitRecord>,
+    rounds: Vec<RoundStats>,
+}
+
+impl ReconciliationService {
+    /// Builds the service: the base probabilistic network (initial
+    /// sampling under `config.sampler`/`config.sharding`), a worker pool
+    /// with the given per-worker error rates answering against `truth`,
+    /// and the seeded dispatcher.
+    pub fn new(
+        network: MatchingNetwork,
+        truth: Vec<Correspondence>,
+        error_rates: impl IntoIterator<Item = f64>,
+        config: ServiceConfig,
+    ) -> Self {
+        let base = ProbabilisticNetwork::new_sharded(network, config.sampler, config.sharding);
+        // the worker-noise seed is derived, not shared: dispatcher
+        // tie-breaks and worker coins must be independent streams
+        let pool = WorkerPool::new(
+            error_rates,
+            truth.iter().copied(),
+            config.seed.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(1),
+        );
+        let dispatcher = Dispatcher::new(config.seed);
+        Self {
+            base,
+            pool,
+            dispatcher,
+            config,
+            truth,
+            history: Vec::new(),
+            commits: Vec::new(),
+            rounds: Vec::new(),
+        }
+    }
+
+    /// The base probabilistic network.
+    pub fn base(&self) -> &ProbabilisticNetwork {
+        &self.base
+    }
+
+    /// The committed assertions as a [`TracePoint`] sequence — directly
+    /// comparable to a sequential [`smn_core::Session::run`] trace.
+    pub fn history(&self) -> &[TracePoint] {
+        &self.history
+    }
+
+    /// The worker pool (profiles and tallies).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Runs rounds until the configured goal holds and returns the report.
+    pub fn run(&mut self) -> ServiceReport {
+        let workers = self.pool.len();
+        let k = self.config.redundancy.clamp(1, workers);
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.config.threads
+        };
+        let mut round = self.rounds.len();
+        loop {
+            match self.config.goal {
+                ReconciliationGoal::Budget(b) if self.history.len() >= b => break,
+                ReconciliationGoal::EntropyBelow(h) if self.base.entropy() < h => break,
+                _ => {}
+            }
+            let mut batch = (workers / k).max(1);
+            if let ReconciliationGoal::Budget(b) = self.config.goal {
+                batch = batch.min(b - self.history.len());
+            }
+            let leases = self.dispatcher.lease_round(&self.base, batch, workers, k, round);
+            if leases.is_empty() {
+                break; // every candidate validated
+            }
+            let votes = collect_votes(&self.base, &self.pool, &leases, threads);
+            let committed = self.commit_round(round, &leases, &votes);
+            let quality = self.matching_quality();
+            self.rounds.push(RoundStats {
+                round,
+                leases: leases.len(),
+                commits: committed,
+                entropy: self.base.entropy(),
+                effort: self.base.effort(),
+                precision: quality.precision,
+                recall: quality.recall,
+            });
+            round += 1;
+        }
+        self.report()
+    }
+
+    /// Integrates one round's aggregated verdicts in lease order. Returns
+    /// how many assertions were committed (vs skipped).
+    fn commit_round(&mut self, round: usize, leases: &[Lease], votes: &[Vec<Vote>]) -> usize {
+        let mut committed = 0usize;
+        for (lease, votes) in leases.iter().zip(votes) {
+            for v in votes {
+                self.pool.record(v.worker, lease.correspondence, v.approved);
+            }
+            let verdict: Verdict = aggregate(self.config.aggregation, votes, self.pool.profiles());
+            let wanted = Assertion { candidate: lease.candidate, approved: verdict.approved };
+            let (approved, outcome) = match self.base.assert_candidate(wanted) {
+                Ok(()) => (verdict.approved, StepOutcome::Integrated),
+                Err(_) => {
+                    // an approval that conflicts with standing approvals is
+                    // integrated as a disapproval, like the sequential loop
+                    let fallback = Assertion { candidate: lease.candidate, approved: false };
+                    match self.base.assert_candidate(fallback) {
+                        Ok(()) => (false, StepOutcome::Flipped),
+                        Err(_) => (verdict.approved, StepOutcome::Skipped),
+                    }
+                }
+            };
+            if outcome != StepOutcome::Skipped {
+                committed += 1;
+                self.history.push(TracePoint {
+                    step: self.history.len() + 1,
+                    candidate: lease.candidate,
+                    approved,
+                    outcome,
+                    effort: self.base.effort(),
+                    entropy: self.base.entropy(),
+                    normalized_entropy: self.base.normalized_entropy(),
+                });
+            }
+            let min_expected =
+                votes.iter().map(|v| v.expected_entropy).fold(f64::INFINITY, f64::min);
+            self.commits.push(CommitRecord {
+                step: self.commits.len() + 1,
+                round,
+                candidate: lease.candidate.0,
+                shard: lease.shard,
+                approved,
+                outcome: match outcome {
+                    StepOutcome::Integrated => "integrated".into(),
+                    StepOutcome::Flipped => "flipped".into(),
+                    StepOutcome::Skipped => "skipped".into(),
+                },
+                score: lease.score,
+                votes_for: verdict.votes_for,
+                votes_against: verdict.votes_against,
+                min_expected_entropy: min_expected,
+                entropy_after: self.base.entropy(),
+                effort_after: self.base.effort(),
+            });
+        }
+        committed
+    }
+
+    /// Precision/recall of the probability-majority matching
+    /// `{c : p_c > ½}` against the verified matching.
+    fn matching_quality(&self) -> PrecisionRecall {
+        let n = self.base.network().candidate_count();
+        let matching = BitSet::from_ids(
+            n,
+            (0..n).map(CandidateId::from_index).filter(|&c| self.base.probability(c) > 0.5),
+        );
+        PrecisionRecall::of_instance(self.base.network(), &matching, self.truth.iter().copied())
+    }
+
+    /// Assembles the (deterministic) report of everything so far.
+    pub fn report(&self) -> ServiceReport {
+        let quality = self.matching_quality();
+        ServiceReport {
+            workers: self.pool.len(),
+            redundancy: self.config.redundancy.clamp(1, self.pool.len()),
+            aggregation: self.config.aggregation.label().to_string(),
+            worker_error_rates: self.pool.profiles().iter().map(|p| p.error_rate).collect(),
+            questions_asked: self.pool.stats().iter().map(|s| s.answered).sum(),
+            commits: self.commits.clone(),
+            rounds: self.rounds.clone(),
+            worker_stats: self.pool.stats().to_vec(),
+            final_entropy: self.base.entropy(),
+            final_effort: self.base.effort(),
+            final_precision: quality.precision,
+            final_recall: quality.recall,
+        }
+    }
+}
+
+/// Evaluates one round's leases across `threads` scoped worker threads.
+///
+/// Worker answers are pure-function lookups, collected inline. The
+/// expensive part — the exact what-if entropy, a private copy-on-write
+/// fork of the base integrating the verdict — depends only on
+/// `(lease, verdict)`, so each lease needs at most *two* fork
+/// evaluations no matter the redundancy; those distinct branch jobs are
+/// what fans out over the thread pool. Votes are then assembled by slot
+/// from the shared branch entropies, so the outcome is identical at any
+/// thread count.
+fn collect_votes(
+    base: &ProbabilisticNetwork,
+    pool: &WorkerPool,
+    leases: &[Lease],
+    threads: usize,
+) -> Vec<Vec<Vote>> {
+    let answers: Vec<Vec<bool>> = leases
+        .iter()
+        .map(|l| l.workers.iter().map(|&w| pool.answer(w, l.correspondence)).collect())
+        .collect();
+    // distinct (lease, verdict) branches that need a what-if evaluation
+    let jobs: Vec<(usize, bool)> = (0..leases.len())
+        .flat_map(|li| {
+            let answers = &answers;
+            [true, false]
+                .into_iter()
+                .filter(move |&v| answers[li].iter().any(|&a| a == v))
+                .map(move |v| (li, v))
+        })
+        .collect();
+    let evaluate = |li: usize, approved: bool| -> f64 {
+        let lease = &leases[li];
+        // the verdict's session view: a fork sharing every shard snapshot
+        // with the base until the assertion copy-on-writes one of them
+        let mut view = base.fork();
+        match view.assert_candidate(Assertion { candidate: lease.candidate, approved }) {
+            Ok(()) => view.entropy(),
+            Err(_) => base.entropy(),
+        }
+    };
+    // branch_entropy[li][approved as usize]
+    let mut branch_entropy: Vec<[f64; 2]> = vec![[f64::NAN; 2]; leases.len()];
+    let workers = threads.min(jobs.len()).max(1);
+    if workers <= 1 {
+        for &(li, v) in &jobs {
+            branch_entropy[li][usize::from(v)] = evaluate(li, v);
+        }
+    } else {
+        let next: Mutex<usize> = Mutex::new(0);
+        let done: Mutex<Vec<(usize, bool, f64)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let job = {
+                        let mut n = next.lock().expect("job counter");
+                        if *n >= jobs.len() {
+                            break;
+                        }
+                        let j = *n;
+                        *n += 1;
+                        j
+                    };
+                    let (li, v) = jobs[job];
+                    let h = evaluate(li, v);
+                    done.lock().expect("entropy sink").push((li, v, h));
+                });
+            }
+        });
+        for (li, v, h) in done.into_inner().expect("entropy lock") {
+            branch_entropy[li][usize::from(v)] = h;
+        }
+    }
+    leases
+        .iter()
+        .enumerate()
+        .map(|(li, l)| {
+            l.workers
+                .iter()
+                .zip(&answers[li])
+                .map(|(&worker, &approved)| Vote {
+                    worker,
+                    approved,
+                    expected_entropy: branch_entropy[li][usize::from(approved)],
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smn_testkit::{fig1_network, fig1_truth, tiny_sampler};
+
+    fn config(goal: ReconciliationGoal) -> ServiceConfig {
+        ServiceConfig {
+            sampler: tiny_sampler(5),
+            sharding: ShardingConfig::default(),
+            redundancy: 1,
+            aggregation: Aggregation::Majority,
+            threads: 2,
+            seed: 9,
+            goal,
+        }
+    }
+
+    fn perfect_service(workers: usize, goal: ReconciliationGoal) -> ReconciliationService {
+        ReconciliationService::new(fig1_network(), fig1_truth(), vec![0.0; workers], config(goal))
+    }
+
+    #[test]
+    fn perfect_crowd_reconciles_fig1_completely() {
+        let mut svc = perfect_service(3, ReconciliationGoal::Complete);
+        let report = svc.run();
+        assert_eq!(report.final_entropy, 0.0);
+        assert_eq!(report.final_precision, 1.0);
+        assert_eq!(report.final_recall, 1.0);
+        assert_eq!(svc.base().effort(), 1.0, "Complete validates every candidate");
+        assert!(!report.rounds.is_empty());
+        assert_eq!(report.workers, 3);
+    }
+
+    #[test]
+    fn budget_goal_caps_commits() {
+        let mut svc = perfect_service(4, ReconciliationGoal::Budget(2));
+        let report = svc.run();
+        assert_eq!(svc.history().len(), 2);
+        assert_eq!(report.commits.len(), 2);
+        assert!((report.final_effort - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn commits_carry_the_lease_score() {
+        let mut svc = perfect_service(1, ReconciliationGoal::Budget(1));
+        let report = svc.run();
+        let c = &report.commits[0];
+        assert!(c.score.expect("first lease has uncertain candidates") > 0.0);
+        assert!(c.min_expected_entropy <= svc.base().entropy() + 1e-12 + 5.0);
+        assert_eq!(c.outcome, "integrated");
+    }
+
+    #[test]
+    fn noisy_majority_still_terminates_and_reports() {
+        let mut svc = ReconciliationService::new(
+            fig1_network(),
+            fig1_truth(),
+            vec![0.3, 0.3, 0.3],
+            ServiceConfig {
+                redundancy: 3,
+                aggregation: Aggregation::QualityWeighted,
+                ..config(ReconciliationGoal::Complete)
+            },
+        );
+        let report = svc.run();
+        assert_eq!(report.redundancy, 3);
+        assert_eq!(report.aggregation, "quality-weighted");
+        assert_eq!(svc.base().effort(), 1.0);
+        assert_eq!(
+            report.questions_asked,
+            report.commits.len() as u64 * 3,
+            "every commit aggregates k = 3 votes"
+        );
+    }
+}

@@ -204,4 +204,8 @@ impl SelectionStrategy for ScriptedSelection {
         self.pos += 1;
         next
     }
+
+    fn clone_box(&self) -> Box<dyn SelectionStrategy> {
+        Box::new(self.clone())
+    }
 }

@@ -8,7 +8,9 @@
 //! * [`matchers`] — first-party schema matchers and ensembles,
 //! * [`datasets`] — synthetic reproductions of the paper's four datasets,
 //! * [`core`] — probabilistic matching networks, uncertainty reduction and
-//!   instantiation (the paper's contribution).
+//!   instantiation (the paper's contribution),
+//! * [`service`] — the concurrent multi-worker reconciliation service over
+//!   copy-on-write network snapshots (fork/commit, redundancy-k crowds).
 //!
 //! The end-to-end flow — generate a dataset, match it, build the
 //! probabilistic network, reconcile with an oracle, instantiate:
@@ -57,6 +59,7 @@ pub use smn_core as core;
 pub use smn_datasets as datasets;
 pub use smn_matchers as matchers;
 pub use smn_schema as schema;
+pub use smn_service as service;
 
 /// Commonly used items, for `use smn::prelude::*`.
 pub mod prelude {

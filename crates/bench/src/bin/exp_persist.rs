@@ -1,0 +1,56 @@
+//! Durability costs: snapshot save/load and write-ahead-log replay on the
+//! 12- and 24-cluster federation presets.
+//!
+//! For each size, a deterministic assertion run is journaled into a WAL;
+//! the bin then times encoding the end-state snapshot, decoding it back
+//! into a ready network, and full crash recovery (initial snapshot + log
+//! replay), certifying alongside the numbers that the round trip is
+//! byte-identical and the recovery bit-exact. The numbers are checked in
+//! as `BENCH_persist.json`.
+//!
+//! Run: `cargo run --release -p smn-bench --bin exp_persist -- [label]`
+//! (`SMN_BENCH_FAST=1` drops repetitions).
+
+use smn_bench::persist::measure;
+use smn_bench::{save_json, Table};
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "run".into());
+    let iters = if std::env::var("SMN_BENCH_FAST").is_ok_and(|v| v == "1") { 1 } else { 5 };
+    let points = measure(iters);
+
+    let mut table = Table::new([
+        "groups",
+        "|C|",
+        "shards",
+        "events",
+        "snapshot (B)",
+        "wal (B)",
+        "save (ms)",
+        "load (ms)",
+        "replay (ms)",
+    ]);
+    for p in &points {
+        table.row([
+            p.groups.to_string(),
+            p.candidates.to_string(),
+            p.components.to_string(),
+            p.wal_events.to_string(),
+            p.snapshot_bytes.to_string(),
+            p.wal_bytes.to_string(),
+            format!("{:.4}", p.save_ms),
+            format!("{:.4}", p.load_ms),
+            format!("{:.4}", p.replay_ms),
+        ]);
+    }
+    println!("Durability: snapshot save/load and WAL replay (federation scenario)");
+    table.print();
+    for p in &points {
+        assert!(p.round_trip_identical, "save∘load must be byte-identity (groups {})", p.groups);
+        assert!(p.replay_exact, "recovery must equal the live run (groups {})", p.groups);
+    }
+
+    if let Ok(path) = save_json(&format!("persist_{label}"), &points) {
+        println!("\nwrote {}", path.display());
+    }
+}

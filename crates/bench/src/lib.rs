@@ -14,6 +14,7 @@
 //! | `exp_fig10` | Fig. 10 — ordering strategies vs instantiation quality |
 //! | `exp_fig11` | Fig. 11 — likelihood criterion in instantiation |
 //! | `exp_sharding` | monolithic vs component-sharded probabilistic networks |
+//! | `exp_persist` | durability: snapshot save/load and WAL replay costs |
 //! | `exp_evolve` | incremental maintenance vs full rebuild on an evolving federation |
 //! | `exp_service` | concurrent multi-worker reconciliation: fork/commit costs, worker × error × redundancy grid |
 //!
@@ -24,6 +25,7 @@
 pub mod evolve;
 pub mod grid;
 pub mod hotpaths;
+pub mod persist;
 pub mod report;
 pub mod runner;
 pub mod service;

@@ -1,0 +1,142 @@
+//! Durability measurements behind `BENCH_persist.json`.
+//!
+//! For each federation size this module builds the standard sharding bench
+//! scenario ([`crate::sharding::federation_case`]), drives a deterministic
+//! assertion run journaled into a write-ahead log, then times the three
+//! durability operations of `smn-storage`:
+//!
+//! * `save_ms` — encoding the end-state network + history into the binary
+//!   snapshot format (min over iters);
+//! * `load_ms` — decoding that snapshot back into a ready
+//!   `ProbabilisticNetwork`, recomputed posteriors included (min over
+//!   iters);
+//! * `replay_ms` — crash recovery from the *initial* snapshot plus the
+//!   full log: decode, rebuild, replay every journaled event (min over
+//!   iters).
+//!
+//! Each point also certifies correctness alongside the numbers:
+//! `round_trip_identical` (save∘load∘save reproduces the snapshot bytes)
+//! and `replay_exact` (recovery's posteriors are bit-identical to the live
+//! network's). Sizes (`snapshot_bytes`, `wal_bytes`, `wal_events`) are
+//! deterministic functions of the seeds, so the emitted JSON passes the
+//! CI determinism smoke with timings scrubbed.
+
+use crate::sharding::{bench_sampler, bench_sharding, federation_case};
+use serde::Serialize;
+use smn_core::feedback::Assertion;
+use smn_core::persist::{apply_to_history, NetworkEvent};
+use smn_core::ProbabilisticNetwork;
+use smn_storage::{load_with_history, recover, save_with_history, WalBuffer};
+use std::time::Instant;
+
+/// Federation sizes measured — the 12- and 24-cluster presets of the
+/// sharding bench.
+pub const GROUPS: [usize; 2] = [12, 24];
+
+/// One measured federation size.
+#[derive(Debug, Clone, Serialize)]
+pub struct PersistPoint {
+    /// Fused sub-networks in the scenario.
+    pub groups: usize,
+    /// Candidate-set size `|C|` at the end state.
+    pub candidates: usize,
+    /// Conflict components (= shard count).
+    pub components: usize,
+    /// Assertions applied (and journaled) by the run.
+    pub wal_events: usize,
+    /// Encoded end-state snapshot size in bytes.
+    pub snapshot_bytes: usize,
+    /// Write-ahead log size in bytes (header + every record).
+    pub wal_bytes: usize,
+    /// Whether `save → load → save` reproduced the snapshot bytes.
+    pub round_trip_identical: bool,
+    /// Whether recovery (initial snapshot + log replay) reproduced the
+    /// live end-state posteriors bit for bit.
+    pub replay_exact: bool,
+    /// Milliseconds to encode the end-state snapshot (min over iters).
+    pub save_ms: f64,
+    /// Milliseconds to decode it back into a ready network (min over
+    /// iters).
+    pub load_ms: f64,
+    /// Milliseconds for full crash recovery — initial snapshot decode plus
+    /// replay of every logged event (min over iters).
+    pub replay_ms: f64,
+}
+
+fn min_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Measures one federation size; `iters` timing repetitions per quantity.
+pub fn measure_point(groups: usize, iters: usize) -> PersistPoint {
+    let (net, _) = federation_case(groups, 7);
+    let mut pn = ProbabilisticNetwork::new_sharded(net, bench_sampler(3), bench_sharding());
+    let base_snapshot = save_with_history(&pn, &[], 0);
+
+    // a deterministic reconciliation run, journaled: validate every other
+    // uncertain candidate, approving two of each three
+    let mut wal = WalBuffer::new(1);
+    let mut history: Vec<Assertion> = Vec::new();
+    let targets: Vec<_> = pn.uncertain_candidates().into_iter().step_by(2).collect();
+    for (i, candidate) in targets.into_iter().enumerate() {
+        let approved = i % 3 != 0;
+        if pn.assert_candidate(Assertion { candidate, approved }).is_ok() {
+            let event = NetworkEvent::Assert { candidate, approved };
+            wal.append(&event);
+            apply_to_history(&mut history, &event);
+        }
+    }
+    let applied_seq = history.len() as u64;
+
+    let bytes = save_with_history(&pn, &history, applied_seq);
+    let (loaded, loaded_history, loaded_seq) = load_with_history(&bytes).expect("clean load");
+    let round_trip_identical = save_with_history(&loaded, &loaded_history, loaded_seq) == bytes;
+
+    let recovered = recover(&base_snapshot, wal.bytes()).expect("clean recovery");
+    let replay_exact = recovered.wal_error.is_none()
+        && recovered.network.probabilities() == pn.probabilities()
+        && recovered.history == history;
+
+    let save_ms = min_ms(iters, || drop(save_with_history(&pn, &history, applied_seq)));
+    let load_ms = min_ms(iters, || drop(load_with_history(&bytes).expect("clean load")));
+    let replay_ms =
+        min_ms(iters, || drop(recover(&base_snapshot, wal.bytes()).expect("clean recovery")));
+
+    PersistPoint {
+        groups,
+        candidates: pn.network().candidate_count(),
+        components: pn.shard_count(),
+        wal_events: history.len(),
+        snapshot_bytes: bytes.len(),
+        wal_bytes: wal.bytes().len(),
+        round_trip_identical,
+        replay_exact,
+        save_ms,
+        load_ms,
+        replay_ms,
+    }
+}
+
+/// Measures all [`GROUPS`].
+pub fn measure(iters: usize) -> Vec<PersistPoint> {
+    GROUPS.iter().map(|&g| measure_point(g, iters)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smallest_point_certifies_the_round_trip() {
+        let p = measure_point(4, 1);
+        assert!(p.round_trip_identical, "save∘load must be the identity on bytes");
+        assert!(p.replay_exact, "recovery must reproduce the live run bit for bit");
+        assert!(p.wal_events > 0 && p.wal_bytes > 0 && p.snapshot_bytes > 0);
+    }
+}

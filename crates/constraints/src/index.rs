@@ -306,6 +306,57 @@ impl ConflictIndex {
         self.triples_of[c.index()].iter().map(move |&i| self.triples[i as usize])
     }
 
+    /// The full canonical (lexicographically sorted) triple table — the
+    /// primary cycle-conflict data a snapshot serializes. Together with
+    /// [`pair_conflicts`](Self::pair_conflicts) per candidate, the
+    /// [`config`](Self::config) and the candidate count, it determines the
+    /// whole index (see [`from_parts`](Self::from_parts)).
+    #[inline]
+    pub fn triples(&self) -> &[[CandidateId; 3]] {
+        &self.triples
+    }
+
+    /// Reassembles an index from its primary data — the pair posting lists
+    /// and the triple table — re-deriving every dense query structure
+    /// (masks, postings, other-two table) exactly as
+    /// [`build`](Self::build) would. Because the dense rebuild
+    /// canonicalizes, the result is `==`
+    /// to the index the parts were read from: the round trip is lossless.
+    ///
+    /// # Panics
+    /// Panics if `pair_conflicts.len() != candidate_count` or any stored id
+    /// is out of range — callers deserializing untrusted bytes must
+    /// validate both before reassembling (the storage crate does).
+    pub fn from_parts(
+        config: ConstraintConfig,
+        candidate_count: usize,
+        pair_conflicts: Vec<Vec<CandidateId>>,
+        triples: Vec<[CandidateId; 3]>,
+    ) -> Self {
+        assert_eq!(pair_conflicts.len(), candidate_count, "posting list per candidate");
+        assert!(
+            pair_conflicts.iter().flatten().all(|&x| x.index() < candidate_count)
+                && triples.iter().flatten().all(|&x| x.index() < candidate_count),
+            "conflict member id out of range"
+        );
+        let mut index = Self {
+            config,
+            candidate_count,
+            pair_conflicts,
+            triples,
+            triples_of: Vec::new(),
+            pair_masks: Vec::new(),
+            triple_other: Vec::new(),
+            triple_other_start: Vec::new(),
+        };
+        for list in &mut index.pair_conflicts {
+            list.sort_unstable();
+            list.dedup();
+        }
+        index.build_dense();
+        index
+    }
+
     /// Total number of potential pair conflicts (each counted once).
     pub fn potential_pair_count(&self) -> usize {
         self.pair_conflicts.iter().map(Vec::len).sum::<usize>() / 2

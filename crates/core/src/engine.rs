@@ -17,6 +17,7 @@ use crate::feedback::Assertion;
 use crate::instantiate::{instantiate, Instantiation, InstantiationConfig};
 use crate::network::MatchingNetwork;
 use crate::oracle::Oracle;
+use crate::persist::{EventSink, NetworkEvent};
 use crate::probability::{AssertError, ProbabilisticNetwork};
 use crate::reconcile::{reconcile, ReconciliationGoal, TracePoint};
 use crate::sampling::SamplerConfig;
@@ -91,6 +92,11 @@ pub struct Session {
     /// [`UNDO_DEPTH`](Self::UNDO_DEPTH): the oldest rollback point is
     /// dropped (freeing its pinned snapshots) when a new one exceeds it.
     undo_stack: Vec<(ProbabilisticNetwork, usize)>,
+    /// Durability journal: every *applied* mutation (assert, extend,
+    /// retire) is recorded here, in order, for write-ahead logging. While
+    /// a journal is attached [`undo`](Session::undo) is disabled — an
+    /// append-only log cannot represent a rollback.
+    journal: Option<Box<dyn EventSink>>,
 }
 
 impl Session {
@@ -111,7 +117,29 @@ impl Session {
             strategy,
             asked: Vec::new(),
             undo_stack: Vec::new(),
+            journal: None,
         }
+    }
+
+    /// Re-opens a session over a *recovered* probabilistic network — the
+    /// crash-recovery path of `smn-storage`, where the network was loaded
+    /// from a snapshot (plus replayed write-ahead-log suffix) rather than
+    /// built by initial sampling, and `history` is the recovered
+    /// assertion history. The selection strategy restarts from
+    /// `config.strategy_seed`; the sampler/sharding members of `config`
+    /// are ignored (the recovered network already carries its own).
+    pub fn resume(
+        pn: ProbabilisticNetwork,
+        history: Vec<Assertion>,
+        config: SessionConfig,
+    ) -> Self {
+        let strategy: Box<dyn SelectionStrategy> = match config.strategy {
+            Strategy::Random => Box::new(RandomSelection::new(config.strategy_seed)),
+            Strategy::InformationGain => {
+                Box::new(InformationGainSelection::new(config.strategy_seed))
+            }
+        };
+        Self { pn, strategy, asked: history, undo_stack: Vec::new(), journal: None }
     }
 
     /// Creates a session with a custom selection strategy.
@@ -125,6 +153,34 @@ impl Session {
             strategy,
             asked: Vec::new(),
             undo_stack: Vec::new(),
+            journal: None,
+        }
+    }
+
+    /// Attaches a durability journal: from here on every applied
+    /// mutation — integrated assertions (from [`answer`](Session::answer)
+    /// or [`run`](Session::run)), arrivals and retirements — is recorded
+    /// into `sink` in application order. Attaching clears the undo stack
+    /// and disables [`undo`](Session::undo): an append-only log has no
+    /// representation for a rollback, so a journaled session is
+    /// forward-only. Replaces (and drops) any previously attached sink.
+    pub fn set_journal(&mut self, sink: Box<dyn EventSink>) {
+        self.undo_stack.clear();
+        self.journal = Some(sink);
+    }
+
+    /// Detaches and returns the durability journal, if any. Undo stays
+    /// unavailable for steps taken while the journal was attached (their
+    /// rollback points were never retained), but new steps become
+    /// undoable again.
+    pub fn take_journal(&mut self) -> Option<Box<dyn EventSink>> {
+        self.journal.take()
+    }
+
+    /// Records an applied event into the journal, if one is attached.
+    fn journal_event(&mut self, event: NetworkEvent) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.record(&event);
         }
     }
 
@@ -145,6 +201,7 @@ impl Session {
             strategy: self.strategy.clone_box(),
             asked: self.asked.clone(),
             undo_stack: Vec::new(),
+            journal: None,
         }
     }
 
@@ -160,7 +217,14 @@ impl Session {
     /// The selection strategy's RNG is deliberately *not* rolled back: an
     /// undone question re-asked may tie-break differently, exactly as a
     /// fresh question would.
+    ///
+    /// While a durability journal is attached
+    /// ([`set_journal`](Session::set_journal)) this always returns `None`:
+    /// the write-ahead log is append-only and cannot unsee an event.
     pub fn undo(&mut self) -> Option<usize> {
+        if self.journal.is_some() {
+            return None;
+        }
         let (pn, asked_len) = self.undo_stack.pop()?;
         let rolled_back = self.asked.len() - asked_len;
         self.pn = pn;
@@ -199,6 +263,7 @@ impl Session {
         self.pn.assert_candidate(assertion)?;
         self.push_undo(snapshot);
         self.asked.push(assertion);
+        self.journal_event(NetworkEvent::Assert { candidate, approved });
         Ok(())
     }
 
@@ -206,6 +271,10 @@ impl Session {
     /// [`UNDO_DEPTH`](Self::UNDO_DEPTH) so undo history cannot pin an
     /// unbounded number of snapshot versions.
     fn push_undo(&mut self, snapshot: (ProbabilisticNetwork, usize)) {
+        if self.journal.is_some() {
+            // journaled sessions are forward-only; see set_journal
+            return;
+        }
         if self.undo_stack.len() >= Self::UNDO_DEPTH {
             self.undo_stack.remove(0);
         }
@@ -222,12 +291,13 @@ impl Session {
         if trace.iter().any(|t| t.outcome != crate::reconcile::StepOutcome::Skipped) {
             self.push_undo(snapshot);
         }
-        self.asked.extend(
-            trace
-                .iter()
-                .filter(|t| t.outcome != crate::reconcile::StepOutcome::Skipped)
-                .map(|t| Assertion { candidate: t.candidate, approved: t.approved }),
-        );
+        for t in trace.iter().filter(|t| t.outcome != crate::reconcile::StepOutcome::Skipped) {
+            self.asked.push(Assertion { candidate: t.candidate, approved: t.approved });
+            self.journal_event(NetworkEvent::Assert {
+                candidate: t.candidate,
+                approved: t.approved,
+            });
+        }
         trace
     }
 
@@ -244,6 +314,7 @@ impl Session {
         // snapshots preceding a catalog change address a different
         // candidate universe; undoing across evolution is not supported
         self.undo_stack.clear();
+        self.journal_event(NetworkEvent::Extend { a: x, b: y, confidence });
         Ok(id)
     }
 
@@ -261,6 +332,7 @@ impl Session {
             }
         }
         self.undo_stack.clear();
+        self.journal_event(NetworkEvent::Retire { candidate: c });
         Ok(())
     }
 
@@ -515,6 +587,69 @@ mod tests {
         let id = session.extend(AttributeId(0), AttributeId(3), 0.7).unwrap();
         assert!(id.index() > 0);
         assert_eq!(session.undo(), None, "undo across an arrival is refused");
+    }
+
+    #[test]
+    fn journal_records_every_applied_mutation_in_order() {
+        use crate::persist::{EventSink, NetworkEvent};
+        // a sink the test can still read after the session consumed the Box
+        struct Shared(std::rc::Rc<std::cell::RefCell<Vec<NetworkEvent>>>);
+        impl EventSink for Shared {
+            fn record(&mut self, event: &NetworkEvent) {
+                self.0.borrow_mut().push(*event);
+            }
+        }
+        let events = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut session = Session::new(fig1_network(), config());
+        session.set_journal(Box::new(Shared(events.clone())));
+        session.answer(CandidateId(2), true).unwrap();
+        // rejected and redundant answers must stay out of the journal
+        assert!(session.answer(CandidateId(2), false).is_err());
+        session.answer(CandidateId(2), true).unwrap();
+        session.retire(CandidateId(4)).unwrap();
+        let id = session.extend(AttributeId(0), AttributeId(3), 0.8).unwrap();
+        assert_eq!(id, CandidateId(4));
+        let mut oracle = GroundTruthOracle::new(fig1_truth());
+        let trace = session.run(&mut oracle, ReconciliationGoal::Budget(1));
+        let mut expect = vec![
+            NetworkEvent::Assert { candidate: CandidateId(2), approved: true },
+            NetworkEvent::Retire { candidate: CandidateId(4) },
+            NetworkEvent::Extend { a: AttributeId(0), b: AttributeId(3), confidence: 0.8 },
+        ];
+        for t in &trace {
+            if t.outcome != crate::reconcile::StepOutcome::Skipped {
+                expect.push(NetworkEvent::Assert { candidate: t.candidate, approved: t.approved });
+            }
+        }
+        assert_eq!(*events.borrow(), expect);
+    }
+
+    #[test]
+    fn journaled_session_refuses_undo() {
+        let mut session = Session::new(fig1_network(), config());
+        session.answer(CandidateId(2), true).unwrap();
+        session.set_journal(Box::new(Vec::new()));
+        assert_eq!(session.undo(), None, "attaching the journal cleared the stack");
+        session.answer(CandidateId(0), false).unwrap();
+        assert_eq!(session.undo(), None, "journaled steps are forward-only");
+        session.take_journal();
+        assert_eq!(session.undo(), None, "journaled steps kept no rollback points");
+        session.answer(CandidateId(3), true).unwrap();
+        assert_eq!(session.undo(), Some(1), "detached sessions are undoable again");
+    }
+
+    #[test]
+    fn resume_restores_history_and_keeps_reconciling() {
+        let mut session = Session::new(fig1_network(), config());
+        session.answer(CandidateId(2), true).unwrap();
+        let pn = session.network().fork();
+        let history = session.history().to_vec();
+        let mut resumed = Session::resume(pn, history, config());
+        assert_eq!(resumed.history(), session.history());
+        assert_eq!(resumed.network().probabilities(), session.network().probabilities());
+        let mut oracle = GroundTruthOracle::new(fig1_truth());
+        resumed.run(&mut oracle, ReconciliationGoal::Complete);
+        assert_eq!(resumed.entropy(), 0.0);
     }
 
     #[test]

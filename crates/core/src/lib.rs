@@ -46,6 +46,7 @@ pub mod instantiate;
 pub mod metrics;
 pub mod network;
 pub mod oracle;
+pub mod persist;
 pub mod probability;
 pub mod reconcile;
 pub mod sampling;
@@ -69,6 +70,7 @@ pub use instantiate::{Instantiation, InstantiationConfig};
 pub use metrics::{kl_divergence, kl_ratio, PrecisionRecall};
 pub use network::MatchingNetwork;
 pub use oracle::{CrowdOracle, GroundTruthOracle, NoisyOracle, Oracle};
+pub use persist::{EventSink, NetworkEvent, NetworkState};
 pub use probability::{AssertError, ProbabilisticNetwork};
 pub use reconcile::{reconcile, ReconciliationGoal, StepOutcome, TracePoint};
 pub use sampling::SamplerConfig;

@@ -144,6 +144,214 @@ impl ProbabilisticNetwork {
         &self.network
     }
 
+    /// Extracts the full serializable image of this network — see
+    /// [`crate::persist`]. Only primary data is captured: the conflict
+    /// index contributes its posting lists and triple table, shards their
+    /// member lists, local feedback and sample state; every derived
+    /// structure (dense masks, sub-indices, matrices, probabilities) is
+    /// rebuilt by [`from_state`](Self::from_state).
+    pub fn to_state(&self) -> crate::persist::NetworkState {
+        use crate::persist::*;
+        let catalog = self.network.catalog();
+        let index = self.network.index();
+        let n = index.candidate_count();
+        let repr = match &self.repr {
+            Repr::Monolithic(store) => ReprState::Monolithic(store.to_state()),
+            Repr::Sharded(set) => ReprState::Sharded {
+                members: (0..set.components.count())
+                    .map(|k| set.components.members(k).iter().map(|c| c.0).collect())
+                    .collect(),
+                shards: set
+                    .shards
+                    .iter()
+                    .map(|s| ShardState {
+                        feedback: FeedbackState::of(&s.feedback),
+                        store: s.store.to_state(),
+                    })
+                    .collect(),
+            },
+        };
+        NetworkState {
+            schemas: catalog
+                .schemas()
+                .iter()
+                .map(|s| SchemaState {
+                    name: s.name.clone(),
+                    attributes: s
+                        .attributes
+                        .iter()
+                        .map(|&a| catalog.attribute(a).name.clone())
+                        .collect(),
+                })
+                .collect(),
+            graph_vertices: self.network.graph().vertex_count(),
+            graph_edges: self.network.graph().edges().iter().map(|&(a, b)| (a.0, b.0)).collect(),
+            candidates: self
+                .network
+                .candidates()
+                .candidates()
+                .iter()
+                .map(|c| {
+                    let [x, y] = c.corr.endpoints();
+                    CandidateState { a: x.0, b: y.0, confidence: c.confidence }
+                })
+                .collect(),
+            constraints: index.config(),
+            pair_conflicts: (0..n)
+                .map(|i| {
+                    index.pair_conflicts(CandidateId::from_index(i)).iter().map(|c| c.0).collect()
+                })
+                .collect(),
+            triples: index.triples().iter().map(|t| [t[0].0, t[1].0, t[2].0]).collect(),
+            feedback: FeedbackState::of(&self.feedback),
+            sampler: self.sampler,
+            sharding: self.sharding,
+            initial_entropy: self.initial_entropy,
+            repr,
+        }
+    }
+
+    /// Rebuilds a network from [`to_state`](Self::to_state) output without
+    /// re-sampling: catalog, graph and candidates are reconstructed in id
+    /// order, the conflict index reassembled from its primary data
+    /// ([`smn_constraints::ConflictIndex::from_parts`]), shard sub-indices
+    /// re-derived from the partition, and the stored samples re-recorded —
+    /// after which probabilities are *recomputed* through the same kernels
+    /// the live path uses, making them bit-identical to the saved run.
+    ///
+    /// Every structural inconsistency in the input is a typed error;
+    /// this never panics on untrusted (length/id-validated) state.
+    pub fn from_state(state: &crate::persist::NetworkState) -> Result<Self, String> {
+        use crate::persist::ReprState;
+        use smn_schema::{CandidateSet, CatalogBuilder, InteractionGraph, SchemaId};
+        let mut builder = CatalogBuilder::new();
+        for s in &state.schemas {
+            builder
+                .add_schema_with_attributes(s.name.clone(), s.attributes.iter().cloned())
+                .map_err(|e| format!("catalog: {e}"))?;
+        }
+        let catalog = builder.build();
+        let schema_count = catalog.schema_count();
+        if state.graph_vertices != schema_count {
+            return Err(format!(
+                "graph sized for {} vertices, catalog has {schema_count} schemas",
+                state.graph_vertices
+            ));
+        }
+        if state
+            .graph_edges
+            .iter()
+            .any(|&(a, b)| a as usize >= schema_count || b as usize >= schema_count)
+        {
+            return Err("graph edge endpoint out of range".into());
+        }
+        let graph = InteractionGraph::from_edges(
+            state.graph_vertices,
+            state.graph_edges.iter().map(|&(a, b)| (SchemaId(a), SchemaId(b))),
+        );
+        let mut candidates = CandidateSet::new(&catalog);
+        for c in &state.candidates {
+            candidates
+                .add(&catalog, Some(&graph), AttributeId(c.a), AttributeId(c.b), c.confidence)
+                .map_err(|e| format!("candidate: {e}"))?;
+        }
+        let n = candidates.len();
+        if state.pair_conflicts.len() != n {
+            return Err(format!("{} posting lists for {n} candidates", state.pair_conflicts.len()));
+        }
+        if state.pair_conflicts.iter().flatten().any(|&x| x as usize >= n)
+            || state.triples.iter().flatten().any(|&x| x as usize >= n)
+        {
+            return Err("conflict member id out of range".into());
+        }
+        let index = smn_constraints::ConflictIndex::from_parts(
+            state.constraints,
+            n,
+            state
+                .pair_conflicts
+                .iter()
+                .map(|l| l.iter().map(|&x| CandidateId(x)).collect())
+                .collect(),
+            state
+                .triples
+                .iter()
+                .map(|t| [CandidateId(t[0]), CandidateId(t[1]), CandidateId(t[2])])
+                .collect(),
+        );
+        let network = MatchingNetwork::from_parts(catalog, graph, candidates, index);
+        let feedback = state.feedback.build(n)?;
+        let repr = match &state.repr {
+            ReprState::Monolithic(store) => {
+                if store.candidate_count != n {
+                    return Err(format!(
+                        "store sized for {} candidates, network has {n}",
+                        store.candidate_count
+                    ));
+                }
+                Repr::Monolithic(SampleStore::from_state(store)?)
+            }
+            ReprState::Sharded { members, shards } => {
+                if members.len() != shards.len() {
+                    return Err(format!(
+                        "{} component lists for {} shards",
+                        members.len(),
+                        shards.len()
+                    ));
+                }
+                let mut covered = vec![false; n];
+                for list in members {
+                    for &c in list {
+                        if c as usize >= n || covered[c as usize] {
+                            return Err("component partition does not partition".into());
+                        }
+                        covered[c as usize] = true;
+                    }
+                }
+                if !covered.iter().all(|&c| c) {
+                    return Err("component partition does not cover all candidates".into());
+                }
+                let components = smn_constraints::Components::from_members(
+                    n,
+                    members.iter().map(|l| l.iter().map(|&c| CandidateId(c)).collect()).collect(),
+                );
+                let sub_indices = network.index().shard(&components);
+                let shards = shards
+                    .iter()
+                    .enumerate()
+                    .map(|(k, s)| {
+                        let m = components.members(k).len();
+                        if s.store.candidate_count != m {
+                            return Err(format!(
+                                "shard {k} store sized for {} of {m} members",
+                                s.store.candidate_count
+                            ));
+                        }
+                        Ok(std::sync::Arc::new(crate::shard::ShardSnapshot {
+                            index: sub_indices[k].clone(),
+                            feedback: s.feedback.build(m)?,
+                            store: SampleStore::from_state(&s.store)?,
+                        }))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Repr::Sharded(ShardSet { components: std::sync::Arc::new(components), shards })
+            }
+        };
+        let mut probs = vec![0.0; n];
+        match &repr {
+            Repr::Monolithic(store) => recompute_monolithic(store, &feedback, &mut probs),
+            Repr::Sharded(set) => set.write_all_probabilities(&mut probs),
+        }
+        Ok(Self {
+            network,
+            feedback,
+            repr,
+            probs,
+            initial_entropy: state.initial_entropy,
+            sampler: state.sampler,
+            sharding: state.sharding,
+        })
+    }
+
     /// The accumulated feedback `F`.
     pub fn feedback(&self) -> &Feedback {
         &self.feedback

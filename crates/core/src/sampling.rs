@@ -314,6 +314,59 @@ impl SampleStore {
         store
     }
 
+    /// Extracts the serializable state of this store — the distinct
+    /// instances in discovery order with their visit counts, plus the
+    /// config and exhaustion/epoch flags. The transposed matrix, the dedup
+    /// map and the cached weights are all derived and are *not* part of
+    /// the state: [`from_state`](SampleStore::from_state) re-records the
+    /// instances in the same order, which rebuilds them bit-for-bit.
+    pub fn to_state(&self) -> crate::persist::StoreState {
+        crate::persist::StoreState {
+            config: self.config,
+            candidate_count: self.data.matrix.candidate_count(),
+            exhausted: self.exhausted,
+            pass_epoch: self.pass_epoch,
+            samples: self.data.samples.iter().map(|s| s.iter().map(|c| c.0).collect()).collect(),
+            counts: self.data.counts.clone(),
+        }
+    }
+
+    /// Rebuilds a store from [`to_state`](SampleStore::to_state) output:
+    /// the instances are re-recorded in their stored order, so the sample
+    /// list, visit counts and transposed matrix come back bit-identical
+    /// and no re-sampling happens on load.
+    ///
+    /// The walk RNG is *not* serializable (the vendored `StdRng` exposes
+    /// no state) and is freshly reseeded from `config.seed`; a store that
+    /// refills after recovery may therefore walk differently than the
+    /// uninterrupted run. Exhausted stores — the exact-enumeration regime
+    /// of small shards — never refill, which is why the crash-recovery
+    /// differential is certified there.
+    pub fn from_state(state: &crate::persist::StoreState) -> Result<Self, String> {
+        let n = state.candidate_count;
+        if state.counts.len() != state.samples.len() {
+            return Err(format!(
+                "sample/count length mismatch: {} vs {}",
+                state.samples.len(),
+                state.counts.len()
+            ));
+        }
+        let mut store = Self::empty(n, state.config);
+        for (ids, &count) in state.samples.iter().zip(&state.counts) {
+            if ids.iter().any(|&i| i as usize >= n) {
+                return Err(format!("sample member out of range (candidate_count {n})"));
+            }
+            let inst = BitSet::from_ids(n, ids.iter().map(|&i| CandidateId(i)));
+            if !store.record_with_count(&inst, count) {
+                return Err("duplicate instance in serialized sample store".into());
+            }
+        }
+        store.exhausted = state.exhausted;
+        store.pass_epoch = state.pass_epoch;
+        store.sync_weights();
+        Ok(store)
+    }
+
     fn empty(n: usize, config: SamplerConfig) -> Self {
         Self {
             data: Arc::new(SampleData {

@@ -29,7 +29,15 @@
 //!   in lease order under a seeded virtual schedule — so a run is **byte-reproducible at any thread
 //!   count**, and precision/recall against the verified matching is
 //!   tracked per round (in the spirit of Validation of Matching, Le et
-//!   al. 2014).
+//!   al. 2014);
+//! * optional **durability**
+//!   ([`attach_durability`](ReconciliationService::attach_durability)):
+//!   every committed assertion is journaled to an `smn-storage`
+//!   write-ahead log as it commits, the log is fsynced between rounds,
+//!   and snapshots are published (with log rotation) on a configurable
+//!   round cadence — after a crash, [`smn_storage::DurableStore::recover`]
+//!   reproduces the base network bit for bit. Storage failures are
+//!   latched, never panicked on.
 
 pub mod aggregate;
 pub mod dispatch;

@@ -30,12 +30,15 @@ use crate::worker::{WorkerPool, WorkerStats};
 use serde::Serialize;
 use smn_constraints::BitSet;
 use smn_core::feedback::Assertion;
+use smn_core::persist::NetworkEvent;
 use smn_core::shard::ShardingConfig;
 use smn_core::{
     MatchingNetwork, PrecisionRecall, ProbabilisticNetwork, ReconciliationGoal, SamplerConfig,
     StepOutcome, TracePoint,
 };
 use smn_schema::{CandidateId, Correspondence};
+use smn_storage::{DurableStore, StorageError};
+use std::path::Path;
 use std::sync::Mutex;
 
 /// Service configuration.
@@ -159,6 +162,16 @@ pub struct ServiceReport {
     pub final_recall: f64,
 }
 
+/// The attached durability state: a [`DurableStore`] the service journals
+/// committed assertions into, a publication cadence, and the first storage
+/// error if one ever occurred (after which journaling stops — the service
+/// itself never fails or panics on storage trouble).
+struct Durability {
+    store: DurableStore,
+    snapshot_every: usize,
+    error: Option<StorageError>,
+}
+
 /// The concurrent multi-worker reconciliation service.
 pub struct ReconciliationService {
     base: ProbabilisticNetwork,
@@ -169,6 +182,7 @@ pub struct ReconciliationService {
     history: Vec<TracePoint>,
     commits: Vec<CommitRecord>,
     rounds: Vec<RoundStats>,
+    durability: Option<Durability>,
 }
 
 impl ReconciliationService {
@@ -200,6 +214,80 @@ impl ReconciliationService {
             history: Vec::new(),
             commits: Vec::new(),
             rounds: Vec::new(),
+            durability: None,
+        }
+    }
+
+    /// Attaches a durable store under `dir`: the current base network and
+    /// assertion history are snapshotted immediately, every later commit
+    /// is appended to a write-ahead log as it happens, the log is fsynced
+    /// between rounds, and every `snapshot_every` rounds a fresh snapshot
+    /// is published and the log rotated. After a crash,
+    /// [`DurableStore::recover`] on the same directory reproduces the
+    /// base network exactly.
+    ///
+    /// Storage errors after attachment never surface as panics or run
+    /// failures: the first one is latched (see
+    /// [`durability_error`](Self::durability_error)) and journaling
+    /// stops.
+    pub fn attach_durability(
+        &mut self,
+        dir: impl AsRef<Path>,
+        snapshot_every: usize,
+    ) -> Result<(), StorageError> {
+        let assertions = self.assertions();
+        let store =
+            DurableStore::open(dir.as_ref(), &self.base, &assertions, assertions.len() as u64)?;
+        self.durability =
+            Some(Durability { store, snapshot_every: snapshot_every.max(1), error: None });
+        Ok(())
+    }
+
+    /// The first storage error the attached durable store hit, if any.
+    /// `None` while journaling is healthy (or detached).
+    pub fn durability_error(&self) -> Option<&StorageError> {
+        self.durability.as_ref().and_then(|d| d.error.as_ref())
+    }
+
+    /// The committed assertion history in `smn-core` terms — what a
+    /// recovery of the attached store replays over its snapshot.
+    pub fn assertions(&self) -> Vec<Assertion> {
+        self.history
+            .iter()
+            .map(|t| Assertion { candidate: t.candidate, approved: t.approved })
+            .collect()
+    }
+
+    /// Journals one applied event, latching the first failure.
+    fn journal(&mut self, event: NetworkEvent) {
+        let Some(d) = &mut self.durability else { return };
+        if d.error.is_some() {
+            return;
+        }
+        if let Err(e) = d.store.append(&event) {
+            d.error = Some(e);
+        }
+    }
+
+    /// End-of-round durability work: fsync the log, and on the publication
+    /// cadence snapshot the base and rotate the log.
+    fn checkpoint_round(&mut self) {
+        let Some(d) = &mut self.durability else { return };
+        if d.error.is_some() {
+            return;
+        }
+        let result = if self.rounds.len() % d.snapshot_every == 0 {
+            let assertions: Vec<Assertion> = self
+                .history
+                .iter()
+                .map(|t| Assertion { candidate: t.candidate, approved: t.approved })
+                .collect();
+            d.store.publish(&self.base, &assertions).map(|_| ())
+        } else {
+            d.store.sync()
+        };
+        if let Err(e) = result {
+            d.error = Some(e);
         }
     }
 
@@ -255,6 +343,7 @@ impl ReconciliationService {
                 precision: quality.precision,
                 recall: quality.recall,
             });
+            self.checkpoint_round();
             round += 1;
         }
         self.report()
@@ -284,6 +373,7 @@ impl ReconciliationService {
             };
             if outcome != StepOutcome::Skipped {
                 committed += 1;
+                self.journal(NetworkEvent::Assert { candidate: lease.candidate, approved });
                 self.history.push(TracePoint {
                     step: self.history.len() + 1,
                     candidate: lease.candidate,

@@ -1,0 +1,90 @@
+//! Typed storage errors.
+//!
+//! Every decode path in this crate returns a [`StorageError`] — corrupt,
+//! truncated or hostile bytes are *never* allowed to panic. The variants
+//! mirror the check order of the snapshot and WAL decoders: magic →
+//! version → checksums → bounds → semantic validity.
+
+use std::fmt;
+
+/// Why a snapshot or WAL buffer could not be decoded (or a durable file
+/// could not be written).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The buffer does not start with the expected magic bytes — it is
+    /// not a snapshot/WAL at all (or its first bytes were destroyed).
+    BadMagic {
+        /// The magic the decoder expected.
+        expected: [u8; 8],
+        /// What the buffer actually started with.
+        found: [u8; 8],
+    },
+    /// The format version is one this build does not speak.
+    VersionMismatch {
+        /// The version this build writes and reads.
+        expected: u32,
+        /// The version the buffer declared.
+        found: u32,
+    },
+    /// A CRC-64 check failed: the covered bytes were altered after they
+    /// were written (bit rot, torn write, deliberate corruption).
+    ChecksumMismatch {
+        /// Which checksummed region failed (`"header"`, `"section"`,
+        /// `"wal record"`).
+        what: &'static str,
+        /// The stored checksum.
+        expected: u64,
+        /// The checksum of the bytes as found.
+        found: u64,
+    },
+    /// The buffer ends before a declared structure does — the classic
+    /// crash shape: an append that never finished.
+    TruncatedRecord {
+        /// What was being read when the bytes ran out.
+        what: &'static str,
+        /// How many bytes the structure needed.
+        needed: usize,
+        /// How many were available.
+        available: usize,
+    },
+    /// The bytes are structurally well-formed (checksums pass) but
+    /// describe an impossible model — e.g. a conflict posting list
+    /// referencing a candidate the snapshot does not contain.
+    Invalid(String),
+    /// An I/O failure from the file-backed [`DurableStore`] paths.
+    ///
+    /// [`DurableStore`]: crate::store::DurableStore
+    Io(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic { expected, found } => {
+                write!(f, "bad magic: expected {expected:?}, found {found:?}")
+            }
+            Self::VersionMismatch { expected, found } => {
+                write!(f, "unsupported format version {found} (this build reads {expected})")
+            }
+            Self::ChecksumMismatch { what, expected, found } => {
+                write!(
+                    f,
+                    "{what} checksum mismatch: stored {expected:#018x}, computed {found:#018x}"
+                )
+            }
+            Self::TruncatedRecord { what, needed, available } => {
+                write!(f, "truncated {what}: needed {needed} bytes, only {available} available")
+            }
+            Self::Invalid(reason) => write!(f, "invalid snapshot/log content: {reason}"),
+            Self::Io(reason) => write!(f, "storage i/o failure: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}

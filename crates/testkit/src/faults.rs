@@ -1,0 +1,115 @@
+//! Deterministic fault injection over byte buffers.
+//!
+//! The crash-injection suites (storage's `tests/crash.rs`, the service
+//! durability tests) all need the same vocabulary of filesystem damage:
+//! a write torn mid-record, a file truncated at an arbitrary byte, a bit
+//! flipped by rot, a window of garbage. These mutators are pure functions
+//! of their inputs and a seeded [`FaultRng`], so every injected fault is
+//! reproducible from the test's seed — a failing case prints as one
+//! integer.
+
+/// A tiny seeded generator (SplitMix64) for fault placement. Not a
+/// statistical RNG — just a deterministic scatter of fault positions.
+#[derive(Debug, Clone)]
+pub struct FaultRng(u64);
+
+impl FaultRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) has no value");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// The buffer cut to its first `len` bytes (a truncation; `len` past the
+/// end is a no-op copy).
+pub fn truncate_at(bytes: &[u8], len: usize) -> Vec<u8> {
+    bytes[..len.min(bytes.len())].to_vec()
+}
+
+/// A torn tail: the buffer cut at a random point in `keep_at_least..len`
+/// — the shape a crashed append leaves behind.
+pub fn torn_tail(bytes: &[u8], keep_at_least: usize, rng: &mut FaultRng) -> Vec<u8> {
+    let floor = keep_at_least.min(bytes.len());
+    let cut = floor + rng.below(bytes.len() - floor + 1);
+    truncate_at(bytes, cut)
+}
+
+/// One specific bit flipped.
+pub fn flip_bit_at(bytes: &[u8], byte_index: usize, bit: u32) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    out[byte_index] ^= 1 << (bit % 8);
+    out
+}
+
+/// One random bit flipped anywhere in `from..bytes.len()` (bit rot;
+/// `from` lets a test spare the magic/header so a deeper check is the
+/// one exercised).
+pub fn flip_bit(bytes: &[u8], from: usize, rng: &mut FaultRng) -> Vec<u8> {
+    assert!(from < bytes.len(), "nothing to flip past the end");
+    let byte = from + rng.below(bytes.len() - from);
+    let bit = (rng.next_u64() % 8) as u32;
+    flip_bit_at(bytes, byte, bit)
+}
+
+/// A random window of up to `max_len` bytes overwritten with generated
+/// garbage (a misdirected write).
+pub fn corrupt_range(bytes: &[u8], max_len: usize, rng: &mut FaultRng) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if out.is_empty() || max_len == 0 {
+        return out;
+    }
+    let start = rng.below(out.len());
+    let len = 1 + rng.below(max_len.min(out.len() - start));
+    for b in &mut out[start..start + len] {
+        *b = (rng.next_u64() & 0xFF) as u8;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutators_are_deterministic_in_the_seed() {
+        let buf: Vec<u8> = (0..=255).collect();
+        for seed in 0..16 {
+            let mut a = FaultRng::new(seed);
+            let mut b = FaultRng::new(seed);
+            assert_eq!(torn_tail(&buf, 4, &mut a), torn_tail(&buf, 4, &mut b));
+            assert_eq!(flip_bit(&buf, 8, &mut a), flip_bit(&buf, 8, &mut b));
+            assert_eq!(corrupt_range(&buf, 9, &mut a), corrupt_range(&buf, 9, &mut b));
+        }
+    }
+
+    #[test]
+    fn mutators_damage_without_panicking_at_boundaries() {
+        let buf = vec![0xAAu8; 64];
+        let mut rng = FaultRng::new(7);
+        assert_eq!(truncate_at(&buf, 1000), buf, "over-long truncation is identity");
+        assert_eq!(truncate_at(&buf, 0), Vec::<u8>::new());
+        let torn = torn_tail(&buf, 64, &mut rng);
+        assert_eq!(torn, buf, "keep floor at the full length tears nothing");
+        let flipped = flip_bit(&buf, 63, &mut rng);
+        assert_ne!(flipped, buf);
+        assert_eq!(flipped.iter().zip(&buf).filter(|(x, y)| x != y).count(), 1);
+        let corrupted = corrupt_range(&buf, 64, &mut rng);
+        assert_eq!(corrupted.len(), buf.len());
+        assert_eq!(corrupt_range(&[], 4, &mut rng), Vec::<u8>::new());
+    }
+}

@@ -12,7 +12,7 @@ use smn_core::engine::Strategy;
 use smn_core::oracle::Oracle;
 use smn_core::selection::SelectionStrategy;
 use smn_core::{MatchingNetwork, ProbabilisticNetwork, SamplerConfig, SessionConfig};
-use smn_datasets::{Dataset, DatasetSpec, SharingModel, Vocabulary};
+use smn_datasets::{Dataset, DatasetSpec, FederationSpec, SharingModel, Vocabulary};
 use smn_matchers::matcher::match_network;
 use smn_matchers::PerturbationMatcher;
 use smn_schema::{
@@ -122,6 +122,29 @@ pub fn business_dataset(seed: u64) -> Dataset {
         sharing: SharingModel::RankBiased { alpha: 0.7 },
     }
     .generate(seed)
+}
+
+/// A federation of `groups` small webform clusters (3 schemas each) fused
+/// into one catalog, matched by the calibrated perturbation matcher — many
+/// independent conflict components, the regime the sharding and durability
+/// suites exercise. Deterministic in `seed`. Returns the network and its
+/// selective-matching ground truth.
+pub fn webform_federation(groups: usize, seed: u64) -> (MatchingNetwork, Vec<Correspondence>) {
+    let fed = FederationSpec {
+        name: format!("Fed{groups}"),
+        vocabulary: Vocabulary::web_form(),
+        groups,
+        schemas_per_group: 3,
+        attrs_min: 8,
+        attrs_max: 14,
+        sharing: SharingModel::RankBiased { alpha: 1.3 },
+    }
+    .generate(seed);
+    let truth = fed.dataset.selective_matching(&fed.graph);
+    let matcher = PerturbationMatcher::new(truth.iter().copied(), 0.65, 0.85, seed);
+    let cs = match_network(&matcher, &fed.dataset.catalog, &fed.graph).expect("valid candidates");
+    let net = MatchingNetwork::new(fed.dataset.catalog, fed.graph, cs, ConstraintConfig::default());
+    (net, truth)
 }
 
 /// A sampler small enough for interactive test runtimes yet large enough

@@ -19,6 +19,7 @@
 //! Everything here is deterministic given its seed arguments. The crate is
 //! a dev-dependency only — it never ships in the library graph.
 
+pub mod faults;
 pub mod fixtures;
 
 pub use fixtures::*;

@@ -98,6 +98,7 @@ fn bench_service_round(c: &mut Criterion) {
                             redundancy: 1,
                             aggregation: Aggregation::Majority,
                             threads: workers,
+                            scheduler: smn_service::Scheduler::Pool,
                             seed: 17,
                             goal: ReconciliationGoal::Budget(16),
                         },

@@ -67,6 +67,7 @@ fn run_cell(
             redundancy,
             aggregation,
             threads: 0,
+            scheduler: smn_service::Scheduler::Pool,
             seed: 17,
             goal: ReconciliationGoal::Complete,
         },

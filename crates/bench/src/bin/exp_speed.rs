@@ -1,0 +1,96 @@
+//! Single-node speed ceiling: hot paths vs the PR-2 optimized baseline,
+//! batched what-if evaluation vs the per-candidate loop, and federation
+//! scale points up to `|C| ≈ 10⁴` — the numbers checked in as
+//! `BENCH_speed.json`.
+//!
+//! Run: `cargo run --release -p smn-bench --bin exp_speed -- [label]`
+//! (`SMN_BENCH_FAST=1` drops repetitions).
+
+use smn_bench::speed::measure;
+use smn_bench::{save_json, Table};
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "run".into());
+    // single-core container timings are noisy; a high repetition count
+    // with min-over-iters filters scheduler interference out (every timed
+    // quantity here is at most a few ms, so 25 repetitions stay cheap)
+    let iters = if std::env::var("SMN_BENCH_FAST").is_ok_and(|v| v == "1") { 1 } else { 25 };
+    let report = measure(iters);
+
+    let mut table = Table::new([
+        "|C|",
+        "fill (ms)",
+        "vs PR2",
+        "gains (ms)",
+        "vs PR2",
+        "assert (ms)",
+        "vs PR2",
+        "deterministic",
+    ]);
+    for p in &report.hotpaths {
+        table.row([
+            p.hotpaths.candidates.to_string(),
+            format!("{:.3}", p.hotpaths.sampling_fill_ms),
+            format!("{:.2}x", p.speedup_fill),
+            format!("{:.3}", p.hotpaths.information_gains_ms),
+            format!("{:.2}x", p.speedup_gains),
+            format!("{:.3}", p.hotpaths.assert_candidate_ms),
+            format!("{:.2}x", p.speedup_assert),
+            p.hotpaths.deterministic.to_string(),
+        ]);
+    }
+    println!("Hot paths vs the PR-2 optimized baseline");
+    table.print();
+
+    let w = &report.what_if;
+    println!(
+        "\nBatched what-if ({} queries, {} candidates, {} shards): \
+         per-candidate {:.3} ms, batched {:.3} ms ({:.1}x), max |delta| {:.2e}",
+        w.queries,
+        w.candidates,
+        w.components,
+        w.per_candidate_ms,
+        w.batched_ms,
+        w.speedup_batch,
+        w.max_abs_delta,
+    );
+
+    let mut table = Table::new([
+        "groups",
+        "|C|",
+        "shards",
+        "largest",
+        "build (ms)",
+        "assert (ms)",
+        "gains (ms)",
+        "gain scan (us/cand)",
+        "deterministic",
+    ]);
+    for p in &report.federation {
+        table.row([
+            p.groups.to_string(),
+            p.candidates.to_string(),
+            p.components.to_string(),
+            p.largest_component.to_string(),
+            format!("{:.3}", p.build_ms),
+            format!("{:.4}", p.assert_ms),
+            format!("{:.3}", p.gains_ms),
+            format!("{:.3}", p.gain_scan_per_candidate_us),
+            p.deterministic.to_string(),
+        ]);
+    }
+    println!("\nFederation scale (sharded; per-assert and per-gain-scan track component size)");
+    table.print();
+
+    for p in &report.hotpaths {
+        assert!(p.hotpaths.deterministic, "sampling fill must be bit-deterministic per seed");
+    }
+    assert!(report.what_if.equivalent, "what_if_batch must match what_if to 1e-12");
+    for p in &report.federation {
+        assert!(p.deterministic, "sharded posteriors must be bit-deterministic per seed");
+    }
+
+    if let Ok(path) = save_json(&format!("speed_{label}"), &report) {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -17,6 +17,7 @@
 //! | `exp_persist` | durability: snapshot save/load and WAL replay costs |
 //! | `exp_evolve` | incremental maintenance vs full rebuild on an evolving federation |
 //! | `exp_service` | concurrent multi-worker reconciliation: fork/commit costs, worker × error × redundancy grid |
+//! | `exp_speed` | single-node speed ceiling: hot paths vs the PR-2 baseline, batched what-if, federation scale |
 //!
 //! Binaries print the paper's rows/series to stdout and write
 //! machine-readable JSON to `results/`. Criterion micro-benchmarks (incl.
@@ -31,6 +32,7 @@ pub mod runner;
 pub mod service;
 pub mod setup;
 pub mod sharding;
+pub mod speed;
 
 pub use grid::EffortGrid;
 pub use report::{save_json, Table};

@@ -181,6 +181,7 @@ pub fn measure_throughput(iters: usize) -> Vec<ThroughputPoint> {
                 redundancy: workers,
                 aggregation: Aggregation::QualityWeighted,
                 threads: workers,
+                scheduler: smn_service::Scheduler::Pool,
                 seed: 17,
                 goal: ReconciliationGoal::Budget(48),
             };

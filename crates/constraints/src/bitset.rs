@@ -6,11 +6,51 @@
 //! is deliberately minimal — exactly the operations the stack needs — and
 //! lives here so every crate above `smn-constraints` shares one
 //! representation.
+//!
+//! All counting/testing/copying loops delegate to the manually unrolled
+//! wide kernels in [`crate::kernels`]; the masked iterators skip all-zero
+//! 256-bit blocks in a single comparison. Bits beyond `len` are kept zero
+//! as an invariant (`trim`), which is what lets the kernels popcount raw
+//! words without tail masking.
 
+use crate::kernels;
 use serde::{Deserialize, Serialize};
 use smn_schema::CandidateId;
 
 const WORD_BITS: usize = 64;
+
+/// Iterates the set bits of the virtual word sequence
+/// `word_at(0) .. word_at(n_words - 1)` in ascending order, skipping
+/// all-zero [`kernels::LANES`]-word blocks with one OR + compare — the
+/// wide form of masked iteration shared by `iter`, `iter_and`, `iter_xor`
+/// and `iter_unset`.
+fn iter_words(n_words: usize, word_at: impl Fn(usize) -> u64) -> impl Iterator<Item = CandidateId> {
+    let mut wi = 0usize;
+    let mut cur = 0u64;
+    let mut base = 0usize;
+    std::iter::from_fn(move || loop {
+        if cur != 0 {
+            let b = cur.trailing_zeros() as usize;
+            cur &= cur - 1;
+            return Some(CandidateId::from_index(base + b));
+        }
+        if wi >= n_words {
+            return None;
+        }
+        // probe only at block boundaries: dense sets then pay one 4-word
+        // OR per block instead of one per word
+        if wi % kernels::LANES == 0
+            && wi + kernels::LANES <= n_words
+            && word_at(wi) | word_at(wi + 1) | word_at(wi + 2) | word_at(wi + 3) == 0
+        {
+            wi += kernels::LANES;
+            continue;
+        }
+        cur = word_at(wi);
+        base = wi * WORD_BITS;
+        wi += 1;
+    })
+}
 
 /// Fixed-capacity bitset indexed by [`CandidateId`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -95,13 +135,13 @@ impl BitSet {
     /// Number of set bits (`|I|`).
     #[inline]
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::count(&self.words)
     }
 
     /// Whether no bit is set.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        kernels::is_zero(&self.words)
     }
 
     /// Clears all bits, keeping capacity.
@@ -116,7 +156,7 @@ impl BitSet {
     #[inline]
     pub fn intersection_count(&self, other: &BitSet) -> usize {
         debug_assert_eq!(self.len, other.len);
-        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
+        kernels::and_count(&self.words, &other.words)
     }
 
     /// Whether the two sets share at least one element — an early-exit
@@ -125,7 +165,7 @@ impl BitSet {
     #[inline]
     pub fn intersects(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.len, other.len);
-        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+        kernels::intersects(&self.words, &other.words)
     }
 
     /// `|self \ other|` without materializing the difference — one
@@ -133,7 +173,7 @@ impl BitSet {
     #[inline]
     pub fn and_not_count(&self, other: &BitSet) -> usize {
         debug_assert_eq!(self.len, other.len);
-        self.words.iter().zip(&other.words).map(|(a, b)| (a & !b).count_ones() as usize).sum()
+        kernels::and_not_count(&self.words, &other.words)
     }
 
     /// Copies `other` into `self` without reallocating (capacities must
@@ -142,41 +182,21 @@ impl BitSet {
     #[inline]
     pub fn copy_from(&mut self, other: &BitSet) {
         debug_assert_eq!(self.len, other.len);
-        self.words.copy_from_slice(&other.words);
+        kernels::copy(&mut self.words, &other.words);
     }
 
     /// Iterates over the ids in `self ∩ mask` without materializing the
     /// intersection (masked word iteration).
     pub fn iter_and<'a>(&'a self, mask: &'a BitSet) -> impl Iterator<Item = CandidateId> + 'a {
         debug_assert_eq!(self.len, mask.len);
-        self.words.iter().zip(&mask.words).enumerate().flat_map(|(wi, (&a, &b))| {
-            let mut w = a & b;
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    return None;
-                }
-                let b = w.trailing_zeros() as usize;
-                w &= w - 1;
-                Some(CandidateId::from_index(wi * WORD_BITS + b))
-            })
-        })
+        iter_words(self.words.len(), move |wi| self.words[wi] & mask.words[wi])
     }
 
     /// Iterates over the ids in `self Δ other` (symmetric difference) —
     /// the changed candidates between two instance snapshots.
     pub fn iter_xor<'a>(&'a self, other: &'a BitSet) -> impl Iterator<Item = CandidateId> + 'a {
         debug_assert_eq!(self.len, other.len);
-        self.words.iter().zip(&other.words).enumerate().flat_map(|(wi, (&a, &b))| {
-            let mut w = a ^ b;
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    return None;
-                }
-                let b = w.trailing_zeros() as usize;
-                w &= w - 1;
-                Some(CandidateId::from_index(wi * WORD_BITS + b))
-            })
-        })
+        iter_words(self.words.len(), move |wi| self.words[wi] ^ other.words[wi])
     }
 
     /// Iterates over the ids in `0..capacity` that are *not* set — the
@@ -184,20 +204,12 @@ impl BitSet {
     /// and blocked candidates.
     pub fn iter_unset(&self) -> impl Iterator<Item = CandidateId> + '_ {
         let len = self.len;
-        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
-            let mut w = !word;
+        iter_words(self.words.len(), move |wi| {
+            let mut w = !self.words[wi];
             if (wi + 1) * WORD_BITS > len {
-                let extra = (wi + 1) * WORD_BITS - len;
-                w &= u64::MAX >> extra;
+                w &= u64::MAX >> ((wi + 1) * WORD_BITS - len);
             }
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    return None;
-                }
-                let b = w.trailing_zeros() as usize;
-                w &= w - 1;
-                Some(CandidateId::from_index(wi * WORD_BITS + b))
-            })
+            w
         })
     }
 
@@ -206,49 +218,35 @@ impl BitSet {
     #[inline]
     pub fn symmetric_difference_count(&self, other: &BitSet) -> usize {
         debug_assert_eq!(self.len, other.len);
-        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
+        kernels::xor_count(&self.words, &other.words)
     }
 
     /// Whether `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.len, other.len);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        kernels::is_subset(&self.words, &other.words)
     }
 
     /// Whether the two sets share no element.
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
-        self.intersection_count(other) == 0
+        !self.intersects(other)
     }
 
     /// In-place union.
     pub fn union_with(&mut self, other: &BitSet) {
         debug_assert_eq!(self.len, other.len);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        kernels::or_inplace(&mut self.words, &other.words);
     }
 
     /// In-place difference (`self \ other`).
     pub fn difference_with(&mut self, other: &BitSet) {
         debug_assert_eq!(self.len, other.len);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
+        kernels::and_not_inplace(&mut self.words, &other.words);
     }
 
     /// Iterates over set bits in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = CandidateId> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            let mut w = word;
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    return None;
-                }
-                let b = w.trailing_zeros() as usize;
-                w &= w - 1;
-                Some(CandidateId::from_index(wi * WORD_BITS + b))
-            })
-        })
+        iter_words(self.words.len(), move |wi| self.words[wi])
     }
 
     /// Collects the set bits into a vector.

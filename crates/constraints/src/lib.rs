@@ -36,6 +36,7 @@ pub mod bitset;
 pub mod closure;
 pub mod components;
 pub mod index;
+pub mod kernels;
 pub mod violation;
 
 pub use bitset::BitSet;

@@ -201,3 +201,101 @@ proptest! {
         prop_assert!(d.is_disjoint(&b));
     }
 }
+
+/// Capacities straddling every kernel boundary: word edges (63/64/65),
+/// wide-lane edges (255/256/257 bits = 4-word blocks) and their
+/// neighbourhoods, so the tail paths of the unrolled kernels and the
+/// block-skipping iterators are all exercised.
+fn edge_lengths() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        1usize..=5,
+        61usize..=67,
+        125usize..=131,
+        189usize..=195,
+        253usize..=259,
+        317usize..=323,
+        509usize..=515,
+    ]
+}
+
+/// A random subset of `0..n` drawn bit by bit (unlike `subset_from_mask`,
+/// which aliases ids mod 64 and so cannot distinguish tail-word bugs).
+fn dense_subset(n: usize) -> impl Strategy<Value = BitSet> {
+    prop::collection::vec(any::<bool>(), n..n + 1).prop_map(move |bits| {
+        BitSet::from_ids(
+            n,
+            bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| CandidateId::from_index(i)),
+        )
+    })
+}
+
+proptest! {
+    /// No kernel ever counts or yields a bit at or past `len`, across
+    /// capacities that are not multiples of 64 or of the 256-bit lane.
+    #[test]
+    fn tail_bits_never_leak(sets in edge_lengths().prop_flat_map(|n| (dense_subset(n), dense_subset(n)))) {
+        let (a, b) = sets;
+        let n = a.capacity();
+        let members: Vec<usize> = a.iter().map(|c| c.index()).collect();
+        let others: Vec<usize> = b.iter().map(|c| c.index()).collect();
+        prop_assert!(members.iter().all(|&i| i < n));
+        prop_assert_eq!(a.count(), members.len());
+        prop_assert_eq!(BitSet::full(n).count(), n);
+
+        // and_not_count against a per-bit reference
+        let expect = members.iter().filter(|i| !others.contains(i)).count();
+        prop_assert_eq!(a.and_not_count(&b), expect);
+        prop_assert_eq!(a.intersection_count(&b), members.iter().filter(|i| others.contains(i)).count());
+        prop_assert_eq!(a.intersects(&b), members.iter().any(|i| others.contains(i)));
+
+        // iter_unset is exactly the complement within 0..n
+        let unset: Vec<usize> = a.iter_unset().map(|c| c.index()).collect();
+        prop_assert!(unset.iter().all(|&i| i < n));
+        prop_assert_eq!(unset.len(), n - members.len());
+        prop_assert!(unset.iter().all(|i| !members.contains(i)));
+    }
+
+    /// `grow` keeps membership, starts new bits unset, and the grown tail
+    /// participates correctly in counting kernels.
+    #[test]
+    fn grow_preserves_members_and_clears_new_tail(
+        a in edge_lengths().prop_flat_map(dense_subset),
+        extra in 1usize..70,
+    ) {
+        let n = a.capacity();
+        let before: Vec<_> = a.to_vec();
+        let mut g = a.clone();
+        g.grow(n + extra);
+        prop_assert_eq!(g.capacity(), n + extra);
+        prop_assert_eq!(g.to_vec(), before.clone());
+        prop_assert_eq!(g.count(), before.len());
+        prop_assert_eq!(g.iter_unset().count(), n + extra - before.len());
+        let top = CandidateId::from_index(n + extra - 1);
+        prop_assert!(!g.contains(top));
+        g.insert(top);
+        prop_assert_eq!(g.count(), before.len() + 1);
+    }
+
+    /// `collapse` at any position equals the id-remapped rebuild, at
+    /// capacities that straddle word and lane boundaries.
+    #[test]
+    fn collapse_matches_rebuild_at_edge_lengths(
+        case in edge_lengths().prop_flat_map(|n| (dense_subset(n), 0..n)),
+    ) {
+        let (a, victim) = case;
+        let n = a.capacity();
+        let members: Vec<usize> = a.iter().map(|c| c.index()).collect();
+        let mut s = a.clone();
+        let was = s.collapse(CandidateId::from_index(victim));
+        prop_assert_eq!(was, members.contains(&victim));
+        prop_assert_eq!(s.capacity(), n - 1);
+        let expect: Vec<CandidateId> = members
+            .iter()
+            .filter(|&&m| m != victim)
+            .map(|&m| CandidateId::from_index(if m > victim { m - 1 } else { m }))
+            .collect();
+        prop_assert_eq!(s.to_vec(), expect);
+        // the shrunk set still counts cleanly (no stale tail bits)
+        prop_assert_eq!(s.count() + s.iter_unset().count(), n - 1);
+    }
+}

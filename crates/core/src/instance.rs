@@ -42,6 +42,8 @@ pub struct Scratch {
     argmax: Vec<CandidateId>,
     /// Candidates removed by the last [`repair_in`] call.
     removed: Vec<CandidateId>,
+    /// Candidates inserted by the last [`maximize_in`] call.
+    inserted: Vec<CandidateId>,
     /// Per-candidate blocker counts of the tracked instance.
     frontier_count: Vec<u32>,
     /// `{c | frontier_count[c] > 0}` as a bitset.
@@ -61,6 +63,7 @@ impl Scratch {
             touched: Vec::new(),
             argmax: Vec::new(),
             removed: Vec::new(),
+            inserted: Vec::new(),
             frontier_count: vec![0; n],
             frontier_blocked: BitSet::new(n),
             frontier_valid: false,
@@ -70,6 +73,12 @@ impl Scratch {
     /// Candidates removed by the last [`repair_in`] call, in removal order.
     pub fn removed(&self) -> &[CandidateId] {
         &self.removed
+    }
+
+    /// Candidates inserted by the last [`maximize_in`] call, in insertion
+    /// order.
+    pub fn inserted(&self) -> &[CandidateId] {
+        &self.inserted
     }
 
     /// Declares the tracked frontier stale: the next [`maximize_in`] call
@@ -118,6 +127,38 @@ impl Scratch {
                 self.frontier_bump_down(a);
             }
         }
+    }
+
+    /// Rolls `instance` and the tracked frontier back over one walk step's
+    /// mutation trail — the exact inverse of "insert `added`, then the
+    /// last [`repair_in`]'s removals, then the last [`maximize_in`]'s
+    /// insertions". Undoing newest-first reproduces, at each inverse
+    /// operation, precisely the membership state its forward twin saw, so
+    /// the counter updates cancel exactly and the frontier stays valid —
+    /// at O(trail × conflict degree) cost instead of the O(|I| × degree)
+    /// full rebuild an invalidated frontier pays on the next maximize.
+    pub fn unwind_step(
+        &mut self,
+        index: &ConflictIndex,
+        instance: &mut BitSet,
+        added: CandidateId,
+    ) {
+        let inserted = std::mem::take(&mut self.inserted);
+        for &c in inserted.iter().rev() {
+            instance.remove(c);
+            self.note_remove(index, instance, c);
+        }
+        self.inserted = inserted;
+        self.inserted.clear();
+        let removed = std::mem::take(&mut self.removed);
+        for &c in removed.iter().rev() {
+            instance.insert(c);
+            self.note_insert(index, instance, c);
+        }
+        self.removed = removed;
+        self.removed.clear();
+        instance.remove(added);
+        self.note_remove(index, instance, added);
     }
 
     /// Recomputes the frontier for `instance` from the posting lists:
@@ -321,10 +362,12 @@ pub fn maximize_in(
     s.order.clear();
     s.order.extend(s.blocked.iter_unset());
     s.order.shuffle(rng);
+    s.inserted.clear();
     for i in 0..s.order.len() {
         let c = s.order[i];
         if s.frontier_count[c.index()] == 0 {
             instance.insert(c);
+            s.inserted.push(c);
             s.note_insert(index, instance, c);
         }
     }

@@ -47,6 +47,7 @@ pub mod metrics;
 pub mod network;
 pub mod oracle;
 pub mod persist;
+pub mod pool;
 pub mod probability;
 pub mod reconcile;
 pub mod sampling;

@@ -487,6 +487,83 @@ impl ProbabilisticNetwork {
         }
     }
 
+    /// Batched what-if analysis: the post-assertion uncertainties of many
+    /// hypothetical assertions at once, aligned with `queries` — each
+    /// value equals the corresponding [`what_if`](Self::what_if) call (to
+    /// floating-point association, within `1e-12` on realistic sizes).
+    ///
+    /// `what_if` prices every query at a full network fork plus a global
+    /// entropy pass — `O(|C|)` per query even when the assertion touches a
+    /// ten-candidate component. The batch path exploits the component
+    /// factorization instead: entropy is additive over shards, so a query
+    /// on candidate `c` re-evaluates only `c`'s own shard,
+    /// `H' = H − H_k + H'_k`, with the current entropy computed once for
+    /// the whole batch and each touched shard's standing entropy `H_k`
+    /// computed once and shared across every query of that shard. The
+    /// monolithic representation has no locality to exploit; it still
+    /// shares one scratch probability buffer across all queries instead of
+    /// forking the surrounding network per candidate.
+    ///
+    /// Assertions the model would reject (contradictions, inconsistent
+    /// approvals) and same-way re-assertions leave a real model unchanged
+    /// and evaluate to the current entropy, exactly as in `what_if`.
+    pub fn what_if_batch(&self, queries: &[(CandidateId, bool)]) -> Vec<f64> {
+        let h_current = self.entropy();
+        match &self.repr {
+            Repr::Monolithic(store) => {
+                let mut scratch = Vec::new();
+                queries
+                    .iter()
+                    .map(|&(c, approved)| {
+                        if self.assertion_is_inert(c, approved) {
+                            return h_current;
+                        }
+                        let mut feedback = self.feedback.clone();
+                        feedback.assert(Assertion { candidate: c, approved });
+                        let mut branch = store.clone();
+                        branch.maintain(&self.network, &feedback, c, approved);
+                        recompute_monolithic(&branch, &feedback, &mut scratch);
+                        entropy_of(&scratch)
+                    })
+                    .collect()
+            }
+            Repr::Sharded(set) => {
+                let mut out = vec![0.0; queries.len()];
+                // bucket query positions by owning shard so the standing
+                // per-shard entropy H_k is computed once per shard
+                let mut by_shard: HashMap<usize, Vec<usize>> = HashMap::new();
+                for (pos, &(c, approved)) in queries.iter().enumerate() {
+                    if self.assertion_is_inert(c, approved) {
+                        out[pos] = h_current;
+                    } else {
+                        by_shard.entry(set.components.component_of(c)).or_default().push(pos);
+                    }
+                }
+                for (k, positions) in by_shard {
+                    let members = set.components.members(k);
+                    let h_k: f64 =
+                        members.iter().map(|&g| binary_entropy(self.probs[g.index()])).sum();
+                    for pos in positions {
+                        let (c, approved) = queries[pos];
+                        let lc = CandidateId::from_index(set.components.local_index(c));
+                        out[pos] = (h_current - h_k + set.entropy_after(k, lc, approved)).max(0.0);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Whether integrating `(candidate, approved)` would leave the model
+    /// untouched: a re-assertion (same way: successful no-op; other way:
+    /// rejected as contradictory) or an approval that conflicts with
+    /// earlier approvals. Mirrors the guard clauses of
+    /// [`assert_candidate`](Self::assert_candidate).
+    fn assertion_is_inert(&self, candidate: CandidateId, approved: bool) -> bool {
+        self.feedback.is_asserted(candidate)
+            || (approved && !self.approval_is_consistent(candidate))
+    }
+
     /// Which shard owns `c`: its conflict-component id in the sharded
     /// representation, `0` in the monolithic one (a single store owns
     /// everything). The service-layer dispatcher uses this to spread
@@ -681,7 +758,30 @@ impl ProbabilisticNetwork {
         match &self.repr {
             Repr::Monolithic(store) => {
                 let locals: Vec<usize> = pool.iter().map(|c| c.index()).collect();
-                gains_within(store.matrix(), &self.probs, &locals)
+                // every candidate's gain is a pure function of (matrix,
+                // probs), so contiguous pool chunks evaluate independently
+                // on the worker pool and concatenate in chunk order — the
+                // values are identical to the sequential scan no matter how
+                // the chunks are scheduled. The per-chunk denominator
+                // tables are rebuilt from the same closed form, so they
+                // cost O(S) each without affecting any value.
+                let threads = crate::pool::global().threads();
+                let work = locals.len() * store.matrix().candidate_count();
+                if threads > 1 && locals.len() >= 2 && work > 1 << 16 {
+                    let chunk = locals.len().div_ceil(threads);
+                    let matrix = store.matrix();
+                    let probs = &self.probs;
+                    let tasks: Vec<crate::pool::Task<'_, Vec<f64>>> = locals
+                        .chunks(chunk)
+                        .map(|part| {
+                            Box::new(move || gains_within(matrix, probs, part))
+                                as crate::pool::Task<'_, _>
+                        })
+                        .collect();
+                    crate::pool::global().run(tasks).into_iter().flatten().collect()
+                } else {
+                    gains_within(store.matrix(), &self.probs, &locals)
+                }
             }
             Repr::Sharded(set) => {
                 let mut out = vec![0.0; pool.len()];
@@ -692,13 +792,35 @@ impl ProbabilisticNetwork {
                     let (k, lc) = set.locate(c);
                     by_shard.entry(k).or_default().push((pos, lc.index()));
                 }
-                for (k, entries) in by_shard {
+                let groups: Vec<(usize, Vec<(usize, usize)>)> = by_shard.into_iter().collect();
+                let shard_gains = |&(k, ref entries): &(usize, Vec<(usize, usize)>)| -> Vec<f64> {
                     let shard = &set.shards[k];
                     let members = set.components.members(k);
                     let local_probs: Vec<f64> =
                         members.iter().map(|&g| self.probs[g.index()]).collect();
                     let locals: Vec<usize> = entries.iter().map(|&(_, l)| l).collect();
-                    let gains = gains_within(shard.store.matrix(), &local_probs, &locals);
+                    gains_within(shard.store.matrix(), &local_probs, &locals)
+                };
+                // each shard's scan depends only on its own matrix, so big
+                // multi-shard scans fan out across the worker pool — the
+                // per-shard gain vectors are identical either way and each
+                // lands in its own `out` positions, so the result does not
+                // depend on scheduling; small scans stay on the caller to
+                // dodge the handoff cost
+                let work: usize =
+                    groups.iter().map(|(k, e)| e.len() * set.components.members(*k).len()).sum();
+                let per_group: Vec<Vec<f64>> =
+                    if groups.len() > 1 && work > 1 << 14 && crate::pool::global().threads() > 1 {
+                        let shard_gains = &shard_gains;
+                        let tasks: Vec<crate::pool::Task<'_, Vec<f64>>> = groups
+                            .iter()
+                            .map(|g| Box::new(move || shard_gains(g)) as crate::pool::Task<'_, _>)
+                            .collect();
+                        crate::pool::global().run(tasks)
+                    } else {
+                        groups.iter().map(shard_gains).collect()
+                    };
+                for ((_, entries), gains) in groups.iter().zip(per_group) {
                     for (&(pos, _), g) in entries.iter().zip(gains) {
                         out[pos] = g;
                     }
@@ -844,29 +966,90 @@ pub(crate) fn gains_within(matrix: &SampleMatrix, probs: &[f64], pool: &[usize])
             tables[w] = Some((0..=w).map(|k| binary_entropy(k as f64 / w as f64)).collect());
         }
     };
-    pool.iter()
-        .map(|&ci| {
+    // Process pool candidates in blocks: the inner pass streams every
+    // uncertain row through the cache once per *block* instead of once per
+    // candidate, which cuts the scan's memory traffic by the block width.
+    //
+    // Per (row, candidate) pair the scan does NOT look the branch
+    // entropies up — it histograms the split masses instead (`plus` and
+    // `t_x − plus` land in two small per-candidate count arrays, L1-hot
+    // across the whole block) and contracts each histogram against its
+    // entropy table once per candidate afterwards. The entropy of a
+    // branch only depends on how *often* each mass occurs, not on which
+    // row produced it, so the contraction computes the same sum with
+    // O(S) table reads per candidate instead of O(|uncertain|) gathers —
+    // the gathers were the bottleneck of the whole scan. Each candidate's
+    // value is a pure function of `(matrix, probs, ci)` (counts contract
+    // in ascending-mass order), so results are independent of pool order,
+    // blocking and scheduling.
+    const BLOCK: usize = 8;
+    let mut out = vec![0.0; pool.len()];
+    let mut active: Vec<usize> = Vec::with_capacity(BLOCK); // positions into `pool`
+                                                            // histogram arena: per active slot, `t_c + 1` plus-mass counters
+                                                            // followed by `s_total − t_c + 1` minus-mass counters
+    let mut hist: Vec<u32> = Vec::new();
+    let slot_span = s_total + 2;
+    for (chunk_idx, chunk) in pool.chunks(BLOCK).enumerate() {
+        active.clear();
+        for (j, &ci) in chunk.iter().enumerate() {
             let w_plus = totals[ci];
-            let w_minus = s_total - w_plus;
-            if w_plus == 0 || w_minus == 0 {
-                return 0.0; // certain candidate: one branch is empty
+            // certain candidate: one branch is empty, the gain is 0
+            if w_plus > 0 && w_plus < s_total {
+                table(w_plus, &mut entropy_tables);
+                table(s_total - w_plus, &mut entropy_tables);
+                active.push(chunk_idx * BLOCK + j);
             }
-            table(w_plus, &mut entropy_tables);
-            table(w_minus, &mut entropy_tables);
-            let t_plus = entropy_tables[w_plus].as_deref().expect("built");
-            let t_minus = entropy_tables[w_minus].as_deref().expect("built");
-            let row_c = matrix.row(CandidateId::from_index(ci));
-            let (mut h_plus, mut h_minus) = (0.0, 0.0);
-            for &x in &uncertain {
-                let plus = row_and_count(matrix.row(CandidateId::from_index(x)), row_c);
-                let minus = totals[x] - plus;
-                h_plus += t_plus[plus];
-                h_minus += t_minus[minus];
+        }
+        if active.is_empty() {
+            continue;
+        }
+        // hoist per-candidate rows, totals and arena offsets out of the
+        // row loop — the inner pass must be loads, an AND+popcount and two
+        // counter increments only
+        let slots: Vec<(&[u64], usize, usize)> = active
+            .iter()
+            .enumerate()
+            .map(|(slot, &pos)| {
+                let ci = pool[pos];
+                (matrix.row(CandidateId::from_index(ci)), totals[ci], slot * slot_span)
+            })
+            .collect();
+        hist.clear();
+        hist.resize(active.len() * slot_span, 0);
+        for &x in &uncertain {
+            let row_x = matrix.row(CandidateId::from_index(x));
+            let t_x = totals[x];
+            for &(row_c, t_c, base) in &slots {
+                let plus = row_and_count(row_x, row_c);
+                hist[base + plus] += 1;
+                // `plus ≥ t_x + t_c − s_total`, so `t_x − plus` stays
+                // within the minus-branch sub-array
+                hist[base + t_c + 1 + (t_x - plus)] += 1;
+            }
+        }
+        for (slot, &pos) in active.iter().enumerate() {
+            let ci = pool[pos];
+            let t_c = totals[ci];
+            let base = slot * slot_span;
+            let t_plus = entropy_tables[t_c].as_deref().expect("built");
+            let t_minus = entropy_tables[s_total - t_c].as_deref().expect("built");
+            let mut h_plus = 0.0f64;
+            for (k, &cnt) in hist[base..base + t_c + 1].iter().enumerate() {
+                if cnt != 0 {
+                    h_plus += cnt as f64 * t_plus[k];
+                }
+            }
+            let mut h_minus = 0.0f64;
+            for (k, &cnt) in hist[base + t_c + 1..base + slot_span].iter().enumerate() {
+                if cnt != 0 {
+                    h_minus += cnt as f64 * t_minus[k];
+                }
             }
             let p = probs[ci];
-            (h_total - (p * h_plus + (1.0 - p) * h_minus)).max(0.0)
-        })
-        .collect()
+            out[pos] = (h_total - (p * h_plus + (1.0 - p) * h_minus)).max(0.0);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1337,6 +1520,41 @@ mod tests {
         // flipping the approved c2 is contradictory: the model would
         // reject it, so the what-if entropy is the standing uncertainty
         assert_eq!(base.what_if(CandidateId(2), false), h);
+    }
+
+    #[test]
+    fn what_if_batch_matches_per_candidate_what_if() {
+        for mut base in [pn(), sharded_pn()] {
+            // stand some feedback up so the batch contains every inert
+            // flavour: same-way re-assertion, contradiction, inconsistent
+            // approval — alongside live queries
+            base.assert_candidate(Assertion { candidate: CandidateId(1), approved: true }).unwrap();
+            let snapshot = base.probabilities().to_vec();
+            let queries: Vec<(CandidateId, bool)> =
+                (0..5).map(CandidateId::from_index).flat_map(|c| [(c, true), (c, false)]).collect();
+            let batch = base.what_if_batch(&queries);
+            for (&(c, approved), &got) in queries.iter().zip(&batch) {
+                let expected = base.what_if(c, approved);
+                assert!(
+                    (got - expected).abs() < 1e-12,
+                    "what_if_batch({c}, {approved}) = {got} vs what_if = {expected}"
+                );
+            }
+            assert_eq!(base.probabilities(), &snapshot[..], "what_if_batch must not mutate");
+        }
+    }
+
+    #[test]
+    fn what_if_batch_agrees_across_representations_on_exhausted_stores() {
+        // fig1's components are tiny, so both representations hold the
+        // exact posterior; the hypothetical entropies must agree too
+        let mono = pn();
+        let shard = sharded_pn();
+        let queries: Vec<(CandidateId, bool)> =
+            (0..5).map(CandidateId::from_index).flat_map(|c| [(c, true), (c, false)]).collect();
+        for (m, s) in mono.what_if_batch(&queries).iter().zip(shard.what_if_batch(&queries)) {
+            assert!((m - s).abs() < 1e-12, "monolithic {m} vs sharded {s}");
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@ use crate::instance::{maximize_in, repair_in, Scratch};
 use crate::network::MatchingNetwork;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use smn_constraints::{BitSet, ConflictIndex};
+use smn_constraints::{kernels, BitSet, ConflictIndex};
 use smn_schema::CandidateId;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -85,33 +85,112 @@ impl Default for SamplerConfig {
 /// information gain with word-parallel operations.
 #[derive(Debug, Clone)]
 pub struct SampleMatrix {
-    /// `rows[c]` = membership bits of candidate `c` over sample columns.
-    rows: Vec<Vec<u64>>,
+    /// Row-major membership words: row `c` occupies
+    /// `words[c·stride .. c·stride + cols.div_ceil(64)]`, the rest of each
+    /// stride is zero padding. One contiguous allocation keeps the
+    /// copy-on-write clone of a store a single `memcpy` instead of one
+    /// heap allocation per candidate row, and row scans pointer-free.
+    words: Vec<u64>,
+    /// Words allocated per row (doubles as columns grow).
+    stride: usize,
+    /// Number of candidate rows.
+    n: usize,
     /// Number of sample columns.
     cols: usize,
 }
 
 impl SampleMatrix {
     fn new(n: usize) -> Self {
-        Self { rows: vec![Vec::new(); n], cols: 0 }
+        Self { words: Vec::new(), stride: 0, n, cols: 0 }
+    }
+
+    /// Words of each row currently holding live columns.
+    #[inline]
+    fn used_words(&self) -> usize {
+        self.cols.div_ceil(64)
     }
 
     fn push_sample(&mut self, inst: &BitSet) {
         let (w, b) = (self.cols / 64, self.cols % 64);
-        if b == 0 {
-            for r in &mut self.rows {
-                r.push(0);
+        if b == 0 && w == self.stride {
+            // grow the per-row capacity geometrically and re-stride: one
+            // O(n·stride) copy per doubling keeps pushes amortized O(n/64)
+            let new_stride = (self.stride * 2).max(1);
+            let mut words = vec![0u64; self.n * new_stride];
+            for c in 0..self.n {
+                words[c * new_stride..c * new_stride + self.stride]
+                    .copy_from_slice(&self.words[c * self.stride..(c + 1) * self.stride]);
             }
+            self.words = words;
+            self.stride = new_stride;
         }
         for c in inst.iter() {
-            self.rows[c.index()][w] |= 1 << b;
+            self.words[c.index() * self.stride + w] |= 1 << b;
         }
         self.cols += 1;
     }
 
+    /// Appends the given instances as new columns in one batched pass:
+    /// each 64-sample group is turned into per-candidate column words by a
+    /// 64×64 bit transpose and OR-merged at the current column offset.
+    ///
+    /// Equivalent to `push_sample` per instance but touches each candidate
+    /// row O(groups) times instead of once per set bit — the per-bit
+    /// scatter of `push_sample` (one random-access RMW per instance member)
+    /// is what dominated sampling fills once instances grew past a few
+    /// hundred members.
+    fn append_samples(&mut self, new: &[BitSet]) {
+        if new.is_empty() {
+            return;
+        }
+        let total = self.cols + new.len();
+        let needed = total.div_ceil(64);
+        if needed > self.stride {
+            let mut new_stride = self.stride.max(1);
+            while new_stride < needed {
+                new_stride *= 2;
+            }
+            let mut words = vec![0u64; self.n * new_stride];
+            for c in 0..self.n {
+                words[c * new_stride..c * new_stride + self.stride]
+                    .copy_from_slice(&self.words[c * self.stride..(c + 1) * self.stride]);
+            }
+            self.words = words;
+            self.stride = new_stride;
+        }
+        let row_words = self.n.div_ceil(64);
+        let mut block = [0u64; 64];
+        for (g, chunk) in new.chunks(64).enumerate() {
+            let p = self.cols + g * 64;
+            let (q, r) = (p / 64, p % 64);
+            for wi in 0..row_words {
+                for (j, inst) in chunk.iter().enumerate() {
+                    block[j] = inst.words()[wi];
+                }
+                block[chunk.len()..].fill(0);
+                kernels::transpose64(&mut block);
+                let lanes = (self.n - wi * 64).min(64);
+                for (b, &v) in block[..lanes].iter().enumerate() {
+                    if v == 0 {
+                        continue;
+                    }
+                    let row = (wi * 64 + b) * self.stride;
+                    self.words[row + q] |= v << r;
+                    if r != 0 {
+                        let hi = v >> (64 - r);
+                        if hi != 0 {
+                            self.words[row + q + 1] |= hi;
+                        }
+                    }
+                }
+            }
+        }
+        self.cols = total;
+    }
+
     /// Number of candidates (rows).
     pub fn candidate_count(&self) -> usize {
-        self.rows.len()
+        self.n
     }
 
     /// Number of samples (columns).
@@ -123,19 +202,20 @@ impl SampleMatrix {
     /// [`sample_count`](SampleMatrix::sample_count) are zero.
     #[inline]
     pub fn row(&self, c: CandidateId) -> &[u64] {
-        &self.rows[c.index()]
+        let start = c.index() * self.stride;
+        &self.words[start..start + self.used_words()]
     }
 
-    /// In how many samples `c` appears (one popcount pass).
+    /// In how many samples `c` appears (one wide popcount pass).
     #[inline]
     pub fn membership_count(&self, c: CandidateId) -> usize {
-        self.rows[c.index()].iter().map(|w| w.count_ones() as usize).sum()
+        kernels::count(self.row(c))
     }
 
     /// In how many samples `a` and `b` co-occur (one AND+popcount pass).
     #[inline]
     pub fn co_count(&self, a: CandidateId, b: CandidateId) -> usize {
-        row_and_count(&self.rows[a.index()], &self.rows[b.index()])
+        row_and_count(self.row(a), self.row(b))
     }
 
     /// Keeps only the columns whose bit is set in `mask` (one word per 64
@@ -147,36 +227,98 @@ impl SampleMatrix {
     /// word operations) instead of re-inserting every surviving sample
     /// column by column (scattered single-bit writes across all rows).
     fn filter_columns(&mut self, mask: &[u64]) {
-        debug_assert_eq!(mask.len(), self.cols.div_ceil(64));
-        let keep: usize = mask.iter().map(|w| w.count_ones() as usize).sum();
-        let kept_words = keep.div_ceil(64);
-        for row in &mut self.rows {
-            let mut out = 0u64;
-            let mut filled: u32 = 0;
-            let mut write = 0usize;
-            for i in 0..row.len() {
-                let v = pext64(row[i], mask[i]);
-                let k = mask[i].count_ones();
-                out |= v << filled;
-                if filled + k >= 64 {
-                    // output words never outrun input words, so `write ≤ i`
-                    // at the time of reading `row[i]` — in-place is safe
-                    row[write] = out;
-                    write += 1;
-                    let consumed = 64 - filled;
-                    out = if consumed < 64 { v >> consumed } else { 0 };
-                    filled = filled + k - 64;
-                } else {
-                    filled += k;
-                }
-            }
-            if filled > 0 {
-                row[write] = out;
-            }
-            row.truncate(kept_words);
+        debug_assert_eq!(mask.len(), self.used_words());
+        let keep = kernels::count(mask);
+        if keep == self.cols {
+            return; // full-survival mask: the compaction is the identity
         }
+        let used = self.used_words();
+        if keep == 0 {
+            for c in 0..self.n {
+                let start = c * self.stride;
+                self.words[start..start + used].fill(0);
+            }
+            self.cols = 0;
+            return;
+        }
+        let kept_words = keep.div_ceil(64);
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("bmi2") {
+            // SAFETY: the bmi2 feature was just confirmed at runtime
+            unsafe {
+                compact_rows_bmi2(&mut self.words, self.stride, used, kept_words, mask);
+            }
+            self.cols = keep;
+            return;
+        }
+        compact_rows(&mut self.words, self.stride, used, kept_words, mask, pext64);
         self.cols = keep;
     }
+}
+
+/// The row-compaction loop of [`SampleMatrix::filter_columns`], generic
+/// over the bit-extract primitive so the BMI2 and portable paths share one
+/// implementation. `words` is the strided row buffer; each row's live
+/// words `[..used]` are compacted through `mask` and the tail up to
+/// `kept_words..used` re-zeroed.
+#[inline(always)]
+fn compact_rows(
+    words: &mut [u64],
+    stride: usize,
+    used: usize,
+    kept_words: usize,
+    mask: &[u64],
+    pext: impl Fn(u64, u64) -> u64,
+) {
+    for row in words.chunks_exact_mut(stride) {
+        let row = &mut row[..used];
+        let mut out = 0u64;
+        let mut filled: u32 = 0;
+        let mut write = 0usize;
+        for i in 0..row.len() {
+            let v = pext(row[i], mask[i]);
+            let k = mask[i].count_ones();
+            out |= v << filled;
+            if filled + k >= 64 {
+                // output words never outrun input words, so `write ≤ i`
+                // at the time of reading `row[i]` — in-place is safe
+                row[write] = out;
+                write += 1;
+                let consumed = 64 - filled;
+                out = if consumed < 64 { v >> consumed } else { 0 };
+                filled = filled + k - 64;
+            } else {
+                filled += k;
+            }
+        }
+        if filled > 0 {
+            row[write] = out;
+        }
+        // bits beyond the new column count must stay zero
+        row[kept_words..].fill(0);
+    }
+}
+
+/// [`compact_rows`] with the hardware PEXT instruction — an order of
+/// magnitude over the 6-round software compress, and the difference
+/// between the column filter and the snapshot copy dominating a
+/// view-maintenance assertion.
+///
+/// # Safety
+/// The caller must have verified `bmi2` is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+#[allow(unused_unsafe)]
+unsafe fn compact_rows_bmi2(
+    words: &mut [u64],
+    stride: usize,
+    used: usize,
+    kept_words: usize,
+    mask: &[u64],
+) {
+    compact_rows(words, stride, used, kept_words, mask, |x, m| unsafe {
+        core::arch::x86_64::_pext_u64(x, m)
+    });
 }
 
 /// Software PEXT (parallel bit extract): gathers the bits of `x` selected
@@ -202,10 +344,10 @@ fn pext64(x: u64, mask: u64) -> u64 {
     x
 }
 
-/// AND+popcount of two raw matrix rows.
+/// AND+popcount of two raw matrix rows (wide kernel).
 #[inline]
 pub fn row_and_count(a: &[u64], b: &[u64]) -> usize {
-    a.iter().zip(b).map(|(x, y)| (x & y).count_ones() as usize).sum()
+    kernels::and_count(a, b)
 }
 
 /// The view-maintained set Ω\* of distinct sampled matching instances,
@@ -388,11 +530,9 @@ impl SampleStore {
     /// Records `count` emissions of `inst`. Returns whether it was new.
     fn record_with_count(&mut self, inst: &BitSet, count: u64) -> bool {
         let data = Arc::make_mut(&mut self.data);
-        let new = dedup_record(&mut data.seen, &mut data.samples, &mut data.counts, inst, count);
-        if new {
-            data.matrix.push_sample(inst);
-        }
-        new
+        // the matrix deliberately lags here: sync_weights() appends all
+        // columns recorded since the last sync in one transpose pass
+        dedup_record(&mut data.seen, &mut data.samples, &mut data.counts, inst, count)
     }
 
     /// Records one emission of `inst`. Returns whether it was new.
@@ -400,12 +540,19 @@ impl SampleStore {
         self.record_with_count(inst, 1)
     }
 
-    /// Restores the `weights()` invariant (`uniform.len() == samples.len()`,
-    /// all 1.0) — the single place the cached weight slice is sized. A
-    /// no-op (no copy-on-write) when the invariant already holds.
+    /// Restores the derived-state invariants: the transposed matrix covers
+    /// every recorded sample (columns recorded since the last sync are
+    /// appended in one batched transpose pass) and the cached weight slice
+    /// matches (`uniform.len() == samples.len()`, all 1.0). Every mutation
+    /// path ends here before the store is readable again. A no-op (no
+    /// copy-on-write) when the invariants already hold.
     fn sync_weights(&mut self) {
-        if self.data.uniform.len() != self.data.samples.len() {
+        if self.data.matrix.sample_count() != self.data.samples.len()
+            || self.data.uniform.len() != self.data.samples.len()
+        {
             let data = Arc::make_mut(&mut self.data);
+            let from = data.matrix.sample_count();
+            data.matrix.append_samples(&data.samples[from..]);
             data.uniform.resize(data.samples.len(), 1.0);
         }
     }
@@ -510,9 +657,10 @@ impl SampleStore {
     }
 
     /// Runs one multi-chain pass: `config.chains` independent walks across
-    /// scoped threads, each with `n_samples / chains` (rounded up)
-    /// emissions, merged in chain order. Returns how many new distinct
-    /// instances were found.
+    /// the persistent work-stealing pool ([`crate::pool`]), each with
+    /// `n_samples / chains` (rounded up) emissions, merged in chain order
+    /// (the pool returns results in submission order). Returns how many
+    /// new distinct instances were found.
     fn parallel_pass(&mut self, index: &ConflictIndex, feedback: &Feedback) -> usize {
         let chains = self.config.chains.max(1);
         let per_chain = self.config.n_samples.div_ceil(chains);
@@ -524,22 +672,20 @@ impl SampleStore {
         // sequence
         let epoch = self.pass_epoch;
         self.pass_epoch += 1;
-        let results: Vec<(Vec<BitSet>, Vec<u64>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..chains as u64)
-                .map(|chain| {
-                    scope.spawn(move || {
-                        run_chain(
-                            index,
-                            feedback,
-                            config,
-                            chain_seed(config.seed, chain, epoch),
-                            per_chain,
-                        )
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("sampling chain panicked")).collect()
-        });
+        let tasks: Vec<crate::pool::Task<'_, (Vec<BitSet>, Vec<u64>)>> = (0..chains as u64)
+            .map(|chain| {
+                Box::new(move || {
+                    run_chain(
+                        index,
+                        feedback,
+                        config,
+                        chain_seed(config.seed, chain, epoch),
+                        per_chain,
+                    )
+                }) as crate::pool::Task<'_, (Vec<BitSet>, Vec<u64>)>
+            })
+            .collect();
+        let results: Vec<(Vec<BitSet>, Vec<u64>)> = crate::pool::global().run(tasks);
         let mut found = 0usize;
         for (instances, counts) in results {
             for (inst, count) in instances.iter().zip(counts) {
@@ -620,31 +766,50 @@ impl SampleStore {
         {
             let data = Arc::make_mut(&mut self.data);
             let cols = data.matrix.sample_count();
-            let mut mask = data.matrix.row(candidate).to_vec();
-            if !approved {
-                for w in &mut mask {
-                    *w = !*w;
-                }
-                if cols % 64 != 0 {
-                    if let Some(last) = mask.last_mut() {
-                        *last &= u64::MAX >> (64 - cols % 64);
+            let mask = if approved {
+                data.matrix.row(candidate).to_vec()
+            } else {
+                let mut mask = vec![0u64; data.matrix.row(candidate).len()];
+                kernels::not_into(&mut mask, data.matrix.row(candidate), cols);
+                mask
+            };
+            data.matrix.filter_columns(&mask);
+            // survivors compact in place (order preserved, no clones) and
+            // the dedup map keeps its entries via a position remap — the
+            // old drain-and-rebuild re-hashed and re-cloned every
+            // surviving instance on every assertion, which dominated the
+            // whole assert path once stores grew past a few hundred samples
+            let total = data.samples.len();
+            let mut remap: Vec<usize> = Vec::with_capacity(total);
+            let mut dying: Vec<(BitSet, u64)> = Vec::new();
+            let mut write = 0usize;
+            for read in 0..total {
+                if data.samples[read].contains(candidate) == approved {
+                    remap.push(write);
+                    if write != read {
+                        data.samples.swap(write, read);
+                        data.counts.swap(write, read);
+                    }
+                    write += 1;
+                } else {
+                    remap.push(usize::MAX);
+                    if !approved {
+                        // the slot's content is dead either way; keep it
+                        // only when disapproval re-insertion needs it
+                        dying.push((
+                            std::mem::replace(&mut data.samples[read], BitSet::new(0)),
+                            data.counts[read],
+                        ));
                     }
                 }
             }
-            data.matrix.filter_columns(&mask);
-            let old: Vec<(BitSet, u64)> =
-                data.samples.drain(..).zip(data.counts.drain(..)).collect();
-            data.seen.clear();
-            let mut dying: Vec<(BitSet, u64)> = Vec::new();
-            for (inst, count) in old {
-                if inst.contains(candidate) == approved {
-                    data.seen.insert(inst.clone(), data.samples.len());
-                    data.samples.push(inst);
-                    data.counts.push(count);
-                } else {
-                    dying.push((inst, count));
-                }
-            }
+            data.samples.truncate(write);
+            data.counts.truncate(write);
+            data.seen.retain(|_, pos| {
+                let new_pos = remap[*pos];
+                *pos = new_pos;
+                new_pos != usize::MAX
+            });
             debug_assert_eq!(data.matrix.sample_count(), data.samples.len());
             if !approved {
                 for (mut inst, count) in dying {
@@ -752,8 +917,11 @@ fn walk(
             // the frontier matches `next`, which becomes `current`
             std::mem::swap(current, next);
         } else {
-            // the frontier matches the rejected state — rebuild lazily
-            scratch.invalidate_frontier();
+            // the frontier matches the rejected state — unwind the step's
+            // mutation trail so it matches `current` again, which is far
+            // cheaper than the full rebuild an invalidation would force
+            scratch.unwind_step(index, next, c);
+            debug_assert_eq!(next, current);
         }
     }
 }
@@ -901,6 +1069,40 @@ mod tests {
         assert_eq!(matrix.sample_count(), survivors.len());
         for c in (0..n).map(CandidateId::from_index) {
             assert_eq!(matrix.row(c), expect.row(c));
+        }
+    }
+
+    #[test]
+    fn append_samples_matches_per_column_push() {
+        // batched transpose appends must land bit-identically to the
+        // per-column scatter path, at every column-offset alignment
+        let n = 90usize;
+        let mut state = 11u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let samples: Vec<BitSet> = (0..200)
+            .map(|_| {
+                BitSet::from_ids(n, (0..n).filter(|_| next() % 3 == 0).map(CandidateId::from_index))
+            })
+            .collect();
+        // splits exercising: empty batch, sub-word batch, word-straddling
+        // offsets (r != 0), exact 64-sample blocks, multi-block batches
+        for split in [0usize, 1, 17, 63, 64, 65, 128, 150, 200] {
+            let mut batched = SampleMatrix::new(n);
+            batched.append_samples(&samples[..split]);
+            batched.append_samples(&samples[split..]);
+            let mut scatter = SampleMatrix::new(n);
+            for s in &samples {
+                scatter.push_sample(s);
+            }
+            assert_eq!(batched.sample_count(), scatter.sample_count(), "split={split}");
+            for c in (0..n).map(CandidateId::from_index) {
+                assert_eq!(batched.row(c), scatter.row(c), "split={split} c={c:?}");
+            }
         }
     }
 

@@ -25,17 +25,20 @@
 //!   [`crate::exact::enumerate_with_index`]
 //!   instead of sampled: their stores are born exhausted and their
 //!   posteriors exact (Eq. 1).
-//! * **Parallel fill** — shard stores fill independently across
-//!   `std::thread::scope` workers, each seeded `seed + shard_id` in the
-//!   spirit of the multi-chain sampler, so the result is bit-deterministic
-//!   for a fixed configuration regardless of scheduling.
+//! * **Parallel fill** — shard stores fill independently across the
+//!   persistent work-stealing pool ([`crate::pool`]), each seeded
+//!   `seed + shard_id` in the spirit of the multi-chain sampler and merged
+//!   in shard-id order, so the result is bit-deterministic for a fixed
+//!   configuration regardless of scheduling or thread count.
 
+use crate::entropy::binary_entropy;
 use crate::exact;
 use crate::feedback::{Assertion, Feedback};
+use crate::pool;
 use crate::sampling::{SampleStore, SamplerConfig};
 use smn_constraints::{BitSet, Components, ConflictIndex};
 use smn_schema::CandidateId;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Configuration of the component-sharded representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,19 +112,14 @@ impl ShardSet {
     ) -> Self {
         let components = Components::of_index(index);
         let sub_indices = index.shard(&components);
-        // spawning a worker pool only pays when at least one shard must be
-        // *sampled*; all-exact builds (every component at or below the
+        // dispatching to the pool only pays when at least one shard must
+        // be *sampled*; all-exact builds (every component at or below the
         // exact threshold) are microseconds of enumeration and run faster
-        // sequentially than any thread spawn
+        // sequentially than any cross-thread handoff
         let any_sampled =
             sub_indices.iter().any(|s| s.candidate_count() > sharding.exact_threshold);
-        let workers = if sharding.parallel && any_sampled {
-            std::thread::available_parallelism().map_or(1, usize::from).min(sub_indices.len())
-        } else {
-            1
-        };
-        let shards = if workers > 1 {
-            build_parallel(sub_indices, sampler, sharding, workers)
+        let shards = if sharding.parallel && any_sampled && sub_indices.len() > 1 {
+            build_parallel(sub_indices, sampler, sharding)
         } else {
             sub_indices
                 .into_iter()
@@ -380,6 +378,46 @@ impl ShardSet {
             };
         }
     }
+
+    /// Entropy (bits) shard `k` would carry after hypothetically
+    /// integrating the assertion `(lc, approved)` — the per-query kernel
+    /// behind
+    /// [`ProbabilisticNetwork::what_if_batch`](crate::ProbabilisticNetwork::what_if_batch).
+    /// Runs the real integration (feedback update, view maintenance,
+    /// refill) on a throwaway copy of the one snapshot; `self` is
+    /// untouched. Entropy is additive over independent components, so the
+    /// batch layer composes `H' = H − H_k + H'_k` from this without ever
+    /// rebuilding the global probability vector.
+    pub(crate) fn entropy_after(&self, k: usize, lc: CandidateId, approved: bool) -> f64 {
+        let mut snap = ShardSnapshot::clone(&self.shards[k]);
+        let ShardSnapshot { index, feedback, store } = &mut snap;
+        feedback.assert(Assertion { candidate: lc, approved });
+        store.maintain_with_index(index, feedback, lc, approved);
+        snapshot_entropy(&snap)
+    }
+}
+
+/// Entropy of one shard snapshot: `Σ H(p)` over its local Eq. 2
+/// probabilities, under the same empty-store rule as
+/// [`ShardSet::write_shard_probabilities`].
+fn snapshot_entropy(snap: &ShardSnapshot) -> f64 {
+    let matrix = snap.store.matrix();
+    let total = matrix.sample_count();
+    (0..snap.index.candidate_count())
+        .map(|j| {
+            let lc = CandidateId::from_index(j);
+            let p = if total == 0 {
+                if snap.feedback.approved().contains(lc) {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                matrix.membership_count(lc) as f64 / total as f64
+            };
+            binary_entropy(p)
+        })
+        .sum()
 }
 
 /// Builds one shard: exact enumeration for small components, the
@@ -433,34 +471,26 @@ fn complete_greedily(index: &ConflictIndex, feedback: &Feedback, inst: &mut BitS
     }
 }
 
-/// Fills shards across a scoped worker pool. Each shard's store depends
-/// only on its own sub-index and seed, so the merged result is identical
-/// to the sequential build regardless of scheduling.
+/// Fills shards across the persistent work-stealing pool, one task per
+/// shard. Each shard's store depends only on its own sub-index and seed,
+/// and [`pool::WorkerPool::run`] returns results in submission (= shard
+/// id) order, so the merged result is identical to the sequential build
+/// regardless of scheduling.
 fn build_parallel(
     sub_indices: Vec<Arc<ConflictIndex>>,
     sampler: SamplerConfig,
     sharding: &ShardingConfig,
-    workers: usize,
 ) -> Vec<Arc<ShardSnapshot>> {
-    let count = sub_indices.len();
-    let queue = Mutex::new(sub_indices.into_iter().enumerate());
-    let done: Mutex<Vec<(usize, Arc<ShardSnapshot>)>> = Mutex::new(Vec::with_capacity(count));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let next = queue.lock().expect("work queue").next();
-                let Some((k, sub)) = next else {
-                    return;
-                };
-                let shard = Arc::new(build_shard(k, sub, sampler, sharding));
-                done.lock().expect("result vec").push((k, shard));
-            });
-        }
-    });
-    let mut built = done.into_inner().expect("result lock");
-    debug_assert_eq!(built.len(), count);
-    built.sort_unstable_by_key(|&(k, _)| k);
-    built.into_iter().map(|(_, shard)| shard).collect()
+    let sharding = *sharding;
+    let tasks: Vec<pool::Task<'_, Arc<ShardSnapshot>>> = sub_indices
+        .into_iter()
+        .enumerate()
+        .map(|(k, sub)| {
+            Box::new(move || Arc::new(build_shard(k, sub, sampler, &sharding)))
+                as pool::Task<'_, Arc<ShardSnapshot>>
+        })
+        .collect();
+    pool::global().run(tasks)
 }
 
 #[cfg(test)]

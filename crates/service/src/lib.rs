@@ -21,15 +21,18 @@
 //!   quality-weighted (log-odds) voting — that commits one aggregated
 //!   assertion per leased candidate back to the base snapshot;
 //! * the [`ReconciliationService`] driving
-//!   worker evaluations across `std::thread::scope` threads: every vote
-//!   reports the exact what-if entropy of its verdict, measured on a
-//!   copy-on-write [fork](smn_core::ProbabilisticNetwork::fork) of the
-//!   base network (one evaluation per distinct verdict per lease — at
-//!   most two forks however large the crowd), and results are committed
-//!   in lease order under a seeded virtual schedule — so a run is **byte-reproducible at any thread
-//!   count**, and precision/recall against the verified matching is
-//!   tracked per round (in the spirit of Validation of Matching, Le et
-//!   al. 2014);
+//!   worker evaluations through the batched what-if
+//!   ([`smn_core::ProbabilisticNetwork::what_if_batch`]) on the
+//!   persistent work-stealing pool of [`smn_core::pool`] (a
+//!   [`Scheduler`] knob keeps the scoped-thread and inline paths as
+//!   differential references): every vote reports the exact what-if
+//!   entropy of its verdict, priced at one copy-on-write shard fork (one
+//!   evaluation per distinct verdict per lease — at most two however
+//!   large the crowd), and results are committed in lease order under a
+//!   seeded virtual schedule — so a run is **byte-reproducible at any
+//!   thread count and under any scheduler**, and precision/recall
+//!   against the verified matching is tracked per round (in the spirit
+//!   of Validation of Matching, Le et al. 2014);
 //! * optional **durability**
 //!   ([`attach_durability`](ReconciliationService::attach_durability)):
 //!   every committed assertion is journaled to an `smn-storage`
@@ -46,5 +49,7 @@ pub mod worker;
 
 pub use aggregate::{aggregate, Aggregation, Verdict, Vote};
 pub use dispatch::{Dispatcher, Lease};
-pub use service::{CommitRecord, ReconciliationService, RoundStats, ServiceConfig, ServiceReport};
+pub use service::{
+    CommitRecord, ReconciliationService, RoundStats, Scheduler, ServiceConfig, ServiceReport,
+};
 pub use worker::{WorkerPool, WorkerProfile, WorkerStats};

@@ -7,22 +7,26 @@
 //! 1. the [`Dispatcher`] leases up to
 //!    `⌊W/k⌋` distinct uncertain candidates, each to `k` distinct workers
 //!    (disjoint across the round's leases, rotated across rounds);
-//! 2. worker evaluations fan out across `std::thread::scope` threads —
-//!    each worker answers from its error-rate profile, and the exact
-//!    uncertainty each distinct verdict would produce is measured on a
-//!    private [fork](smn_core::ProbabilisticNetwork::fork) of the base
-//!    (at most two forks per lease, shared by all its votes);
+//! 2. worker evaluations run through the batched what-if
+//!    ([`smn_core::ProbabilisticNetwork::what_if_batch`]) — each worker
+//!    answers from its error-rate profile, and the exact uncertainty each
+//!    distinct verdict would produce is measured against the base's
+//!    copy-on-write snapshots (at most two branch queries per lease,
+//!    shared by all its votes); the per-shard query groups fan out across
+//!    the configured [`Scheduler`] — the persistent work-stealing pool of
+//!    [`smn_core::pool`] by default;
 //! 3. votes are reassembled by `(lease, vote)` slot and
 //!    [aggregated](mod@crate::aggregate) in lease order; each aggregated
 //!    assertion commits to the base (inconsistent approvals fall back to
 //!    disapproval, exactly like [`smn_core::reconcile`](mod@smn_core::reconcile)).
 //!
-//! Because every worker answer is a pure function, every fork is
-//! evaluated against the same base snapshot, and commits happen in lease
-//! order, the number of OS threads only changes *who computes what* —
-//! never the result. Two runs with the same config are byte-identical at
-//! any thread count, which the `determinism` integration suite asserts at
-//! 1, 4 and 8 threads.
+//! Because every worker answer is a pure function, every branch entropy
+//! is a pure function of the same base snapshot and its query, and
+//! commits happen in lease order, the scheduler and the number of OS
+//! threads only change *who computes what* — never the result. Two runs
+//! with the same config are byte-identical at any thread count and under
+//! any scheduler, which the `determinism` integration suite asserts at
+//! 1, 4 and 8 threads and across pool/scoped/inline scheduling.
 
 use crate::aggregate::{aggregate, Aggregation, Verdict, Vote};
 use crate::dispatch::{Dispatcher, Lease};
@@ -38,8 +42,27 @@ use smn_core::{
 };
 use smn_schema::{CandidateId, Correspondence};
 use smn_storage::{DurableStore, StorageError};
+use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::Mutex;
+
+/// How a round's what-if branch evaluations are scheduled across
+/// threads. Every variant evaluates the same per-shard
+/// [`what_if_batch`](smn_core::ProbabilisticNetwork::what_if_batch)
+/// queries, and each query's value is a pure function of the base and
+/// the query — so the scheduler never affects results, only wall-clock.
+/// The `determinism` integration suite pins pool ≡ scoped ≡ inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// The persistent work-stealing pool of [`smn_core::pool`] — no
+    /// thread spawns per round (default).
+    #[default]
+    Pool,
+    /// One-shot `std::thread::scope` threads per round — the pre-pool
+    /// behaviour, kept as the differential reference.
+    Scoped,
+    /// The submitting thread evaluates everything sequentially.
+    Inline,
+}
 
 /// Service configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,8 +77,12 @@ pub struct ServiceConfig {
     /// How votes reduce to one assertion.
     pub aggregation: Aggregation,
     /// OS threads for worker evaluation; `0` uses the machine's available
-    /// parallelism. Never affects results, only wall-clock.
+    /// parallelism, `1` forces sequential evaluation. Never affects
+    /// results, only wall-clock. (Under [`Scheduler::Pool`] the pool's
+    /// own size bounds the actual parallelism.)
     pub threads: usize,
+    /// How branch evaluations are scheduled; never affects results.
+    pub scheduler: Scheduler,
     /// Seed of the virtual schedule (dispatcher tie-breaking) and the
     /// worker noise.
     pub seed: u64,
@@ -72,6 +99,7 @@ impl Default for ServiceConfig {
             redundancy: 3,
             aggregation: Aggregation::Majority,
             threads: 0,
+            scheduler: Scheduler::default(),
             seed: 0xC0FFEE,
             goal: ReconciliationGoal::Complete,
         }
@@ -331,7 +359,8 @@ impl ReconciliationService {
             if leases.is_empty() {
                 break; // every candidate validated
             }
-            let votes = collect_votes(&self.base, &self.pool, &leases, threads);
+            let votes =
+                collect_votes(&self.base, &self.pool, &leases, threads, self.config.scheduler);
             let committed = self.commit_round(round, &leases, &votes);
             let quality = self.matching_quality();
             self.rounds.push(RoundStats {
@@ -439,21 +468,26 @@ impl ReconciliationService {
     }
 }
 
-/// Evaluates one round's leases across `threads` scoped worker threads.
+/// Evaluates one round's leases: worker answers inline (pure-function
+/// lookups), branch entropies through the batched what-if.
 ///
-/// Worker answers are pure-function lookups, collected inline. The
-/// expensive part — the exact what-if entropy, a private copy-on-write
-/// fork of the base integrating the verdict — depends only on
-/// `(lease, verdict)`, so each lease needs at most *two* fork
-/// evaluations no matter the redundancy; those distinct branch jobs are
-/// what fans out over the thread pool. Votes are then assembled by slot
-/// from the shared branch entropies, so the outcome is identical at any
-/// thread count.
+/// The expensive part — the exact uncertainty a verdict would produce —
+/// depends only on `(lease, verdict)`, so each lease needs at most *two*
+/// branch queries no matter the redundancy. The distinct queries go
+/// through [`ProbabilisticNetwork::what_if_batch`]: each is priced at
+/// one copy-on-write shard fork plus the per-shard entropy
+/// decomposition, never a network-wide fork. Grouped by owning shard —
+/// the dispatcher leases distinct shards, so that is also the natural
+/// unit of parallelism — the groups fan out under the configured
+/// [`Scheduler`]. Every query's value is a pure function of the base and
+/// the query, so neither the grouping nor the scheduler changes the
+/// outcome: votes assembled by slot are identical at any thread count.
 fn collect_votes(
     base: &ProbabilisticNetwork,
     pool: &WorkerPool,
     leases: &[Lease],
     threads: usize,
+    scheduler: Scheduler,
 ) -> Vec<Vec<Vote>> {
     let answers: Vec<Vec<bool>> = leases
         .iter()
@@ -469,47 +503,13 @@ fn collect_votes(
                 .map(move |v| (li, v))
         })
         .collect();
-    let evaluate = |li: usize, approved: bool| -> f64 {
-        let lease = &leases[li];
-        // the verdict's session view: a fork sharing every shard snapshot
-        // with the base until the assertion copy-on-writes one of them
-        let mut view = base.fork();
-        match view.assert_candidate(Assertion { candidate: lease.candidate, approved }) {
-            Ok(()) => view.entropy(),
-            Err(_) => base.entropy(),
-        }
-    };
+    let queries: Vec<(CandidateId, bool)> =
+        jobs.iter().map(|&(li, v)| (leases[li].candidate, v)).collect();
+    let entropies = evaluate_branches(base, &queries, threads, scheduler);
     // branch_entropy[li][approved as usize]
     let mut branch_entropy: Vec<[f64; 2]> = vec![[f64::NAN; 2]; leases.len()];
-    let workers = threads.min(jobs.len()).max(1);
-    if workers <= 1 {
-        for &(li, v) in &jobs {
-            branch_entropy[li][usize::from(v)] = evaluate(li, v);
-        }
-    } else {
-        let next: Mutex<usize> = Mutex::new(0);
-        let done: Mutex<Vec<(usize, bool, f64)>> = Mutex::new(Vec::with_capacity(jobs.len()));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let job = {
-                        let mut n = next.lock().expect("job counter");
-                        if *n >= jobs.len() {
-                            break;
-                        }
-                        let j = *n;
-                        *n += 1;
-                        j
-                    };
-                    let (li, v) = jobs[job];
-                    let h = evaluate(li, v);
-                    done.lock().expect("entropy sink").push((li, v, h));
-                });
-            }
-        });
-        for (li, v, h) in done.into_inner().expect("entropy lock") {
-            branch_entropy[li][usize::from(v)] = h;
-        }
+    for (&(li, v), h) in jobs.iter().zip(entropies) {
+        branch_entropy[li][usize::from(v)] = h;
     }
     leases
         .iter()
@@ -528,6 +528,53 @@ fn collect_votes(
         .collect()
 }
 
+/// Runs the branch queries through
+/// [`ProbabilisticNetwork::what_if_batch`], fanned out one task per
+/// owning shard under the chosen scheduler. Values align with `queries`.
+///
+/// Any partition of the batch yields the same values — `what_if_batch`
+/// prices a query from the base's entropy, its shard's standing entropy
+/// and the hypothetical shard entropy, all pure functions of the base —
+/// so the sequential whole-batch call is the differential reference for
+/// both parallel paths.
+fn evaluate_branches(
+    base: &ProbabilisticNetwork,
+    queries: &[(CandidateId, bool)],
+    threads: usize,
+    scheduler: Scheduler,
+) -> Vec<f64> {
+    let workers = threads.min(queries.len()).max(1);
+    if workers <= 1 || scheduler == Scheduler::Inline {
+        return base.what_if_batch(queries);
+    }
+    let mut by_shard: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (pos, &(c, _)) in queries.iter().enumerate() {
+        by_shard.entry(base.shard_of(c)).or_default().push(pos);
+    }
+    let groups: Vec<Vec<usize>> = by_shard.into_values().collect();
+    let run_group = |positions: &Vec<usize>| -> Vec<f64> {
+        let group: Vec<(CandidateId, bool)> = positions.iter().map(|&p| queries[p]).collect();
+        base.what_if_batch(&group)
+    };
+    let run_group = &run_group;
+    let tasks: Vec<smn_core::pool::Task<'_, Vec<f64>>> = groups
+        .iter()
+        .map(|g| Box::new(move || run_group(g)) as smn_core::pool::Task<'_, _>)
+        .collect();
+    let per_group = match scheduler {
+        Scheduler::Pool => smn_core::pool::global().run(tasks),
+        Scheduler::Scoped => smn_core::pool::run_scoped(tasks),
+        Scheduler::Inline => unreachable!("inline handled above"),
+    };
+    let mut out = vec![0.0; queries.len()];
+    for (positions, values) in groups.iter().zip(per_group) {
+        for (&p, v) in positions.iter().zip(values) {
+            out[p] = v;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -540,6 +587,7 @@ mod tests {
             redundancy: 1,
             aggregation: Aggregation::Majority,
             threads: 2,
+            scheduler: Scheduler::default(),
             seed: 9,
             goal,
         }

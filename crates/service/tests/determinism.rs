@@ -4,6 +4,10 @@
 //! * **Thread invariance** — a seeded run is byte-identical (report JSON,
 //!   commit history, final posteriors) at 1, 4 and 8 OS threads: the
 //!   thread count only changes who computes what, never the result.
+//! * **Scheduler invariance** — the persistent worker pool, one-shot
+//!   scoped threads and inline evaluation produce byte-identical runs on
+//!   the fig1, perturbed and federation presets: scheduling is pure
+//!   wall-clock.
 //! * **Sequential replay** — a 1-worker, redundancy-1 service with a
 //!   perfect worker replays a sequential [`Session::run`] trace point for
 //!   point: same candidates, same verdicts, same entropy/effort curve.
@@ -20,7 +24,7 @@ use smn_datasets::webform_federation;
 use smn_matchers::matcher::match_network;
 use smn_matchers::PerturbationMatcher;
 use smn_schema::Correspondence;
-use smn_service::{Aggregation, ReconciliationService, ServiceConfig};
+use smn_service::{Aggregation, ReconciliationService, Scheduler, ServiceConfig};
 use smn_testkit::{fig1_network, fig1_truth, perturbed_network, tiny_sampler};
 
 /// A genuinely multi-shard workload: the 12-cluster webform federation.
@@ -45,6 +49,7 @@ fn service_config(threads: usize, goal: ReconciliationGoal) -> ServiceConfig {
         redundancy: 2,
         aggregation: Aggregation::QualityWeighted,
         threads,
+        scheduler: Scheduler::Pool,
         seed: 17,
         goal,
     }
@@ -85,6 +90,36 @@ fn runs_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn schedulers_produce_byte_identical_reports() {
+    // pooled vs scoped vs inline on all three presets: a scheduler is
+    // pure wall-clock, so reports and posteriors must match byte for byte
+    let cases: Vec<(MatchingNetwork, Vec<Correspondence>)> = vec![
+        (fig1_network(), fig1_truth()),
+        perturbed_network(3, 5, 0.7, 0.9, 11),
+        federation_case(3),
+    ];
+    let crowd = vec![0.05, 0.15, 0.25, 0.1, 0.3, 0.2];
+    for (case, (net, truth)) in cases.into_iter().enumerate() {
+        let run = |scheduler: Scheduler| {
+            let mut svc = ReconciliationService::new(
+                net.clone(),
+                truth.clone(),
+                crowd.clone(),
+                ServiceConfig { scheduler, ..service_config(4, ReconciliationGoal::Budget(12)) },
+            );
+            let report = svc.run();
+            (
+                serde_json::to_string_pretty(&report).expect("report serializes"),
+                svc.base().probabilities().to_vec(),
+            )
+        };
+        let pooled = run(Scheduler::Pool);
+        assert_eq!(pooled, run(Scheduler::Scoped), "pool vs scoped diverged on case {case}");
+        assert_eq!(pooled, run(Scheduler::Inline), "pool vs inline diverged on case {case}");
+    }
+}
+
+#[test]
 fn single_perfect_worker_replays_the_sequential_session() {
     for (net, truth) in [(fig1_network(), fig1_truth()), perturbed_network(3, 5, 0.7, 0.9, 11)] {
         let seed = 23u64;
@@ -110,6 +145,7 @@ fn single_perfect_worker_replays_the_sequential_session() {
                 redundancy: 1,
                 aggregation: Aggregation::Majority,
                 threads: 2,
+                scheduler: Scheduler::Pool,
                 seed,
                 goal: ReconciliationGoal::Complete,
             },
@@ -166,6 +202,7 @@ fn redundancy_and_quality_weighting_beat_a_lone_noisy_worker() {
                         redundancy,
                         aggregation,
                         threads: 2,
+                        scheduler: Scheduler::Pool,
                         seed: svc_seed,
                         goal: ReconciliationGoal::Complete,
                     },
@@ -206,6 +243,7 @@ fn noisy_commits_survive_inconsistent_approvals() {
             redundancy: 1,
             aggregation: Aggregation::Majority,
             threads: 2,
+            scheduler: Scheduler::Pool,
             seed: 5,
             goal: ReconciliationGoal::Complete,
         },

@@ -18,6 +18,7 @@ fn config() -> ServiceConfig {
         redundancy: 1,
         aggregation: Aggregation::Majority,
         threads: 2,
+        scheduler: smn_service::Scheduler::Pool,
         seed: 9,
         goal: ReconciliationGoal::Complete,
     }

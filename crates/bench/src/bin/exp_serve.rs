@@ -1,0 +1,70 @@
+//! Request-driven serving on the 96-cluster federation: sustained
+//! answers/s and commit-lane flush latency of the event-driven
+//! [`smn_service::ServingCore`] at 10⁴–10⁶ configured open-loop sessions,
+//! checked in as `BENCH_serve.json`. Compare the round-mode baseline in
+//! `BENCH_service.json` (`bench.throughput`): the 8-worker round loop
+//! sustains ≈ 98k answers/s.
+//!
+//! Run: `cargo run --release -p smn-bench --bin exp_serve -- [label]`
+//! (`SMN_BENCH_FAST=1` shrinks the federation and the session sweep and
+//! drops repetitions).
+
+use smn_bench::serve::{
+    measure, run_point, serve_scenario, ServeBench, BASE_SESSIONS, SESSION_SWEEP, WORKER_COUNTS,
+};
+use smn_bench::{save_json, Table};
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "run".into());
+    let fast = std::env::var("SMN_BENCH_FAST").is_ok_and(|v| v == "1");
+
+    let bench: ServeBench = if fast {
+        let (net, truth, uncertain) = serve_scenario(8);
+        let points = vec![
+            run_point(&net, &truth, 2, 64, uncertain, 1),
+            run_point(&net, &truth, 4, 256, uncertain, 1),
+        ];
+        ServeBench { groups: 8, candidates: net.candidate_count(), uncertain, points }
+    } else {
+        measure(3)
+    };
+
+    println!(
+        "serving scenario: {} clusters, |C| = {}, {} uncertain (answer capacity = uncertain × k)",
+        bench.groups, bench.candidates, bench.uncertain
+    );
+    println!(
+        "worker scan at {BASE_SESSIONS} sessions: {WORKER_COUNTS:?}; session sweep at 8 workers: {SESSION_SWEEP:?}"
+    );
+    let mut table = Table::new([
+        "workers",
+        "sessions",
+        "touched",
+        "events",
+        "answers",
+        "commits",
+        "elapsed_ms",
+        "answers/s",
+        "flush_p99_us",
+        "logical_p99",
+    ]);
+    for p in &bench.points {
+        let rate = if p.elapsed_ms > 0.0 { p.answers as f64 / (p.elapsed_ms / 1e3) } else { 0.0 };
+        table.row([
+            p.workers.to_string(),
+            p.sessions.to_string(),
+            p.sessions_touched.to_string(),
+            p.events.to_string(),
+            p.answers.to_string(),
+            p.commits.to_string(),
+            format!("{:.3}", p.elapsed_ms),
+            format!("{rate:.0}"),
+            format!("{:.1}", p.commit_p99_us),
+            p.logical_p99.to_string(),
+        ]);
+    }
+    table.print();
+
+    let path = save_json(&format!("serve_{label}"), &bench).expect("write results");
+    println!("wrote {}", path.display());
+}

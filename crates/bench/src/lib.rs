@@ -17,6 +17,7 @@
 //! | `exp_persist` | durability: snapshot save/load and WAL replay costs |
 //! | `exp_evolve` | incremental maintenance vs full rebuild on an evolving federation |
 //! | `exp_service` | concurrent multi-worker reconciliation: fork/commit costs, worker × error × redundancy grid |
+//! | `exp_serve` | request-driven serving: sustained answers/s and commit-lane latency at 10⁴–10⁶ open-loop sessions |
 //! | `exp_speed` | single-node speed ceiling: hot paths vs the PR-2 baseline, batched what-if, federation scale |
 //!
 //! Binaries print the paper's rows/series to stdout and write
@@ -29,6 +30,7 @@ pub mod hotpaths;
 pub mod persist;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod service;
 pub mod setup;
 pub mod sharding;

@@ -252,15 +252,15 @@ impl Session {
     /// with the session state untouched. This method never panics on any
     /// `(candidate, approved)` input.
     pub fn answer(&mut self, candidate: CandidateId, approved: bool) -> Result<(), AssertError> {
-        let redundant = self.pn.feedback().is_asserted(candidate);
         let assertion = Assertion { candidate, approved };
-        if redundant {
-            // same-way re-assertion (Ok) or flip (Err) — either way the
-            // model does not change, so nothing becomes undoable
-            return self.pn.assert_candidate(assertion);
+        // validate before the undo-snapshot fork: a redundant (Ok-no-op)
+        // or rejected answer leaves the model unchanged, so it must not
+        // pay a fork — nor any copy-on-write underneath the assert
+        if !self.pn.validate_assertion(assertion)? {
+            return Ok(());
         }
         let snapshot = (self.pn.fork(), self.asked.len());
-        self.pn.assert_candidate(assertion)?;
+        self.pn.assert_candidate(assertion).expect("validated assertion integrates");
         self.push_undo(snapshot);
         self.asked.push(assertion);
         self.journal_event(NetworkEvent::Assert { candidate, approved });

@@ -58,6 +58,12 @@ type RawTask = Box<dyn FnOnce() + Send + 'static>;
 struct Shared {
     /// One run queue per worker; submitters push round-robin.
     queues: Vec<Mutex<VecDeque<RawTask>>>,
+    /// The high-priority lane: latency-critical batches (the serving
+    /// layer's per-shard commit lanes) enqueue here and every worker
+    /// checks it before its own queue, so commits overtake queued
+    /// background work (gain scans, shard refills) without preempting a
+    /// task already running.
+    high: Mutex<VecDeque<RawTask>>,
     /// Wakes sleeping workers when work arrives (paired with `sleep`).
     wake: Condvar,
     sleep: Mutex<()>,
@@ -65,10 +71,14 @@ struct Shared {
 }
 
 impl Shared {
-    /// Pops work for worker `w`: own queue first (front = FIFO), then a
-    /// steal sweep over the other queues (back = the submission-order
-    /// tail, keeping owners and thieves off the same end).
+    /// Pops work for worker `w`: the high-priority lane first, then its
+    /// own queue (front = FIFO), then a steal sweep over the other queues
+    /// (back = the submission-order tail, keeping owners and thieves off
+    /// the same end).
     fn find_task(&self, w: usize) -> Option<RawTask> {
+        if let Some(t) = self.high.lock().expect("pool queue").pop_front() {
+            return Some(t);
+        }
         if let Some(t) = self.queues[w].lock().expect("pool queue").pop_front() {
             return Some(t);
         }
@@ -83,8 +93,12 @@ impl Shared {
     }
 
     /// Pops work from any queue — the help-while-waiting path for
-    /// submitting threads, which have no home queue.
+    /// submitting threads, which have no home queue. Honours the
+    /// high-priority lane first, like the workers.
     fn find_any_task(&self) -> Option<RawTask> {
+        if let Some(t) = self.high.lock().expect("pool queue").pop_front() {
+            return Some(t);
+        }
         for q in &self.queues {
             if let Some(t) = q.lock().expect("pool queue").pop_front() {
                 return Some(t);
@@ -116,6 +130,7 @@ impl WorkerPool {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
             queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            high: Mutex::new(VecDeque::new()),
             wake: Condvar::new(),
             sleep: Mutex::new(()),
             shutdown: AtomicBool::new(false),
@@ -142,6 +157,19 @@ impl WorkerPool {
     /// while it waits. Panics in tasks resume on this thread after the
     /// whole batch has settled.
     pub fn run<'env, T: Send + 'env>(&self, tasks: Vec<Task<'env, T>>) -> Vec<T> {
+        self.run_with(tasks, false)
+    }
+
+    /// Like [`WorkerPool::run`], but submits the batch to the
+    /// high-priority lane: every worker drains it before its own queue,
+    /// so these tasks overtake queued background batches. Results still
+    /// come back in submission order — priority changes wall-clock, never
+    /// bytes.
+    pub fn run_high<'env, T: Send + 'env>(&self, tasks: Vec<Task<'env, T>>) -> Vec<T> {
+        self.run_with(tasks, true)
+    }
+
+    fn run_with<'env, T: Send + 'env>(&self, tasks: Vec<Task<'env, T>>, priority: bool) -> Vec<T> {
         let n = tasks.len();
         if n == 0 {
             return Vec::new();
@@ -176,8 +204,12 @@ impl WorkerPool {
             // `remaining == 0`.
             let raw: RawTask =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, RawTask>(closure) };
-            let q = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.threads();
-            self.shared.queues[q].lock().expect("pool queue").push_back(raw);
+            if priority {
+                self.shared.high.lock().expect("pool queue").push_back(raw);
+            } else {
+                let q = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.threads();
+                self.shared.queues[q].lock().expect("pool queue").push_back(raw);
+            }
         }
         self.shared.wake.notify_all();
         // Help while waiting: run queued tasks (ours or anyone's — also
@@ -376,5 +408,63 @@ mod tests {
         let pool = WorkerPool::new(2);
         let out: Vec<u64> = pool.run(Vec::new());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn high_priority_batches_return_the_same_results_as_normal_ones() {
+        let pool = WorkerPool::new(3);
+        let work = |x: u64| x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(13);
+        let normal = pool.run(boxed(0u64..48, move |x| work(x)));
+        let high = pool.run_high(boxed(0u64..48, move |x| work(x)));
+        assert_eq!(high, normal);
+        assert_eq!(high, (0..48).map(work).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn high_priority_tasks_overtake_queued_background_work() {
+        use std::sync::atomic::AtomicU64;
+        // Flood the normal queues with slow tasks from another thread,
+        // then submit a high batch: every high task must start before the
+        // background tail drains, i.e. the lane really is checked first.
+        let pool = Arc::new(WorkerPool::new(2));
+        let started = Arc::new(AtomicU64::new(0));
+        let bg_done = Arc::new(AtomicU64::new(0));
+        let bg = {
+            let pool = Arc::clone(&pool);
+            let bg_done = Arc::clone(&bg_done);
+            std::thread::spawn(move || {
+                let tasks: Vec<Task<'static, ()>> = (0..64)
+                    .map(|_| {
+                        let bg_done = Arc::clone(&bg_done);
+                        Box::new(move || {
+                            std::thread::sleep(Duration::from_micros(500));
+                            bg_done.fetch_add(1, Ordering::SeqCst);
+                        }) as Task<'static, ()>
+                    })
+                    .collect();
+                pool.run(tasks);
+            })
+        };
+        // give the background batch a head start at filling the queues
+        std::thread::sleep(Duration::from_millis(2));
+        let drained: Vec<u64> = pool.run_high(
+            (0..8u64)
+                .map(|_| {
+                    let started = Arc::clone(&started);
+                    let bg_done = Arc::clone(&bg_done);
+                    Box::new(move || {
+                        started.fetch_add(1, Ordering::SeqCst);
+                        bg_done.load(Ordering::SeqCst)
+                    }) as Task<'_, u64>
+                })
+                .collect(),
+        );
+        bg.join().expect("background batch");
+        assert_eq!(started.load(Ordering::SeqCst), 8);
+        // at least one high task ran while background work was still queued
+        assert!(
+            drained.iter().any(|&seen| seen < 64),
+            "high-priority lane never overtook the background queue: {drained:?}"
+        );
     }
 }

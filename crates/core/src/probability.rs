@@ -22,11 +22,13 @@
 use crate::entropy::{binary_entropy, entropy_of};
 use crate::feedback::{Assertion, Feedback};
 use crate::network::MatchingNetwork;
+use crate::pool;
+use crate::reconcile::StepOutcome;
 use crate::sampling::{row_and_count, SampleMatrix, SampleStore, SamplerConfig};
 use crate::shard::{ShardSet, ShardingConfig};
 use smn_constraints::BitSet;
 use smn_schema::{AttributeId, CandidateId, SchemaError};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// Why [`ProbabilisticNetwork::assert_candidate`] (and with it
@@ -67,6 +69,42 @@ impl fmt::Display for AssertError {
 
 impl std::error::Error for AssertError {}
 
+/// How [`ProbabilisticNetwork::commit_batch`] executes its per-shard
+/// commit lanes. All variants produce byte-identical results — execution
+/// is pure wall-clock (see `docs/SERVING.md`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CommitExec {
+    /// One lane after another on the calling thread.
+    #[default]
+    Sequential,
+    /// Lanes fan out on the global [`pool`] through its high-priority
+    /// lane, overtaking queued background work.
+    Pool,
+    /// One scoped thread per lane — the reference implementation for the
+    /// differential suites.
+    Scoped,
+}
+
+/// What [`ProbabilisticNetwork::commit_batch`] did with one requested
+/// assertion, in request order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommitOutcome {
+    /// The candidate the request named.
+    pub candidate: CandidateId,
+    /// The verdict actually standing after the commit: the requested one
+    /// for [`StepOutcome::Integrated`], `false` for
+    /// [`StepOutcome::Flipped`], the (rejected) requested one for
+    /// [`StepOutcome::Skipped`].
+    pub approved: bool,
+    /// Integrated as requested, flipped to a disapproval, or skipped.
+    pub outcome: StepOutcome,
+    /// The shard that owns the candidate (0 for monolithic networks).
+    pub shard: usize,
+    /// Whether the model actually changed: `false` for skips *and* for
+    /// same-way re-assertions that resolved as no-op integrations.
+    pub mutated: bool,
+}
+
 /// The sample representation behind the probability vector.
 #[derive(Debug, Clone)]
 enum Repr {
@@ -91,6 +129,12 @@ pub struct ProbabilisticNetwork {
     /// The sharding configuration (`None` for the monolithic
     /// representation), kept for the same reason.
     sharding: Option<ShardingConfig>,
+    /// Monotone mutation counter: bumped on every call that actually
+    /// changes the model (integrated assertion, extend, retire) and
+    /// *not* on no-ops or rejected assertions. Snapshot publishers
+    /// compare generations to skip re-forking an unchanged base. Not
+    /// serialized — a restored network restarts at 0.
+    generation: u64,
 }
 
 impl ProbabilisticNetwork {
@@ -133,8 +177,16 @@ impl ProbabilisticNetwork {
             Repr::Monolithic(store) => recompute_monolithic(store, &feedback, &mut probs),
             Repr::Sharded(set) => set.write_all_probabilities(&mut probs),
         }
-        let mut pn =
-            Self { network, feedback, repr, probs, initial_entropy: 0.0, sampler, sharding };
+        let mut pn = Self {
+            network,
+            feedback,
+            repr,
+            probs,
+            initial_entropy: 0.0,
+            sampler,
+            sharding,
+            generation: 0,
+        };
         pn.initial_entropy = pn.entropy();
         pn
     }
@@ -349,7 +401,17 @@ impl ProbabilisticNetwork {
             initial_entropy: state.initial_entropy,
             sampler: state.sampler,
             sharding: state.sharding,
+            generation: 0,
         })
+    }
+
+    /// The mutation generation: bumped exactly when the model actually
+    /// changed (an integrated or flipped assertion, an extend, a retire) —
+    /// never by no-op re-assertions or rejected events. The serving
+    /// layer's snapshot publisher compares this against the generation it
+    /// last published to skip redundant `fork` + `Arc` swaps.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The accumulated feedback `F`.
@@ -586,19 +648,10 @@ impl ProbabilisticNetwork {
     /// returns an [`AssertError`] and leaves the model untouched — this
     /// method never panics on any input.
     pub fn assert_candidate(&mut self, assertion: Assertion) -> Result<(), AssertError> {
+        if !self.validate_assertion(assertion)? {
+            return Ok(()); // same-way re-assertion: successful no-op
+        }
         let Assertion { candidate, approved } = assertion;
-        if self.feedback.is_asserted(candidate) {
-            let previously_approved = self.feedback.approved().contains(candidate);
-            return if previously_approved == approved {
-                Ok(())
-            } else {
-                Err(AssertError::Contradictory { candidate, previously_approved })
-            };
-        }
-        if approved && !self.approval_is_consistent(candidate) {
-            // the approved set must stay consistent or Ω becomes empty
-            return Err(AssertError::InconsistentApproval(candidate));
-        }
         self.feedback.assert(assertion);
         match &mut self.repr {
             Repr::Monolithic(store) => {
@@ -607,7 +660,134 @@ impl ProbabilisticNetwork {
             }
             Repr::Sharded(set) => set.assert(candidate, approved, &mut self.probs),
         }
+        self.generation += 1;
         Ok(())
+    }
+
+    /// Checks an assertion against the standing feedback and the approval
+    /// constraints *without touching the model*: `Ok(true)` means
+    /// integrating it would mutate, `Ok(false)` means it is a same-way
+    /// re-assertion (a successful no-op), and `Err` is exactly the error
+    /// [`assert_candidate`](Self::assert_candidate) would return. Commit
+    /// paths call this before allocating a fork or cloning a shard, so a
+    /// redundant or rejected event never pays a copy-on-write.
+    pub fn validate_assertion(&self, assertion: Assertion) -> Result<bool, AssertError> {
+        let Assertion { candidate, approved } = assertion;
+        if self.feedback.is_asserted(candidate) {
+            let previously_approved = self.feedback.approved().contains(candidate);
+            return if previously_approved == approved {
+                Ok(false)
+            } else {
+                Err(AssertError::Contradictory { candidate, previously_approved })
+            };
+        }
+        if approved && !self.approval_is_consistent(candidate) {
+            // the approved set must stay consistent or Ω becomes empty
+            return Err(AssertError::InconsistentApproval(candidate));
+        }
+        Ok(true)
+    }
+
+    /// Commits a batch of decided assertions through per-shard lanes and
+    /// returns one [`CommitOutcome`] per request, in request order.
+    ///
+    /// Each request walks the serving ladder: integrate as requested; on
+    /// rejection fall back to a disapproval; skip when even that
+    /// contradicts standing feedback. Requests of the same shard apply in
+    /// request order against that shard's single working copy (at most one
+    /// copy-on-write per touched shard per batch, none for all-redundant
+    /// lanes); disjoint shards are independent, so with
+    /// [`CommitExec::Pool`] / [`CommitExec::Scoped`] the lanes run
+    /// concurrently — on the pool's high-priority lane in the former case
+    /// — and the result is byte-identical to [`CommitExec::Sequential`]
+    /// because lanes are installed (and the mutation
+    /// [`generation`](Self::generation) advanced) in ascending shard
+    /// order either way. Monolithic networks have a single lane and always
+    /// commit sequentially.
+    pub fn commit_batch(&mut self, requests: &[Assertion], exec: CommitExec) -> Vec<CommitOutcome> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        if !matches!(self.repr, Repr::Sharded(_)) {
+            return requests.iter().map(|&req| self.commit_one(req, 0)).collect();
+        }
+        // bucket request positions by owning shard; BTreeMap fixes the
+        // lane install order (ascending shard id) independent of exec
+        let mut by_shard: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (pos, req) in requests.iter().enumerate() {
+            by_shard.entry(self.shard_of(req.candidate)).or_default().push(pos);
+        }
+        let lanes: Vec<(usize, Vec<Assertion>)> = by_shard
+            .iter()
+            .map(|(&k, positions)| (k, positions.iter().map(|&p| requests[p]).collect()))
+            .collect();
+        let Repr::Sharded(set) = &self.repr else { unreachable!() };
+        type LaneResult = (Option<crate::shard::ShardSnapshot>, Vec<(bool, StepOutcome, bool)>);
+        let run_lane = |(k, events): &(usize, Vec<Assertion>)| set.commit_lane(*k, events);
+        let lane_results: Vec<LaneResult> = if lanes.len() <= 1 {
+            lanes.iter().map(run_lane).collect()
+        } else {
+            match exec {
+                CommitExec::Sequential => lanes.iter().map(run_lane).collect(),
+                CommitExec::Pool => pool::global().run_high(
+                    lanes
+                        .iter()
+                        .map(|lane| Box::new(move || run_lane(lane)) as pool::Task<'_, LaneResult>)
+                        .collect(),
+                ),
+                CommitExec::Scoped => pool::run_scoped(
+                    lanes
+                        .iter()
+                        .map(|lane| Box::new(move || run_lane(lane)) as pool::Task<'_, LaneResult>)
+                        .collect(),
+                ),
+            }
+        };
+        // install lanes in ascending shard order and scatter outcomes back
+        let mut out: Vec<Option<CommitOutcome>> = vec![None; requests.len()];
+        for (((k, _), positions), (snapshot, results)) in
+            lanes.iter().zip(by_shard.values()).zip(lane_results)
+        {
+            if let Some(snap) = snapshot {
+                let Repr::Sharded(set) = &mut self.repr else { unreachable!() };
+                set.shards[*k] = std::sync::Arc::new(snap);
+                let Repr::Sharded(set) = &self.repr else { unreachable!() };
+                set.write_shard_probabilities(*k, &mut self.probs);
+            }
+            for (&pos, &(approved, outcome, mutated)) in positions.iter().zip(&results) {
+                let candidate = requests[pos].candidate;
+                if mutated {
+                    // mirror the lane-local assertion into the global
+                    // feedback so effort / is_asserted stay coherent
+                    self.feedback.assert(Assertion { candidate, approved });
+                    self.generation += 1;
+                }
+                out[pos] = Some(CommitOutcome { candidate, approved, outcome, shard: *k, mutated });
+            }
+        }
+        out.into_iter().map(|o| o.expect("every request routed to a lane")).collect()
+    }
+
+    /// The sequential ladder behind the monolithic [`commit_batch`]
+    /// arm: validate (no fork, no clone), integrate or fall back, report.
+    fn commit_one(&mut self, req: Assertion, shard: usize) -> CommitOutcome {
+        let ladder = match self.validate_assertion(req) {
+            Ok(m) => Some((req.approved, StepOutcome::Integrated, m)),
+            Err(_) => {
+                let fallback = Assertion { candidate: req.candidate, approved: false };
+                match self.validate_assertion(fallback) {
+                    Ok(m) => Some((false, StepOutcome::Flipped, m)),
+                    Err(_) => None,
+                }
+            }
+        };
+        let (approved, outcome, mutated) =
+            ladder.unwrap_or((req.approved, StepOutcome::Skipped, false));
+        if mutated {
+            self.assert_candidate(Assertion { candidate: req.candidate, approved })
+                .expect("validated assertion integrates");
+        }
+        CommitOutcome { candidate: req.candidate, approved, outcome, shard, mutated }
     }
 
     /// Whether approving `candidate` (currently unasserted) keeps the
@@ -656,6 +836,7 @@ impl ProbabilisticNetwork {
                 set.extend(self.network.index(), self.sampler, &sharding, &mut self.probs);
             }
         }
+        self.generation += 1;
         self.refresh_entropy_baseline();
         Ok(id)
     }
@@ -688,6 +869,7 @@ impl ProbabilisticNetwork {
                 self.feedback.retire(c);
             }
         }
+        self.generation += 1;
         self.refresh_entropy_baseline();
         Ok(())
     }
@@ -1067,6 +1249,83 @@ mod tests {
 
     fn sharded_pn() -> ProbabilisticNetwork {
         ProbabilisticNetwork::new_sharded(fig1_network(), sampler(), ShardingConfig::default())
+    }
+
+    #[test]
+    fn generation_counts_only_real_mutations() {
+        for mut pn in [pn(), sharded_pn()] {
+            assert_eq!(pn.generation(), 0);
+            pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: true }).unwrap();
+            assert_eq!(pn.generation(), 1, "an integrated assertion bumps the generation");
+            pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: true }).unwrap();
+            assert_eq!(pn.generation(), 1, "a same-way no-op must not bump it");
+            let _ = pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: false });
+            assert_eq!(pn.generation(), 1, "a rejected assertion must not bump it");
+            let fork = pn.fork();
+            assert_eq!(fork.generation(), 1, "forks inherit the generation");
+        }
+    }
+
+    #[test]
+    fn commit_batch_walks_the_ladder_and_flags_mutations() {
+        for mut pn in [pn(), sharded_pn()] {
+            pn.assert_candidate(Assertion { candidate: CandidateId(4), approved: false }).unwrap();
+            let g = pn.generation();
+            let out = pn.commit_batch(
+                &[
+                    Assertion { candidate: CandidateId(2), approved: true }, // fresh → integrated
+                    Assertion { candidate: CandidateId(2), approved: true }, // re-assert → no-op
+                    Assertion { candidate: CandidateId(4), approved: true }, // contradiction → flip-no-op
+                ],
+                CommitExec::Sequential,
+            );
+            assert_eq!(out[0].outcome, StepOutcome::Integrated);
+            assert!(out[0].mutated && out[0].approved);
+            assert_eq!(out[1].outcome, StepOutcome::Integrated);
+            assert!(!out[1].mutated, "same-way re-assertion resolves as a no-op integration");
+            assert_eq!(out[2].outcome, StepOutcome::Flipped);
+            assert!(!out[2].mutated && !out[2].approved);
+            assert_eq!(pn.generation(), g + 1, "exactly one event actually mutated");
+            assert_eq!(pn.probability(CandidateId(2)), 1.0);
+            assert_eq!(pn.probability(CandidateId(4)), 0.0);
+        }
+    }
+
+    #[test]
+    fn commit_batch_is_exec_invariant() {
+        use crate::testutil::perturbed_network;
+        let (net, _) = perturbed_network(3, 6, 0.6, 0.9, 13);
+        let n = net.candidate_count();
+        let requests: Vec<Assertion> = (0..n)
+            .step_by(2)
+            .map(|i| Assertion { candidate: CandidateId::from_index(i), approved: i % 4 == 0 })
+            .collect();
+        let run = |exec: CommitExec| {
+            let mut pn = ProbabilisticNetwork::new_sharded(
+                net.clone(),
+                sampler(),
+                ShardingConfig::default(),
+            );
+            let out = pn.commit_batch(&requests, exec);
+            (out, pn.probabilities().to_vec(), pn.generation(), pn.effort())
+        };
+        let sequential = run(CommitExec::Sequential);
+        assert_eq!(sequential, run(CommitExec::Pool), "pool lanes diverged from sequential");
+        assert_eq!(sequential, run(CommitExec::Scoped), "scoped lanes diverged from sequential");
+        // and the sequential lanes agree with one-at-a-time asserts
+        let mut reference =
+            ProbabilisticNetwork::new_sharded(net.clone(), sampler(), ShardingConfig::default());
+        for req in &requests {
+            if reference.validate_assertion(*req).is_err() {
+                let fallback = Assertion { candidate: req.candidate, approved: false };
+                if reference.validate_assertion(fallback).is_ok() {
+                    reference.assert_candidate(fallback).unwrap();
+                }
+            } else {
+                reference.assert_candidate(*req).unwrap();
+            }
+        }
+        assert_eq!(sequential.1, reference.probabilities(), "lanes diverged from direct asserts");
     }
 
     #[test]

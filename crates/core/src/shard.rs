@@ -35,6 +35,7 @@ use crate::entropy::binary_entropy;
 use crate::exact;
 use crate::feedback::{Assertion, Feedback};
 use crate::pool;
+use crate::reconcile::StepOutcome;
 use crate::sampling::{SampleStore, SamplerConfig};
 use smn_constraints::{BitSet, Components, ConflictIndex};
 use smn_schema::CandidateId;
@@ -379,6 +380,62 @@ impl ShardSet {
         }
     }
 
+    /// Applies a lane of decided assertions (global candidate ids, all
+    /// owned by shard `k`, in decision order) against a *working copy* of
+    /// the shard and returns the new snapshot plus one
+    /// `(standing verdict, outcome, mutated)` triple per event. `self` is
+    /// untouched — the caller installs the snapshot (and mirrors the
+    /// mutated events into the global feedback) afterwards, which is what
+    /// lets disjoint lanes run on pool workers concurrently.
+    ///
+    /// Each event walks the service ladder: integrate as requested, fall
+    /// back to a disapproval when the request is rejected, skip when even
+    /// that contradicts standing feedback. Validation runs against the
+    /// lane's working snapshot *before* any copy is made, so a lane of
+    /// purely redundant events returns `None` — the shard is never cloned
+    /// for work that turns out to be a no-op.
+    pub(crate) fn commit_lane(
+        &self,
+        k: usize,
+        events: &[Assertion],
+    ) -> (Option<ShardSnapshot>, Vec<(bool, StepOutcome, bool)>) {
+        let base = &self.shards[k];
+        let mut work: Option<ShardSnapshot> = None;
+        let mut results = Vec::with_capacity(events.len());
+        for event in events {
+            let lc = CandidateId::from_index(self.components.local_index(event.candidate));
+            // lane-local mirror of `ProbabilisticNetwork::validate_assertion`:
+            // Some(would_mutate) for an acceptable verdict, None for a
+            // rejected one (contradiction or inconsistent approval)
+            let step = |snap: &ShardSnapshot, approved: bool| -> Option<bool> {
+                if snap.feedback.is_asserted(lc) {
+                    let prev = snap.feedback.approved().contains(lc);
+                    return if prev == approved { Some(false) } else { None };
+                }
+                if approved && !snap.index.can_add(snap.feedback.approved(), lc) {
+                    return None;
+                }
+                Some(true)
+            };
+            let snap = work.as_ref().unwrap_or(base);
+            let (approved, outcome, mutates) = match step(snap, event.approved) {
+                Some(m) => (event.approved, StepOutcome::Integrated, m),
+                None => match step(snap, false) {
+                    Some(m) => (false, StepOutcome::Flipped, m),
+                    None => (event.approved, StepOutcome::Skipped, false),
+                },
+            };
+            if mutates {
+                let target = work.get_or_insert_with(|| ShardSnapshot::clone(base));
+                let ShardSnapshot { index, feedback, store } = target;
+                feedback.assert(Assertion { candidate: lc, approved });
+                store.maintain_with_index(index, feedback, lc, approved);
+            }
+            results.push((approved, outcome, mutates));
+        }
+        (work, results)
+    }
+
     /// Entropy (bits) shard `k` would carry after hypothetically
     /// integrating the assertion `(lc, approved)` — the per-query kernel
     /// behind
@@ -548,6 +605,88 @@ mod tests {
         for (a, b) in par.shards.iter().zip(&seq.shards) {
             assert_eq!(a.store.samples(), b.store.samples());
         }
+    }
+
+    #[test]
+    fn commit_lane_matches_sequential_assertions() {
+        let (net, _) = perturbed_network(3, 6, 0.6, 0.9, 13);
+        let n = net.candidate_count();
+        let set = ShardSet::build(net.index(), sampler(), &ShardingConfig::default());
+        let target = CandidateId::from_index(0);
+        let (k, _) = set.locate(target);
+        let members: Vec<CandidateId> = set.components.members(k).to_vec();
+        let events: Vec<Assertion> = members
+            .iter()
+            .take(3)
+            .enumerate()
+            .map(|(i, &c)| Assertion { candidate: c, approved: i % 2 == 0 })
+            .collect();
+        // reference: the same ladder, one `assert` at a time
+        let mut seq = set.clone();
+        let mut seq_probs = vec![0.0; n];
+        seq.write_all_probabilities(&mut seq_probs);
+        for e in &events {
+            let (_, lc) = seq.locate(e.candidate);
+            let decision = {
+                let shard = &seq.shards[k];
+                let step = |approved: bool| -> Option<bool> {
+                    if shard.feedback.is_asserted(lc) {
+                        let prev = shard.feedback.approved().contains(lc);
+                        if prev == approved {
+                            Some(false)
+                        } else {
+                            None
+                        }
+                    } else if approved && !shard.index.can_add(shard.feedback.approved(), lc) {
+                        None
+                    } else {
+                        Some(true)
+                    }
+                };
+                match step(e.approved) {
+                    Some(m) => Some((e.approved, m)),
+                    None => step(false).map(|m| (false, m)),
+                }
+            };
+            if let Some((approved, true)) = decision {
+                seq.assert(e.candidate, approved, &mut seq_probs);
+            }
+        }
+        // lane: one batch
+        let mut lane = set.clone();
+        let (snap, results) = lane.commit_lane(k, &events);
+        let mut lane_probs = vec![0.0; n];
+        if let Some(s) = snap {
+            lane.shards[k] = Arc::new(s);
+        }
+        lane.write_all_probabilities(&mut lane_probs);
+        assert_eq!(results.len(), events.len());
+        assert_eq!(lane_probs, seq_probs, "lane commit diverged from sequential asserts");
+        assert_eq!(lane.shards[k].store.samples(), seq.shards[k].store.samples());
+    }
+
+    #[test]
+    fn redundant_lane_never_clones_the_shard() {
+        let (net, _) = perturbed_network(3, 6, 0.6, 0.9, 13);
+        let n = net.candidate_count();
+        let mut set = ShardSet::build(net.index(), sampler(), &ShardingConfig::default());
+        let target = CandidateId::from_index(0);
+        let (k, _) = set.locate(target);
+        let mut probs = vec![0.0; n];
+        set.write_all_probabilities(&mut probs);
+        set.assert(target, false, &mut probs);
+        let before = Arc::as_ptr(&set.shards[k]);
+        // a lane of same-way re-assertions and contradiction-skips must not
+        // copy-on-write the shard at all
+        let events = vec![
+            Assertion { candidate: target, approved: false }, // same-way no-op
+            Assertion { candidate: target, approved: true },  // contradiction → fallback no-op
+        ];
+        let (snap, results) = set.commit_lane(k, &events);
+        assert!(snap.is_none(), "redundant lane allocated a working snapshot");
+        assert_eq!(results[0], (false, StepOutcome::Integrated, false));
+        assert_eq!(results[1], (false, StepOutcome::Flipped, false));
+        assert_eq!(Arc::as_ptr(&set.shards[k]), before, "shard pointer must be untouched");
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod presets;
 pub mod stats;
 pub mod variants;
 pub mod vocab;
+pub mod workload;
 
 pub use crowd::{mixed_crowd, CrowdSpec};
 pub use dataset::Dataset;
@@ -46,3 +47,4 @@ pub use presets::{bp, po, uaf, webform};
 pub use stats::DatasetStats;
 pub use variants::{CaseStyle, NamingStyle};
 pub use vocab::{Concept, Vocabulary};
+pub use workload::{open_loop, ArrivalEvent, OpenLoopWorkload, SessionAction, WorkloadSpec};

@@ -1,0 +1,180 @@
+//! The serving ingress: typed events, logical-clock stamping and a
+//! bounded queue with typed backpressure.
+//!
+//! Everything the request-driven serving core does is a reaction to a
+//! [`ServiceEvent`] pulled off the [`IngressQueue`]. The queue is the
+//! determinism boundary: an event is stamped with the next logical
+//! clock tick **iff it is accepted** — a rejected submission
+//! ([`IngressError::Full`]) consumes no tick and leaves the accepted
+//! stream untouched, so the accepted-event log always carries the
+//! gapless clocks `0, 1, 2, …` regardless of how many submissions
+//! bounced in between. Replaying that log through a fresh core
+//! reproduces the live run byte for byte (see `docs/SERVING.md` and the
+//! `serve` integration suite).
+
+use smn_schema::{AttributeId, CandidateId};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One request arriving at the serving core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceEvent {
+    /// Session `session` asks for its next question.
+    Question {
+        /// The asking session.
+        session: u64,
+    },
+    /// Session `session` answers its outstanding question. `verdict`
+    /// carries an explicit answer; `None` lets the session's simulated
+    /// crowd worker answer from its error profile.
+    Answer {
+        /// The answering session.
+        session: u64,
+        /// Explicit verdict, or `None` for the simulated worker's.
+        verdict: Option<bool>,
+    },
+    /// A new candidate correspondence arrives (cross-shard: takes an
+    /// exclusive evolution epoch).
+    Extend {
+        /// First endpoint.
+        a: AttributeId,
+        /// Second endpoint.
+        b: AttributeId,
+        /// Matcher confidence of the arrival.
+        confidence: f64,
+    },
+    /// Candidate `candidate` retires (cross-shard: exclusive epoch,
+    /// renumbers every later id).
+    Retire {
+        /// The retiring candidate.
+        candidate: CandidateId,
+    },
+    /// Publish a fresh immutable snapshot of the base for readers.
+    PublishTick,
+}
+
+/// A [`ServiceEvent`] stamped with its ingress logical clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StampedEvent {
+    /// Gapless per-core logical clock, assigned at acceptance.
+    pub clock: u64,
+    /// The accepted event.
+    pub event: ServiceEvent,
+}
+
+/// Why a submission was rejected. The only variant is backpressure —
+/// submitting to a full queue is not an error of the event, and
+/// resubmitting after a [`pump`](crate::serve::ServingCore::pump) will
+/// succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngressError {
+    /// The bounded ingress queue is at capacity; the event was **not**
+    /// accepted, no clock tick was consumed, and previously accepted
+    /// events are unaffected.
+    Full {
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for IngressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngressError::Full { capacity } => {
+                write!(f, "ingress queue full (capacity {capacity}); retry after a pump")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngressError {}
+
+/// The bounded ingress queue: FIFO over accepted events, each stamped
+/// with the next logical clock at acceptance.
+#[derive(Debug)]
+pub struct IngressQueue {
+    events: VecDeque<StampedEvent>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl IngressQueue {
+    /// An empty queue accepting up to `capacity` undrained events
+    /// (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { events: VecDeque::with_capacity(capacity.min(4096)), capacity, clock: 0 }
+    }
+
+    /// Accepts `event`, stamps it with the next clock tick and returns
+    /// that tick — or rejects it with [`IngressError::Full`] *before*
+    /// stamping, so rejected submissions never leave clock gaps.
+    pub fn push(&mut self, event: ServiceEvent) -> Result<u64, IngressError> {
+        if self.events.len() >= self.capacity {
+            return Err(IngressError::Full { capacity: self.capacity });
+        }
+        let clock = self.clock;
+        self.clock += 1;
+        self.events.push_back(StampedEvent { clock, event });
+        Ok(clock)
+    }
+
+    /// Pops the oldest accepted event.
+    pub fn pop(&mut self) -> Option<StampedEvent> {
+        self.events.pop_front()
+    }
+
+    /// Undrained events currently queued.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The next clock tick to be assigned — equals the number of events
+    /// ever accepted.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepted_events_carry_gapless_clocks_across_rejections() {
+        let mut q = IngressQueue::new(2);
+        assert_eq!(q.push(ServiceEvent::Question { session: 0 }), Ok(0));
+        assert_eq!(q.push(ServiceEvent::Question { session: 1 }), Ok(1));
+        // full: rejected, no tick consumed
+        assert_eq!(
+            q.push(ServiceEvent::Question { session: 2 }),
+            Err(IngressError::Full { capacity: 2 })
+        );
+        assert_eq!(q.clock(), 2);
+        let first = q.pop().expect("queued");
+        assert_eq!((first.clock, first.event), (0, ServiceEvent::Question { session: 0 }));
+        // freed capacity: the next acceptance continues the clock gaplessly
+        assert_eq!(q.push(ServiceEvent::PublishTick), Ok(2));
+        assert_eq!(q.pop().map(|e| e.clock), Some(1));
+        assert_eq!(q.pop().map(|e| e.clock), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_has_a_floor_of_one() {
+        let mut q = IngressQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.push(ServiceEvent::PublishTick), Ok(0));
+        assert!(q.push(ServiceEvent::PublishTick).is_err());
+    }
+}

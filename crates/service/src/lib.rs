@@ -41,15 +41,32 @@
 //!   round cadence — after a crash, [`smn_storage::DurableStore::recover`]
 //!   reproduces the base network bit for bit. Storage failures are
 //!   latched, never panicked on.
+//! * a **request-driven serving layer** ([`ServingCore`]) inverting the
+//!   round loop: typed [`ServiceEvent`]s flow through a bounded
+//!   [`IngressQueue`] with typed backpressure and gapless logical-clock
+//!   stamping; a [`SessionManager`] multiplexes thousands of concurrent
+//!   sessions over cheap copy-on-write forks of the published snapshot;
+//!   decided assertions commit in `(shard, clock)` order through
+//!   per-shard commit lanes on the worker pool's high-priority lane,
+//!   with WAL-append-at-commit per lane; evolution takes a brief
+//!   exclusive epoch and snapshots publish by `Arc` swap. The accepted
+//!   event log replays byte for byte ([`ServingCore::replay`]) — see
+//!   `docs/SERVING.md`.
 
 pub mod aggregate;
 pub mod dispatch;
+pub mod event;
+pub mod serve;
 pub mod service;
+pub mod session;
 pub mod worker;
 
 pub use aggregate::{aggregate, Aggregation, Verdict, Vote};
 pub use dispatch::{Dispatcher, Lease};
+pub use event::{IngressError, IngressQueue, ServiceEvent, StampedEvent};
+pub use serve::{LatencySummary, ServeCommit, ServeConfig, ServeReport, ServingCore};
 pub use service::{
     CommitRecord, ReconciliationService, RoundStats, Scheduler, ServiceConfig, ServiceReport,
 };
+pub use session::SessionManager;
 pub use worker::{WorkerPool, WorkerProfile, WorkerStats};

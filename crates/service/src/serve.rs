@@ -1,0 +1,773 @@
+//! The request-driven serving core.
+//!
+//! [`ServingCore`] inverts the round-driven [`crate::service`] loop:
+//! instead of the service deciding when workers answer, *events* arrive
+//! — question requests, answers, candidate arrivals/retirements,
+//! snapshot-publication ticks — through a bounded [`IngressQueue`] with
+//! typed backpressure, and the core reacts:
+//!
+//! * **Questions** are leased per session by the [`SessionManager`]:
+//!   join an under-replicated open question first (redundancy `k`
+//!   fills from concurrent sessions), else select fresh on the
+//!   session's copy-on-write fork of the published snapshot.
+//! * **Answers** resolve to a vote (an explicit verdict, or the
+//!   session's simulated crowd worker answering from its error
+//!   profile); the `k`-th vote aggregates and the decided assertion
+//!   enters the pending commit buffer.
+//! * **Commits** flush in batches through
+//!   [`ProbabilisticNetwork::commit_batch`]: pending assertions are
+//!   ordered by `(shard, decision clock)` and applied through
+//!   per-shard commit lanes — on the worker pool's high-priority lane
+//!   under [`Scheduler::Pool`] — with WAL-append-at-commit through
+//!   per-lane sinks ([`smn_storage::LaneSinks`]) when durability is
+//!   attached.
+//! * **Evolution** (extend/retire) takes a brief exclusive epoch: the
+//!   pending buffer flushes, every open question, assignment and
+//!   session fork drops, the base evolves, and a fresh snapshot
+//!   publishes.
+//! * **Publication** swaps an immutable `Arc` snapshot of the base for
+//!   readers — only when the base's mutation
+//!   [`generation`](ProbabilisticNetwork::generation) actually moved.
+//!
+//! ## Determinism and replay
+//!
+//! Every accepted event is stamped with a gapless logical clock at
+//! ingress, and everything the core does is a pure function of the
+//! accepted-event sequence: worker answers are pure hashes, selection
+//! is an entropy argmax on deterministic snapshots, commits order by
+//! `(shard, clock)`, and commit lanes are byte-identical under any
+//! [`Scheduler`] and thread count. Hence the report and the posteriors
+//! are byte-reproducible across 1/4/8 threads, and
+//! [`ServingCore::replay`] of the accepted log reproduces a live run
+//! exactly — rejected (backpressured) submissions never influence
+//! results because they never enter the log. The integration suite
+//! `serve.rs` pins all of it, including proptests over random event
+//! streams.
+
+use crate::aggregate::{aggregate, Aggregation, Verdict, Vote};
+use crate::event::{IngressError, IngressQueue, ServiceEvent, StampedEvent};
+use crate::service::Scheduler;
+use crate::session::SessionManager;
+use crate::worker::{WorkerPool, WorkerStats};
+use serde::Serialize;
+use smn_constraints::BitSet;
+use smn_core::feedback::Assertion;
+use smn_core::persist::NetworkEvent;
+use smn_core::shard::ShardingConfig;
+use smn_core::{
+    CommitExec, MatchingNetwork, PrecisionRecall, ProbabilisticNetwork, SamplerConfig, StepOutcome,
+};
+use smn_schema::{CandidateId, Correspondence};
+use smn_storage::{DurableStore, LaneSinks, StorageError};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Configuration of the request-driven serving core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Sampler parameters of the base network.
+    pub sampler: SamplerConfig,
+    /// Sample representation of the base network.
+    pub sharding: ShardingConfig,
+    /// Votes per open question (`k`), clamped to the crowd size.
+    pub redundancy: usize,
+    /// How votes reduce to one assertion.
+    pub aggregation: Aggregation,
+    /// OS threads for the commit lanes; `0` uses the machine's available
+    /// parallelism, `1` forces sequential commits. Never affects
+    /// results, only wall-clock.
+    pub threads: usize,
+    /// How commit lanes are scheduled; never affects results.
+    pub scheduler: Scheduler,
+    /// Seed of the simulated crowd's answer noise.
+    pub seed: u64,
+    /// Ingress queue capacity (typed backpressure beyond it).
+    pub capacity: usize,
+    /// Flush the pending commit buffer whenever it reaches this many
+    /// decided assertions (publication ticks and evolution always
+    /// flush).
+    pub flush_every: usize,
+    /// Live session forks held at once (FIFO eviction beyond it).
+    pub max_forks: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            sampler: SamplerConfig::default(),
+            sharding: ShardingConfig::default(),
+            redundancy: 3,
+            aggregation: Aggregation::Majority,
+            threads: 0,
+            scheduler: Scheduler::default(),
+            seed: 0xC0FFEE,
+            capacity: 65_536,
+            flush_every: 64,
+            max_forks: 8_192,
+        }
+    }
+}
+
+/// One committed (aggregated) assertion of a serving run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeCommit {
+    /// 1-based commit count.
+    pub step: usize,
+    /// The asserted candidate id.
+    pub candidate: u32,
+    /// The shard (conflict component) the commit lane wrote.
+    pub shard: usize,
+    /// The committed verdict (after any inconsistency fallback).
+    pub approved: bool,
+    /// `integrated`, `flipped` or `skipped` (see [`StepOutcome`]).
+    pub outcome: String,
+    /// Raw approving votes.
+    pub votes_for: usize,
+    /// Raw disapproving votes.
+    pub votes_against: usize,
+    /// Logical clock of the `k`-th (deciding) vote.
+    pub decided_clock: u64,
+    /// Logical clock of the flush that committed it.
+    pub committed_clock: u64,
+    /// Network uncertainty after the commit's flush.
+    pub entropy_after: f64,
+    /// User effort after the commit's flush.
+    pub effort_after: f64,
+}
+
+/// Order statistics of the decided→committed logical-clock latency.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencySummary {
+    /// Committed assertions measured.
+    pub count: u64,
+    /// Median latency in clock ticks.
+    pub p50: u64,
+    /// 99th-percentile latency in clock ticks.
+    pub p99: u64,
+    /// Worst latency in clock ticks.
+    pub max: u64,
+    /// Mean latency in clock ticks.
+    pub mean: f64,
+}
+
+impl LatencySummary {
+    fn of(latencies: &[u64]) -> Self {
+        if latencies.is_empty() {
+            return Self { count: 0, p50: 0, p99: 0, max: 0, mean: 0.0 };
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+        Self {
+            count: sorted.len() as u64,
+            p50: q(0.50),
+            p99: q(0.99),
+            max: *sorted.last().expect("nonempty"),
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+        }
+    }
+}
+
+/// The machine-readable outcome of a serving run. Carries no thread
+/// count and no wall-clock: everything is a deterministic function of
+/// the accepted-event sequence and the configuration seeds, so
+/// identically-driven runs serialize byte-identically at any
+/// parallelism — the `serve` determinism suite pins it.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Distinct sessions that sent at least one event.
+    pub sessions: u64,
+    /// Simulated crowd workers.
+    pub workers: usize,
+    /// Effective redundancy `k`.
+    pub redundancy: usize,
+    /// Aggregation scheme label.
+    pub aggregation: String,
+    /// Per-worker configured error rates.
+    pub worker_error_rates: Vec<f64>,
+    /// Events accepted at ingress (= the accepted log length).
+    pub events_accepted: u64,
+    /// Question events that ended with the session holding a lease.
+    pub questions_leased: u64,
+    /// Worker answers collected (the serving throughput numerator).
+    pub questions_asked: u64,
+    /// Question events that found nothing available to ask.
+    pub starved_questions: u64,
+    /// Answer events with no outstanding question (dropped).
+    pub ignored_answers: u64,
+    /// Committed assertions, in commit order.
+    pub commits: Vec<ServeCommit>,
+    /// Commit-buffer flushes executed.
+    pub flushes: u64,
+    /// Snapshot publications that actually swapped the `Arc`.
+    pub publications: u64,
+    /// Exclusive evolution epochs taken.
+    pub epochs: u64,
+    /// Decided→committed latency in logical clock ticks.
+    pub latency: LatencySummary,
+    /// Per-worker tallies (answers, errors vs ground truth).
+    pub worker_stats: Vec<WorkerStats>,
+    /// Final network uncertainty.
+    pub final_entropy: f64,
+    /// Final user effort.
+    pub final_effort: f64,
+    /// Final precision of the probability-majority matching.
+    pub final_precision: f64,
+    /// Final recall of the same matching.
+    pub final_recall: f64,
+    /// The latched storage fault of the attached durable store, if any —
+    /// in the report itself so saved JSON cannot silently drop it.
+    pub durability_error: Option<String>,
+}
+
+/// An open (leased, under-voted) question.
+struct OpenQuestion {
+    assigned: Vec<u64>,
+    votes: Vec<Vote>,
+}
+
+/// A `k`-voted assertion waiting for its commit flush.
+#[derive(Debug, Clone, Copy)]
+struct DecidedAssertion {
+    clock: u64,
+    candidate: CandidateId,
+    approved: bool,
+    votes_for: usize,
+    votes_against: usize,
+}
+
+/// Durability state of a serving core: the store, the per-lane WAL
+/// sinks of the in-flight flush, and the first latched fault.
+struct ServeDurability {
+    store: DurableStore,
+    lanes: LaneSinks,
+    error: Option<StorageError>,
+}
+
+/// The request-driven serving core; see the module docs.
+pub struct ServingCore {
+    base: ProbabilisticNetwork,
+    published: Arc<ProbabilisticNetwork>,
+    published_generation: u64,
+    sessions: SessionManager,
+    crowd: WorkerPool,
+    truth: Vec<Correspondence>,
+    config: ServeConfig,
+    ingress: IngressQueue,
+    open: HashMap<CandidateId, OpenQuestion>,
+    open_fifo: VecDeque<CandidateId>,
+    assignments: HashMap<u64, CandidateId>,
+    pending: Vec<DecidedAssertion>,
+    pending_set: HashSet<CandidateId>,
+    /// Candidates asserted in the base — recounted after every flush and
+    /// epoch, so the starvation check (`available() == 0`) is O(1) per
+    /// question event instead of a fork + O(|C|) scan.
+    asserted_count: usize,
+    log: Vec<StampedEvent>,
+    commits: Vec<ServeCommit>,
+    history: Vec<Assertion>,
+    latencies: Vec<u64>,
+    sessions_seen: HashSet<u64>,
+    questions_leased: u64,
+    questions_asked: u64,
+    starved_questions: u64,
+    ignored_answers: u64,
+    flushes: u64,
+    publications: u64,
+    epochs: u64,
+    durability: Option<ServeDurability>,
+}
+
+impl ServingCore {
+    /// Builds the core: the base probabilistic network (initial sampling
+    /// under `config.sampler`/`config.sharding`), a simulated crowd with
+    /// the given per-worker error rates answering against `truth`, and
+    /// an empty ingress.
+    pub fn new(
+        network: MatchingNetwork,
+        truth: Vec<Correspondence>,
+        error_rates: impl IntoIterator<Item = f64>,
+        config: ServeConfig,
+    ) -> Self {
+        let base = ProbabilisticNetwork::new_sharded(network, config.sampler, config.sharding);
+        // same derived stream as the round-mode service, so a serve run
+        // and a round run over the same seed share their crowd coins
+        let crowd = WorkerPool::new(
+            error_rates,
+            truth.iter().copied(),
+            config.seed.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(1),
+        );
+        let published = Arc::new(base.fork());
+        let published_generation = base.generation();
+        Self {
+            base,
+            published,
+            published_generation,
+            sessions: SessionManager::new(config.max_forks),
+            crowd,
+            truth,
+            config,
+            ingress: IngressQueue::new(config.capacity),
+            open: HashMap::new(),
+            open_fifo: VecDeque::new(),
+            assignments: HashMap::new(),
+            pending: Vec::new(),
+            pending_set: HashSet::new(),
+            asserted_count: 0,
+            log: Vec::new(),
+            commits: Vec::new(),
+            history: Vec::new(),
+            latencies: Vec::new(),
+            sessions_seen: HashSet::new(),
+            questions_leased: 0,
+            questions_asked: 0,
+            starved_questions: 0,
+            ignored_answers: 0,
+            flushes: 0,
+            publications: 0,
+            epochs: 0,
+            durability: None,
+        }
+    }
+
+    /// Attaches a durable store under `dir`: the current base and
+    /// committed history snapshot immediately, and every later commit is
+    /// WAL-appended *inside its flush* through per-lane sinks, fsynced
+    /// once per flush. Storage faults latch (see
+    /// [`durability_error`](Self::durability_error) and
+    /// [`ServeReport::durability_error`]) — the core never fails on
+    /// storage trouble.
+    pub fn attach_durability(&mut self, dir: impl AsRef<Path>) -> Result<(), StorageError> {
+        let store =
+            DurableStore::open(dir.as_ref(), &self.base, &self.history, self.history.len() as u64)?;
+        self.durability = Some(ServeDurability { store, lanes: LaneSinks::new(), error: None });
+        Ok(())
+    }
+
+    /// The first storage fault the attached store hit, if any.
+    pub fn durability_error(&self) -> Option<&StorageError> {
+        self.durability.as_ref().and_then(|d| d.error.as_ref())
+    }
+
+    /// The base probabilistic network (the writer's view).
+    pub fn base(&self) -> &ProbabilisticNetwork {
+        &self.base
+    }
+
+    /// The last published immutable snapshot (the readers' view).
+    pub fn published(&self) -> &Arc<ProbabilisticNetwork> {
+        &self.published
+    }
+
+    /// The accepted-event log: every event ever accepted at ingress, in
+    /// clock order. Replaying it through [`ServingCore::replay`]
+    /// reproduces this run byte for byte.
+    pub fn event_log(&self) -> &[StampedEvent] {
+        &self.log
+    }
+
+    /// The committed assertions so far, in commit order.
+    pub fn commits(&self) -> &[ServeCommit] {
+        &self.commits
+    }
+
+    /// Commit-buffer flushes executed so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// The committed assertion history in `smn-core` terms.
+    pub fn history(&self) -> &[Assertion] {
+        &self.history
+    }
+
+    /// The simulated crowd.
+    pub fn crowd(&self) -> &WorkerPool {
+        &self.crowd
+    }
+
+    /// Submits one event to the bounded ingress. Accepted events are
+    /// stamped with the next gapless logical clock and their tick is
+    /// returned; a full queue rejects with [`IngressError::Full`]
+    /// *without* consuming a tick — drain with [`pump`](Self::pump) and
+    /// resubmit.
+    pub fn submit(&mut self, event: ServiceEvent) -> Result<u64, IngressError> {
+        self.ingress.push(event)
+    }
+
+    /// Drains the ingress queue, applying every accepted event in clock
+    /// order. Returns how many events were applied.
+    pub fn pump(&mut self) -> usize {
+        let mut applied = 0;
+        while let Some(stamped) = self.ingress.pop() {
+            self.log.push(stamped);
+            self.apply(stamped);
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Drives a whole event stream: submits each event, transparently
+    /// pumping on backpressure. The accepted order equals the stream
+    /// order — backpressure delays, never drops or reorders.
+    pub fn run_events(&mut self, events: impl IntoIterator<Item = ServiceEvent>) {
+        for event in events {
+            if self.submit(event).is_err() {
+                self.pump();
+                self.submit(event).expect("a drained queue accepts");
+            }
+        }
+        self.pump();
+    }
+
+    /// Finishes the run: drains the ingress, flushes the pending commit
+    /// buffer, publishes a final snapshot (and a final durable
+    /// checkpoint when attached), and assembles the report.
+    pub fn finish(&mut self) -> ServeReport {
+        self.pump();
+        let clock = self.ingress.clock();
+        self.flush(clock);
+        self.publish();
+        if let Some(d) = &mut self.durability {
+            if d.error.is_none() {
+                if let Err(e) = d.store.publish(&self.base, &self.history) {
+                    d.error = Some(e);
+                }
+            }
+        }
+        self.report()
+    }
+
+    /// Replays an accepted-event log through a fresh core: each event is
+    /// submitted and applied one at a time (the queue never fills, so no
+    /// backpressure can occur), reproducing the live run that emitted
+    /// the log byte for byte.
+    pub fn replay(
+        network: MatchingNetwork,
+        truth: Vec<Correspondence>,
+        error_rates: impl IntoIterator<Item = f64>,
+        config: ServeConfig,
+        log: &[StampedEvent],
+    ) -> Self {
+        let mut core = Self::new(network, truth, error_rates, config);
+        for stamped in log {
+            let clock = core.submit(stamped.event).expect("replay queue never fills");
+            debug_assert_eq!(clock, stamped.clock, "replay clock drifted from the log");
+            core.pump();
+        }
+        core
+    }
+
+    /// Applies one accepted event.
+    fn apply(&mut self, stamped: StampedEvent) {
+        match stamped.event {
+            ServiceEvent::Question { session } => self.on_question(session),
+            ServiceEvent::Answer { session, verdict } => {
+                self.on_answer(stamped.clock, session, verdict);
+            }
+            ServiceEvent::PublishTick => {
+                self.flush(stamped.clock);
+                self.publish();
+            }
+            ServiceEvent::Extend { a, b, confidence } => {
+                self.epoch(stamped.clock, |core| {
+                    if core.base.extend(a, b, confidence).is_ok() {
+                        core.journal_evolution(NetworkEvent::Extend { a, b, confidence });
+                    }
+                });
+            }
+            ServiceEvent::Retire { candidate } => {
+                self.epoch(stamped.clock, |core| {
+                    if core.base.retire(candidate).is_ok() {
+                        core.history.retain(|h| h.candidate != candidate);
+                        for h in &mut core.history {
+                            if h.candidate > candidate {
+                                h.candidate = CandidateId(h.candidate.0 - 1);
+                            }
+                        }
+                        core.journal_evolution(NetworkEvent::Retire { candidate });
+                    }
+                });
+            }
+        }
+    }
+
+    /// Leases a question to `session`: re-issue its outstanding one,
+    /// join the oldest under-replicated open question it hasn't voted
+    /// on, or select fresh on its session fork.
+    fn on_question(&mut self, session: u64) {
+        self.sessions_seen.insert(session);
+        if self.assignments.contains_key(&session) {
+            self.questions_leased += 1; // re-issue of the outstanding lease
+            return;
+        }
+        let k = self.config.redundancy.clamp(1, self.crowd.len());
+        // compact the join queue: a question that was decided or whose k
+        // seats all filled never becomes joinable again (seats only fill,
+        // and a decided candidate cannot reopen before an epoch clears
+        // the queue), so dead heads pop permanently — amortized O(1)
+        while let Some(&c) = self.open_fifo.front() {
+            match self.open.get(&c) {
+                Some(q) if q.assigned.len() < k => break,
+                _ => {
+                    self.open_fifo.pop_front();
+                }
+            }
+        }
+        // join: oldest open question still under k assignees, skipping
+        // ones this session already holds or voted on
+        let mut joined: Option<CandidateId> = None;
+        for &c in &self.open_fifo {
+            let Some(q) = self.open.get(&c) else { continue }; // lazily stale
+            if q.assigned.len() < k && !q.assigned.contains(&session) {
+                joined = Some(c);
+                break;
+            }
+        }
+        if let Some(c) = joined {
+            self.open.get_mut(&c).expect("found above").assigned.push(session);
+            self.assignments.insert(session, c);
+            self.questions_leased += 1;
+            return;
+        }
+        if self.available() == 0 {
+            // every candidate is asserted, open or awaiting its commit:
+            // no fork, no scan — starvation is a counter bump
+            self.starved_questions += 1;
+            return;
+        }
+        // fresh selection on the session's fork; availability is
+        // authoritative against the base + in-flight state
+        let selected = {
+            let base_feedback = self.base.feedback();
+            let pending = &self.pending_set;
+            let open = &self.open;
+            let unavailable = move |c: CandidateId| {
+                base_feedback.is_asserted(c) || pending.contains(&c) || open.contains_key(&c)
+            };
+            self.sessions.select(session, &self.published, self.published_generation, &unavailable)
+        };
+        match selected {
+            Some(c) => {
+                self.open.insert(c, OpenQuestion { assigned: vec![session], votes: Vec::new() });
+                self.open_fifo.push_back(c);
+                self.assignments.insert(session, c);
+                self.questions_leased += 1;
+            }
+            None => self.starved_questions += 1,
+        }
+    }
+
+    /// Resolves `session`'s outstanding question into a vote; the `k`-th
+    /// vote aggregates into a decided assertion.
+    fn on_answer(&mut self, clock: u64, session: u64, verdict: Option<bool>) {
+        self.sessions_seen.insert(session);
+        let Some(candidate) = self.assignments.remove(&session) else {
+            self.ignored_answers += 1;
+            return;
+        };
+        let corr = self.base.network().corr(candidate);
+        let worker = (session as usize) % self.crowd.len();
+        let approved = verdict.unwrap_or_else(|| self.crowd.answer(worker, corr));
+        self.crowd.record(worker, corr, approved);
+        self.questions_asked += 1;
+        self.sessions.observe(session, Assertion { candidate, approved });
+        let Some(q) = self.open.get_mut(&candidate) else { return };
+        q.votes.push(Vote { worker, approved, expected_entropy: 0.0 });
+        let k = self.config.redundancy.clamp(1, self.crowd.len());
+        if q.votes.len() < k {
+            return;
+        }
+        let q = self.open.remove(&candidate).expect("present above");
+        let verdict: Verdict = aggregate(self.config.aggregation, &q.votes, self.crowd.profiles());
+        self.pending.push(DecidedAssertion {
+            clock,
+            candidate,
+            approved: verdict.approved,
+            votes_for: verdict.votes_for,
+            votes_against: verdict.votes_against,
+        });
+        self.pending_set.insert(candidate);
+        if self.pending.len() >= self.config.flush_every.max(1) {
+            self.flush(clock);
+        }
+    }
+
+    /// Flushes the pending commit buffer at logical time `clock`:
+    /// decided assertions order by `(shard, decision clock)`, commit
+    /// through per-shard lanes, journal into per-lane WAL sinks, and
+    /// drain to the store with one fsync.
+    fn flush(&mut self, clock: u64) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut decided = std::mem::take(&mut self.pending);
+        decided.sort_by_key(|d| (self.base.shard_of(d.candidate), d.clock));
+        let requests: Vec<Assertion> = decided
+            .iter()
+            .map(|d| Assertion { candidate: d.candidate, approved: d.approved })
+            .collect();
+        let exec = self.commit_exec();
+        let outcomes = self.base.commit_batch(&requests, exec);
+        let (entropy_after, effort_after) = (self.base.entropy(), self.base.effort());
+        for (d, o) in decided.iter().zip(&outcomes) {
+            self.pending_set.remove(&d.candidate);
+            self.latencies.push(clock - d.clock);
+            if o.outcome != StepOutcome::Skipped {
+                self.history.push(Assertion { candidate: o.candidate, approved: o.approved });
+                if let Some(dur) = &mut self.durability {
+                    if dur.error.is_none() {
+                        dur.lanes.append(
+                            o.shard,
+                            NetworkEvent::Assert { candidate: o.candidate, approved: o.approved },
+                        );
+                    }
+                }
+            }
+            self.commits.push(ServeCommit {
+                step: self.commits.len() + 1,
+                candidate: o.candidate.0,
+                shard: o.shard,
+                approved: o.approved,
+                outcome: match o.outcome {
+                    StepOutcome::Integrated => "integrated".into(),
+                    StepOutcome::Flipped => "flipped".into(),
+                    StepOutcome::Skipped => "skipped".into(),
+                },
+                votes_for: d.votes_for,
+                votes_against: d.votes_against,
+                decided_clock: d.clock,
+                committed_clock: clock,
+                entropy_after,
+                effort_after,
+            });
+        }
+        self.flushes += 1;
+        self.recount_asserted();
+        if let Some(dur) = &mut self.durability {
+            if dur.error.is_none() {
+                if let Err(e) = dur.lanes.drain_into(&mut dur.store) {
+                    dur.error = Some(e);
+                }
+            }
+        }
+    }
+
+    /// Candidates a fresh question could still target: unasserted in the
+    /// base and neither open nor awaiting a commit. O(1) — see
+    /// `asserted_count`.
+    fn available(&self) -> usize {
+        self.base
+            .network()
+            .candidate_count()
+            .saturating_sub(self.asserted_count)
+            .saturating_sub(self.open.len())
+            .saturating_sub(self.pending_set.len())
+    }
+
+    /// Recounts base assertions after a flush or epoch (the only moments
+    /// the base's feedback can change).
+    fn recount_asserted(&mut self) {
+        let feedback = self.base.feedback();
+        self.asserted_count = (0..self.base.network().candidate_count())
+            .filter(|&i| feedback.is_asserted(CandidateId::from_index(i)))
+            .count();
+    }
+
+    /// The commit-lane execution for the configured scheduler/threads.
+    fn commit_exec(&self) -> CommitExec {
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.config.threads
+        };
+        match self.config.scheduler {
+            Scheduler::Inline => CommitExec::Sequential,
+            _ if threads <= 1 => CommitExec::Sequential,
+            Scheduler::Pool => CommitExec::Pool,
+            Scheduler::Scoped => CommitExec::Scoped,
+        }
+    }
+
+    /// Publishes a fresh immutable snapshot when the base actually moved
+    /// since the last publication.
+    fn publish(&mut self) {
+        if self.base.generation() != self.published_generation {
+            self.published = Arc::new(self.base.fork());
+            self.published_generation = self.base.generation();
+            self.publications += 1;
+        }
+    }
+
+    /// An exclusive evolution epoch: flush, drop every open question,
+    /// assignment and session fork, evolve, publish.
+    fn epoch(&mut self, clock: u64, evolve: impl FnOnce(&mut Self)) {
+        self.flush(clock);
+        self.open.clear();
+        self.open_fifo.clear();
+        self.assignments.clear();
+        self.sessions.reset();
+        evolve(self);
+        self.recount_asserted();
+        if let Some(d) = &mut self.durability {
+            if d.error.is_none() {
+                if let Err(e) = d.store.sync() {
+                    d.error = Some(e);
+                }
+            }
+        }
+        self.publish();
+        self.epochs += 1;
+    }
+
+    /// Journals one applied evolution event, latching the first fault.
+    fn journal_evolution(&mut self, event: NetworkEvent) {
+        let Some(d) = &mut self.durability else { return };
+        if d.error.is_some() {
+            return;
+        }
+        if let Err(e) = d.store.append(&event) {
+            d.error = Some(e);
+        }
+    }
+
+    /// Precision/recall of the probability-majority matching
+    /// `{c : p_c > ½}` against the verified matching.
+    fn matching_quality(&self) -> PrecisionRecall {
+        let n = self.base.network().candidate_count();
+        let matching = BitSet::from_ids(
+            n,
+            (0..n).map(CandidateId::from_index).filter(|&c| self.base.probability(c) > 0.5),
+        );
+        PrecisionRecall::of_instance(self.base.network(), &matching, self.truth.iter().copied())
+    }
+
+    /// Assembles the (deterministic) report of everything so far.
+    pub fn report(&self) -> ServeReport {
+        let quality = self.matching_quality();
+        ServeReport {
+            sessions: self.sessions_seen.len() as u64,
+            workers: self.crowd.len(),
+            redundancy: self.config.redundancy.clamp(1, self.crowd.len()),
+            aggregation: self.config.aggregation.label().to_string(),
+            worker_error_rates: self.crowd.profiles().iter().map(|p| p.error_rate).collect(),
+            events_accepted: self.log.len() as u64,
+            questions_leased: self.questions_leased,
+            questions_asked: self.questions_asked,
+            starved_questions: self.starved_questions,
+            ignored_answers: self.ignored_answers,
+            commits: self.commits.clone(),
+            flushes: self.flushes,
+            publications: self.publications,
+            epochs: self.epochs,
+            latency: LatencySummary::of(&self.latencies),
+            worker_stats: self.crowd.stats().to_vec(),
+            final_entropy: self.base.entropy(),
+            final_effort: self.base.effort(),
+            final_precision: quality.precision,
+            final_recall: quality.recall,
+            durability_error: self.durability_error().map(|e| e.to_string()),
+        }
+    }
+}

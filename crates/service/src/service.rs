@@ -188,6 +188,12 @@ pub struct ServiceReport {
     pub final_precision: f64,
     /// Final recall of the probability-majority matching.
     pub final_recall: f64,
+    /// The latched storage fault of the attached durable store, if any —
+    /// surfaced in the report (not only behind the
+    /// [`durability_error`](ReconciliationService::durability_error)
+    /// getter) so saved JSON cannot silently drop a journaling failure.
+    /// `None` while journaling is healthy or detached.
+    pub durability_error: Option<String>,
 }
 
 /// The attached durability state: a [`DurableStore`] the service journals
@@ -464,6 +470,7 @@ impl ReconciliationService {
             final_effort: self.base.effort(),
             final_precision: quality.precision,
             final_recall: quality.recall,
+            durability_error: self.durability_error().map(|e| e.to_string()),
         }
     }
 }

@@ -1,0 +1,242 @@
+//! The session multiplexer: thousands of concurrent sessions over
+//! cheap copy-on-write forks of the published base.
+//!
+//! Each live session may hold its own [`ProbabilisticNetwork::fork`] of
+//! the last published snapshot — `O(#shards)` pointer copies plus the
+//! probability vector, no sample matrix — which it advances with its
+//! own observations so its *next* question reflects what it already
+//! answered even before the commit lanes fold the answer into the
+//! base. Forks are allocated lazily (only when a session actually
+//! selects a fresh question), refreshed when the published generation
+//! moves past them, and capped at `SessionManager::max_forks` live
+//! forks with FIFO eviction — an evicted or capped session simply
+//! selects on the shared published snapshot, which changes wall-clock
+//! behaviour, never the deterministic outcome (selection is filtered by
+//! the caller's authoritative `unavailable` set either way).
+//!
+//! Question selection is the paper's entropy-argmax restricted to what
+//! serving can afford per event: `argmax H(p_c)` over the uncertain,
+//! available candidates. Binary entropy is strictly decreasing in
+//! `|p − ½|`, so the scan compares `|p − ½|` directly — same argmax,
+//! no `log2` per candidate — and breaks ties toward the lowest id,
+//! making the choice a pure function of the (deterministic) snapshot.
+
+use smn_core::feedback::Assertion;
+use smn_core::ProbabilisticNetwork;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use smn_schema::CandidateId;
+
+/// One session's private view: a fork of the published base and the
+/// generation it was forked at.
+struct SessionSlot {
+    fork: ProbabilisticNetwork,
+    generation: u64,
+}
+
+/// Multiplexes concurrent sessions over the shared published snapshot.
+pub struct SessionManager {
+    slots: HashMap<u64, SessionSlot>,
+    fork_fifo: VecDeque<u64>,
+    max_forks: usize,
+}
+
+impl SessionManager {
+    /// A manager keeping at most `max_forks` live session forks (min 1).
+    pub fn new(max_forks: usize) -> Self {
+        Self { slots: HashMap::new(), fork_fifo: VecDeque::new(), max_forks: max_forks.max(1) }
+    }
+
+    /// Live session forks currently held.
+    pub fn live_forks(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Selects session `session`'s next question on its private view:
+    /// the most uncertain candidate (`argmax H(p)` = `argmin |p − ½|`,
+    /// ties to the lowest id) among those with `0 < p < 1` that the
+    /// caller's `unavailable` filter admits; falls back to the first
+    /// available unasserted candidate when every probability is pinned;
+    /// `None` when nothing is available at all.
+    ///
+    /// Lazily forks the published snapshot for the session (refreshing a
+    /// fork whose `generation` fell behind `published_generation`); at
+    /// the fork cap the session selects directly on `published` without
+    /// holding a fork.
+    pub fn select(
+        &mut self,
+        session: u64,
+        published: &Arc<ProbabilisticNetwork>,
+        published_generation: u64,
+        unavailable: &dyn Fn(CandidateId) -> bool,
+    ) -> Option<CandidateId> {
+        match self.slots.get(&session) {
+            Some(slot) if slot.generation >= published_generation => {}
+            Some(_) => {
+                // stale fork: the base has moved — refresh from published
+                let slot = self.slots.get_mut(&session).expect("checked above");
+                slot.fork = published.as_ref().fork();
+                slot.generation = published_generation;
+            }
+            None if self.slots.len() < self.max_forks => {
+                self.slots.insert(
+                    session,
+                    SessionSlot {
+                        fork: published.as_ref().fork(),
+                        generation: published_generation,
+                    },
+                );
+                self.fork_fifo.push_back(session);
+            }
+            None => {
+                // at the cap: evict the oldest holder to admit this one
+                while self.slots.len() >= self.max_forks {
+                    match self.fork_fifo.pop_front() {
+                        Some(old) => {
+                            self.slots.remove(&old);
+                        }
+                        None => break,
+                    }
+                }
+                self.slots.insert(
+                    session,
+                    SessionSlot {
+                        fork: published.as_ref().fork(),
+                        generation: published_generation,
+                    },
+                );
+                self.fork_fifo.push_back(session);
+            }
+        }
+        let view: &ProbabilisticNetwork =
+            self.slots.get(&session).map_or(published.as_ref(), |s| &s.fork);
+        select_on(view, unavailable)
+    }
+
+    /// Applies `assertion` to the session's private fork (if it holds
+    /// one), so its next selection sees its own answer immediately. The
+    /// authoritative integration happens in the commit lanes; a rejected
+    /// or redundant private echo is simply dropped.
+    pub fn observe(&mut self, session: u64, assertion: Assertion) {
+        if let Some(slot) = self.slots.get_mut(&session) {
+            let _ = slot.fork.assert_candidate(assertion);
+        }
+    }
+
+    /// Drops every session fork — the evolution-epoch reset: ids may
+    /// have been renumbered, so private views are all invalid.
+    pub fn reset(&mut self) {
+        self.slots.clear();
+        self.fork_fifo.clear();
+    }
+}
+
+/// The selection scan on one view; see [`SessionManager::select`].
+fn select_on(
+    view: &ProbabilisticNetwork,
+    unavailable: &dyn Fn(CandidateId) -> bool,
+) -> Option<CandidateId> {
+    let probs = view.probabilities();
+    let mut best: Option<(f64, CandidateId)> = None;
+    for (i, &p) in probs.iter().enumerate() {
+        if p <= 0.0 || p >= 1.0 {
+            continue;
+        }
+        let c = CandidateId::from_index(i);
+        if unavailable(c) {
+            continue;
+        }
+        let d = (p - 0.5).abs();
+        // strict < keeps the lowest id on ties
+        if best.map_or(true, |(bd, _)| d < bd) {
+            best = Some((d, c));
+        }
+    }
+    if let Some((_, c)) = best {
+        return Some(c);
+    }
+    // all pinned: validate the first available unasserted candidate
+    (0..probs.len())
+        .map(CandidateId::from_index)
+        .find(|&c| !view.feedback().is_asserted(c) && !unavailable(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smn_testkit::{fig1_network, tiny_sampler};
+
+    fn published() -> Arc<ProbabilisticNetwork> {
+        Arc::new(ProbabilisticNetwork::new_sharded(
+            fig1_network(),
+            tiny_sampler(5),
+            smn_core::shard::ShardingConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn selection_is_entropy_argmax_with_lowest_id_ties() {
+        let base = published();
+        let mut mgr = SessionManager::new(8);
+        // fig1: all five candidates at p = 0.5 → lowest id wins
+        let c = mgr.select(0, &base, 0, &|_| false).expect("uncertain candidates exist");
+        assert_eq!(c, CandidateId(0));
+        // masking c0 moves to the next lowest
+        let c = mgr.select(1, &base, 0, &|c| c == CandidateId(0)).expect("more remain");
+        assert_eq!(c, CandidateId(1));
+    }
+
+    #[test]
+    fn observed_answers_steer_the_sessions_own_next_question() {
+        let base = published();
+        let mut mgr = SessionManager::new(8);
+        assert_eq!(mgr.select(7, &base, 0, &|_| false), Some(CandidateId(0)));
+        mgr.observe(7, Assertion { candidate: CandidateId(2), approved: true });
+        // the private fork collapsed c2 (p=1) and c4 (p=0); both leave the
+        // uncertain pool for THIS session only
+        let c = mgr.select(7, &base, 0, &|c| c == CandidateId(0)).expect("still uncertain");
+        assert_ne!(c, CandidateId(2));
+        assert_ne!(c, CandidateId(4));
+        // an unrelated session still sees the published base untouched
+        assert_eq!(mgr.select(8, &base, 0, &|c| c == CandidateId(0)), Some(CandidateId(1)));
+    }
+
+    #[test]
+    fn fork_cap_evicts_fifo_but_still_selects() {
+        let base = published();
+        let mut mgr = SessionManager::new(2);
+        for s in 0..5u64 {
+            assert!(mgr.select(s, &base, 0, &|_| false).is_some());
+        }
+        assert!(mgr.live_forks() <= 2, "cap must bound live forks");
+    }
+
+    #[test]
+    fn stale_forks_refresh_to_the_published_generation() {
+        let base = published();
+        let mut mgr = SessionManager::new(4);
+        mgr.observe(3, Assertion { candidate: CandidateId(2), approved: true });
+        assert_eq!(mgr.select(3, &base, 0, &|_| false), Some(CandidateId(0)));
+        mgr.observe(3, Assertion { candidate: CandidateId(2), approved: true });
+        // bump the published generation: the session's fork must refresh,
+        // forgetting its private echo
+        let mut fresh = base.as_ref().fork();
+        fresh.assert_candidate(Assertion { candidate: CandidateId(0), approved: false }).unwrap();
+        let fresh = Arc::new(fresh);
+        let c = mgr.select(3, &fresh, 1, &|_| false).expect("uncertain remain");
+        assert_ne!(c, CandidateId(0), "refreshed fork must see the published assertion");
+    }
+
+    #[test]
+    fn reset_drops_every_fork() {
+        let base = published();
+        let mut mgr = SessionManager::new(4);
+        for s in 0..3 {
+            mgr.select(s, &base, 0, &|_| false);
+        }
+        assert!(mgr.live_forks() > 0);
+        mgr.reset();
+        assert_eq!(mgr.live_forks(), 0);
+    }
+}

@@ -140,3 +140,23 @@ fn a_mid_run_kill_recovers_the_committed_prefix() {
     assert_eq!(rec.network.to_state(), svc.base().to_state());
     assert_eq!(rec.network.probabilities(), svc.base().probabilities());
 }
+
+#[test]
+fn storage_faults_latch_and_surface_in_the_report() {
+    // yank the store directory out from under the service: the next
+    // snapshot publication (cadence 1) fails, the fault latches, and the
+    // report itself carries it — saved JSON cannot silently drop it
+    let dir = scratch("svc-latched").join("store");
+    let mut svc = service(2);
+    svc.attach_durability(&dir, 1).expect("attach");
+    std::fs::remove_dir_all(&dir).expect("remove the live store directory");
+    let report = svc.run();
+    let latched = svc.durability_error().expect("the publish failure must latch");
+    assert_eq!(
+        report.durability_error.as_deref(),
+        Some(latched.to_string().as_str()),
+        "the report surfaces the latched fault verbatim"
+    );
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("\"durability_error\":\""), "the fault serializes into saved JSON");
+}

@@ -1,0 +1,150 @@
+//! Per-lane WAL sink handles for the request-driven serving layer.
+//!
+//! The serving commit path (`smn-service::serve`) applies decided
+//! assertions through per-shard commit lanes; durability moves *into*
+//! the lanes as WAL-append-at-commit. But the [`DurableStore`] is a
+//! single append-only log with one sequence counter — lanes cannot
+//! append to it concurrently without serializing on a lock and making
+//! sequence numbers race-dependent. [`LaneSinks`] resolves that the
+//! same way the probability layer does: each lane records its events
+//! into its own buffer ([`EventSink`] via [`LaneSinks::lane`]), and
+//! after the batch has been installed the buffers are drained into the
+//! store **in ascending lane order** ([`LaneSinks::drain_into`]), then
+//! fsynced once. The WAL byte stream is therefore a pure function of
+//! the committed batch — identical whether the lanes ran sequentially,
+//! on the pool, or on scoped threads — which is what lets the
+//! crash-recovery differential suite certify the serving path with the
+//! round-mode machinery unchanged.
+
+use crate::error::StorageError;
+use crate::store::DurableStore;
+use smn_core::persist::{EventSink, NetworkEvent};
+use std::collections::BTreeMap;
+
+/// Per-lane event buffers, drained into one [`DurableStore`] in
+/// ascending lane order.
+#[derive(Debug, Default)]
+pub struct LaneSinks {
+    lanes: BTreeMap<usize, Vec<NetworkEvent>>,
+}
+
+/// A borrowed [`EventSink`] recording into one lane's buffer.
+pub struct LaneSink<'a> {
+    buffer: &'a mut Vec<NetworkEvent>,
+}
+
+impl EventSink for LaneSink<'_> {
+    fn record(&mut self, event: &NetworkEvent) {
+        self.buffer.push(*event);
+    }
+}
+
+impl LaneSinks {
+    /// An empty set of lane buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The sink handle for `lane` (created on first use).
+    pub fn lane(&mut self, lane: usize) -> LaneSink<'_> {
+        LaneSink { buffer: self.lanes.entry(lane).or_default() }
+    }
+
+    /// Buffers one event on `lane` without going through the sink trait.
+    pub fn append(&mut self, lane: usize, event: NetworkEvent) {
+        self.lanes.entry(lane).or_default().push(event);
+    }
+
+    /// Total buffered events across lanes.
+    pub fn pending(&self) -> usize {
+        self.lanes.values().map(Vec::len).sum()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Appends every buffered event to `store` — ascending lane id,
+    /// insertion order within a lane — then syncs once and returns the
+    /// number of events written. The buffers are consumed even on
+    /// error: a failed drain is a latched storage fault (the serving
+    /// layer surfaces it in its report), not a retry queue.
+    pub fn drain_into(&mut self, store: &mut DurableStore) -> Result<u64, StorageError> {
+        let lanes = std::mem::take(&mut self.lanes);
+        let mut written = 0u64;
+        for (_, events) in lanes {
+            for event in &events {
+                store.append(event)?;
+                written += 1;
+            }
+        }
+        if written > 0 {
+            store.sync()?;
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smn_core::feedback::Assertion;
+    use smn_core::sampling::SamplerConfig;
+    use smn_core::ProbabilisticNetwork;
+    use smn_schema::CandidateId;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("smn-lanes-tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn sampler() -> SamplerConfig {
+        SamplerConfig { anneal: true, n_samples: 200, walk_steps: 3, n_min: 50, seed: 5, chains: 1 }
+    }
+
+    fn assert_event(c: u32, approved: bool) -> NetworkEvent {
+        NetworkEvent::Assert { candidate: CandidateId(c), approved }
+    }
+
+    #[test]
+    fn drains_in_ascending_lane_order_regardless_of_buffer_order() {
+        let dir = scratch("order");
+        let pn = ProbabilisticNetwork::new(smn_testkit::fig1_network(), sampler());
+        let mut store = DurableStore::open(&dir, &pn, &[], 0).expect("open store");
+        let mut sinks = LaneSinks::new();
+        // interleave lanes out of order
+        sinks.lane(2).record(&assert_event(2, true));
+        sinks.lane(0).record(&assert_event(4, false));
+        sinks.lane(2).record(&assert_event(3, false));
+        assert_eq!(sinks.pending(), 3);
+        let written = sinks.drain_into(&mut store).expect("drain");
+        assert_eq!(written, 3);
+        assert!(sinks.is_empty());
+        // recovery replays lane 0's event first, then lane 2's in order
+        let recovered = DurableStore::recover(&dir).expect("recover");
+        assert_eq!(
+            recovered.history,
+            vec![
+                Assertion { candidate: CandidateId(4), approved: false },
+                Assertion { candidate: CandidateId(2), approved: true },
+                Assertion { candidate: CandidateId(3), approved: false },
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_drain_is_a_no_op() {
+        let dir = scratch("empty");
+        let pn = ProbabilisticNetwork::new(smn_testkit::fig1_network(), sampler());
+        let mut store = DurableStore::open(&dir, &pn, &[], 0).expect("open store");
+        let before = store.next_seq();
+        let mut sinks = LaneSinks::new();
+        assert_eq!(sinks.drain_into(&mut store).expect("drain"), 0);
+        assert_eq!(store.next_seq(), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -23,11 +23,13 @@
 
 pub mod error;
 pub mod format;
+pub mod lanes;
 pub mod recover;
 pub mod store;
 pub mod wal;
 
 pub use error::StorageError;
+pub use lanes::{LaneSink, LaneSinks};
 pub use recover::{recover, Recovered};
 pub use store::DurableStore;
 pub use wal::WalBuffer;

@@ -12,7 +12,10 @@ use smn_core::engine::Strategy;
 use smn_core::oracle::Oracle;
 use smn_core::selection::SelectionStrategy;
 use smn_core::{MatchingNetwork, ProbabilisticNetwork, SamplerConfig, SessionConfig};
-use smn_datasets::{Dataset, DatasetSpec, FederationSpec, SharingModel, Vocabulary};
+use smn_datasets::{
+    open_loop, ArrivalEvent, Dataset, DatasetSpec, FederationSpec, SharingModel, Vocabulary,
+    WorkloadSpec,
+};
 use smn_matchers::matcher::match_network;
 use smn_matchers::PerturbationMatcher;
 use smn_schema::{
@@ -145,6 +148,15 @@ pub fn webform_federation(groups: usize, seed: u64) -> (MatchingNetwork, Vec<Cor
     let cs = match_network(&matcher, &fed.dataset.catalog, &fed.graph).expect("valid candidates");
     let net = MatchingNetwork::new(fed.dataset.catalog, fed.graph, cs, ConstraintConfig::default());
     (net, truth)
+}
+
+/// The serving suites' standard open-loop workload: `sessions` concurrent
+/// sessions issuing `questions` total question→answer exchanges with
+/// seeded think-times, a publication tick every 32 arrivals. Deterministic
+/// in `seed`; the serving tests and benches map these arrivals onto
+/// `smn-service` ingress events one-to-one.
+pub fn serve_workload(sessions: u64, questions: u64, seed: u64) -> Vec<ArrivalEvent> {
+    open_loop(WorkloadSpec { sessions, questions, seed, ..WorkloadSpec::default() }).collect()
 }
 
 /// A sampler small enough for interactive test runtimes yet large enough

@@ -24,7 +24,8 @@ fn bench_serve_run(c: &mut Criterion) {
                         truth.clone(),
                         vec![0.1; *workers],
                         serve_config(*workers),
-                    );
+                    )
+                    .expect("bench serving config");
                     core.run_events(events.iter().copied());
                     core.finish()
                 })
@@ -44,7 +45,8 @@ fn bench_question_answer_exchange(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::from_parameter("w2"), &(), |b, ()| {
         b.iter(|| {
             let mut core =
-                ServingCore::new(net.clone(), truth.clone(), vec![0.1; 2], serve_config(2));
+                ServingCore::new(net.clone(), truth.clone(), vec![0.1; 2], serve_config(2))
+                    .expect("bench serving config");
             core.run_events(half.iter().copied());
             core.finish()
         })

@@ -1,0 +1,61 @@
+//! Multi-process shard-server scaling on the grown federation scenario.
+//!
+//! Spawns 1, 2 and 4 shard-server child processes (this same binary
+//! re-executed with `--shard-server`, speaking the `smn-dist` protocol
+//! over loopback TCP), bootstraps a coordinator over each cluster on the
+//! 240-cluster webform federation, and reports bootstrap / routed-assert
+//! / batched-gains / batched-what-if timings per cluster size — the
+//! numbers checked in as `BENCH_dist.json`. Every point also certifies
+//! the distributed posterior equals the single-process network bitwise.
+//!
+//! Run: `cargo run --release -p smn-bench --bin exp_dist -- [label]`
+//! (`SMN_BENCH_FAST=1` drops repetitions; `SMN_SCRUB_TIMINGS=1` zeroes
+//! the wall-clock fields so identically-seeded runs emit byte-identical
+//! JSON).
+
+use smn_bench::dist::{measure, shard_server_main};
+use smn_bench::{save_json, Table};
+
+fn main() {
+    if std::env::args().any(|a| a == "--shard-server") {
+        shard_server_main();
+        return;
+    }
+    let label = std::env::args().nth(1).unwrap_or_else(|| "run".into());
+    let iters = if std::env::var("SMN_BENCH_FAST").is_ok_and(|v| v == "1") { 1 } else { 3 };
+    let points = measure(iters);
+
+    let mut table = Table::new([
+        "servers",
+        "groups",
+        "|C|",
+        "components",
+        "bootstrap (ms)",
+        "assert (ms)",
+        "gains (ms)",
+        "what-if (ms)",
+        "bit-identical",
+    ]);
+    for p in &points {
+        table.row([
+            p.servers.to_string(),
+            p.groups.to_string(),
+            p.candidates.to_string(),
+            p.components.to_string(),
+            format!("{:.3}", p.bootstrap_ms),
+            format!("{:.3}", p.assert_ms),
+            format!("{:.3}", p.gains_ms),
+            format!("{:.3}", p.what_if_ms),
+            p.bit_identical.to_string(),
+        ]);
+    }
+    println!("Multi-process shard-server scaling (federation, {} clusters)", points[0].groups);
+    table.print();
+    for p in &points {
+        assert!(p.bit_identical, "{} servers diverged from the single process", p.servers);
+    }
+
+    if let Ok(path) = save_json(&format!("dist_{label}"), &points) {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,234 @@
+//! Multi-process shard-server scaling behind `BENCH_dist.json`.
+//!
+//! The scenario is the sharding bench's webform federation grown an
+//! order of magnitude past its largest point (240 fused clusters vs 24):
+//! thousands of candidates in hundreds of independent conflict
+//! components — the regime where components can spread over shard-server
+//! processes. For 1, 2 and 4 servers this module measures, over real
+//! `TcpTransport` links to child processes (or any transports the caller
+//! supplies — the tests use in-process channels):
+//!
+//! * `bootstrap_ms` — shipping the structure image and building every
+//!   owned shard across the cluster;
+//! * `assert_ms` — one routed `assert_candidate` round trip;
+//! * `gains_ms` — one batched `information_gains` over the uncertain
+//!   pool, fanned out per server;
+//! * `what_if_ms` — one batched what-if over the pool (both verdicts).
+//!
+//! Alongside the timings each point certifies `bit_identical`: the
+//! distributed posterior — at bootstrap and again after the timed
+//! commits — equals the single-process network's bitwise. Timing keys
+//! are `SMN_SCRUB_TIMINGS`-scrubbables, so the CI determinism smoke can
+//! require two identically-seeded multi-process runs to emit
+//! byte-identical JSON.
+//!
+//! On a single-core box the curves are necessarily flat — the servers
+//! time-slice one CPU, so the bench certifies the protocol's overhead
+//! envelope (and bit-identity) rather than a speedup; on a multi-core
+//! host the per-server fan-out runs genuinely concurrently.
+
+use crate::sharding::{bench_sampler, federation_network};
+use serde::Serialize;
+use smn_core::feedback::Assertion;
+use smn_core::{MatchingNetwork, ProbabilisticNetwork};
+use smn_dist::{serve, DistNetwork, TcpTransport, Transport};
+use std::io::{BufRead, BufReader};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+/// Shard-server counts measured.
+pub const SERVERS: [usize; 3] = [1, 2, 4];
+
+/// Federation size: ~10× past the sharding bench's largest point (24).
+pub const GROUPS: usize = 240;
+
+/// Seed of the federation and the sampler (shared with the reference).
+pub const SEED: u64 = 7;
+
+/// Sharded configuration of the scaling bench: every component through
+/// the sampler (`exact_threshold: 0`). The exact-enumeration shards of
+/// the default configuration are so cheap that every operation is
+/// round-trip bound and the cluster cannot show; sampled stores put the
+/// per-shard kernels (what-if entropy, gain scans) back on the servers,
+/// which is the regime a cluster exists for.
+pub fn bench_dist_sharding() -> smn_core::ShardingConfig {
+    smn_core::ShardingConfig { exact_threshold: 0, ..smn_core::ShardingConfig::default() }
+}
+
+/// One measured cluster size.
+#[derive(Debug, Clone, Serialize)]
+pub struct DistPoint {
+    /// Shard-server processes behind the coordinator.
+    pub servers: usize,
+    /// Fused sub-networks in the scenario.
+    pub groups: usize,
+    /// Candidate-set size `|C|`.
+    pub candidates: usize,
+    /// Conflict components spread over the cluster.
+    pub components: usize,
+    /// Whether the distributed posterior matched the single-process
+    /// network bitwise — at bootstrap and after the timed commits.
+    pub bit_identical: bool,
+    /// Milliseconds to bootstrap the cluster (structure shipment + every
+    /// owned shard built).
+    pub bootstrap_ms: f64,
+    /// Milliseconds per routed `assert_candidate` (min over iters).
+    pub assert_ms: f64,
+    /// Milliseconds per batched `information_gains` over the uncertain
+    /// pool (min over iters).
+    pub gains_ms: f64,
+    /// Milliseconds per batched what-if over the pool, both verdicts
+    /// (min over iters).
+    pub what_if_ms: f64,
+}
+
+/// The `--shard-server` entry of `exp_dist`: binds a loopback listener,
+/// announces `PORT <n>` on stdout, serves exactly one coordinator
+/// connection, exits. Run as a child process by
+/// [`spawn_process_cluster`].
+pub fn shard_server_main() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let port = listener.local_addr().expect("local addr").port();
+    println!("PORT {port}");
+    let (stream, _) = listener.accept().expect("accept coordinator");
+    let mut transport = TcpTransport::new(stream).expect("wrap stream");
+    serve(&mut transport).expect("serve");
+}
+
+/// Spawns `n` shard-server child processes (re-executing the current
+/// binary with `--shard-server`) and connects one TCP link to each.
+pub fn spawn_process_cluster(n: usize) -> (Vec<Box<dyn Transport>>, Vec<Child>) {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut links: Vec<Box<dyn Transport>> = Vec::with_capacity(n);
+    let mut children = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut child = Command::new(&exe)
+            .arg("--shard-server")
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn shard server");
+        let mut line = String::new();
+        BufReader::new(child.stdout.take().expect("piped stdout"))
+            .read_line(&mut line)
+            .expect("read port line");
+        let port: u16 = line
+            .trim()
+            .strip_prefix("PORT ")
+            .and_then(|p| p.parse().ok())
+            .unwrap_or_else(|| panic!("shard server announced {line:?}"));
+        let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect shard server");
+        links.push(Box::new(TcpTransport::new(stream).expect("wrap stream")));
+        children.push(child);
+    }
+    (links, children)
+}
+
+fn min_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Measures one cluster over the supplied links (which the caller
+/// spawned — processes for `exp_dist`, in-process channels in tests) and
+/// shuts the cluster down. `reference` must be the single-process
+/// network over the same `net`, sampler and sharding.
+pub fn measure_point(
+    net: &MatchingNetwork,
+    reference: &ProbabilisticNetwork,
+    groups: usize,
+    links: Vec<Box<dyn Transport>>,
+    iters: usize,
+) -> DistPoint {
+    let servers = links.len();
+    let start = Instant::now();
+    let mut dist = DistNetwork::new(net.clone(), bench_sampler(SEED), bench_dist_sharding(), links)
+        .expect("bootstrap cluster");
+    let bootstrap_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut bit_identical = dist.probabilities() == reference.probabilities();
+
+    // committed rejections route one per iteration; mirror them on a
+    // reference fork so the end state can be compared bitwise
+    let mut mirror = reference.clone();
+    let pool = mirror.uncertain_candidates();
+    let mut targets = pool.iter().copied();
+    let assert_ms = min_ms(iters, || {
+        let candidate = targets.next().expect("pool outlasts the iterations");
+        let assertion = Assertion { candidate, approved: false };
+        dist.assert_candidate(assertion).expect("consistent rejection");
+        mirror.assert_candidate(assertion).expect("consistent rejection");
+    });
+    bit_identical &= dist.probabilities() == mirror.probabilities();
+
+    let pool = mirror.uncertain_candidates();
+    let gains_ms = min_ms(iters, || drop(dist.information_gains(&pool)));
+    let queries: Vec<_> = pool.iter().flat_map(|&c| [(c, true), (c, false)]).collect();
+    let what_if_ms = min_ms(iters, || drop(dist.what_if_batch(&queries)));
+
+    dist.shutdown().expect("orderly shutdown");
+    DistPoint {
+        servers,
+        groups,
+        candidates: net.candidate_count(),
+        components: reference.shard_count(),
+        bit_identical,
+        bootstrap_ms,
+        assert_ms,
+        gains_ms,
+        what_if_ms,
+    }
+}
+
+/// Measures all [`SERVERS`] counts with child-process clusters.
+pub fn measure(iters: usize) -> Vec<DistPoint> {
+    let net = federation_network(GROUPS, SEED);
+    let reference =
+        ProbabilisticNetwork::new_sharded(net.clone(), bench_sampler(SEED), bench_dist_sharding());
+    SERVERS
+        .iter()
+        .map(|&n| {
+            let (links, children) = spawn_process_cluster(n);
+            let point = measure_point(&net, &reference, GROUPS, links, iters);
+            for mut child in children {
+                let status = child.wait().expect("reap shard server");
+                assert!(status.success(), "shard server exited with {status}");
+            }
+            point
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smn_dist::spawn_local_cluster;
+
+    #[test]
+    fn a_small_point_certifies_bit_identity() {
+        // in-process channels, a small federation: the measurement path
+        // itself (not the child-process plumbing) under test
+        let net = crate::sharding::federation_network(4, SEED);
+        let reference = ProbabilisticNetwork::new_sharded(
+            net.clone(),
+            bench_sampler(SEED),
+            bench_dist_sharding(),
+        );
+        let (links, handles) = spawn_local_cluster(2);
+        let links: Vec<Box<dyn Transport>> =
+            links.into_iter().map(|l| Box::new(l) as Box<dyn Transport>).collect();
+        let point = measure_point(&net, &reference, 4, links, 1);
+        for h in handles {
+            h.join().expect("server thread").expect("clean exit");
+        }
+        assert!(point.bit_identical, "distributed posterior diverged");
+        assert_eq!(point.servers, 2);
+        assert!(point.components > 0 && point.candidates > 0);
+        assert!(point.bootstrap_ms > 0.0);
+    }
+}

@@ -19,11 +19,13 @@
 //! | `exp_service` | concurrent multi-worker reconciliation: fork/commit costs, worker × error × redundancy grid |
 //! | `exp_serve` | request-driven serving: sustained answers/s and commit-lane latency at 10⁴–10⁶ open-loop sessions |
 //! | `exp_speed` | single-node speed ceiling: hot paths vs the PR-2 baseline, batched what-if, federation scale |
+//! | `exp_dist` | multi-process shard servers: 1/2/4-server scaling on a 240-cluster federation |
 //!
 //! Binaries print the paper's rows/series to stdout and write
 //! machine-readable JSON to `results/`. Criterion micro-benchmarks (incl.
 //! the ablations listed in DESIGN.md) live under `benches/`.
 
+pub mod dist;
 pub mod evolve;
 pub mod grid;
 pub mod hotpaths;

@@ -162,7 +162,8 @@ pub fn run_point(
             truth.to_vec(),
             vec![0.1; workers],
             serve_config(workers),
-        );
+        )
+        .expect("bench serving config");
         let mut flush_us: Vec<f64> = Vec::new();
         let start = Instant::now();
         for &event in &events {

@@ -37,10 +37,12 @@ pub mod closure;
 pub mod components;
 pub mod index;
 pub mod kernels;
+pub mod placement;
 pub mod violation;
 
 pub use bitset::BitSet;
 pub use closure::ClosureChecker;
 pub use components::Components;
 pub use index::{ConflictIndex, ConstraintConfig};
+pub use placement::Placement;
 pub use violation::{Violation, ViolationCounts, ViolationKind};

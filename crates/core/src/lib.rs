@@ -50,6 +50,7 @@ pub mod persist;
 pub mod pool;
 pub mod probability;
 pub mod reconcile;
+pub mod remote;
 pub mod sampling;
 pub mod selection;
 pub mod shard;
@@ -74,6 +75,7 @@ pub use oracle::{CrowdOracle, GroundTruthOracle, NoisyOracle, Oracle};
 pub use persist::{EventSink, NetworkEvent, NetworkState};
 pub use probability::{AssertError, CommitExec, CommitOutcome, ProbabilisticNetwork};
 pub use reconcile::{reconcile, ReconciliationGoal, StepOutcome, TracePoint};
+pub use remote::ShardHost;
 pub use sampling::SamplerConfig;
 pub use selection::{
     ConfidenceOrderSelection, InformationGainSelection, MaxEntropySelection, RandomSelection,

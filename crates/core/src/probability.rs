@@ -204,9 +204,6 @@ impl ProbabilisticNetwork {
     /// rebuilt by [`from_state`](Self::from_state).
     pub fn to_state(&self) -> crate::persist::NetworkState {
         use crate::persist::*;
-        let catalog = self.network.catalog();
-        let index = self.network.index();
-        let n = index.candidate_count();
         let repr = match &self.repr {
             Repr::Monolithic(store) => ReprState::Monolithic(store.to_state()),
             Repr::Sharded(set) => ReprState::Sharded {
@@ -223,44 +220,11 @@ impl ProbabilisticNetwork {
                     .collect(),
             },
         };
-        NetworkState {
-            schemas: catalog
-                .schemas()
-                .iter()
-                .map(|s| SchemaState {
-                    name: s.name.clone(),
-                    attributes: s
-                        .attributes
-                        .iter()
-                        .map(|&a| catalog.attribute(a).name.clone())
-                        .collect(),
-                })
-                .collect(),
-            graph_vertices: self.network.graph().vertex_count(),
-            graph_edges: self.network.graph().edges().iter().map(|&(a, b)| (a.0, b.0)).collect(),
-            candidates: self
-                .network
-                .candidates()
-                .candidates()
-                .iter()
-                .map(|c| {
-                    let [x, y] = c.corr.endpoints();
-                    CandidateState { a: x.0, b: y.0, confidence: c.confidence }
-                })
-                .collect(),
-            constraints: index.config(),
-            pair_conflicts: (0..n)
-                .map(|i| {
-                    index.pair_conflicts(CandidateId::from_index(i)).iter().map(|c| c.0).collect()
-                })
-                .collect(),
-            triples: index.triples().iter().map(|t| [t[0].0, t[1].0, t[2].0]).collect(),
-            feedback: FeedbackState::of(&self.feedback),
-            sampler: self.sampler,
-            sharding: self.sharding,
-            initial_entropy: self.initial_entropy,
-            repr,
-        }
+        let mut state = network_to_structure(&self.network, self.sampler, self.sharding);
+        state.feedback = FeedbackState::of(&self.feedback);
+        state.initial_entropy = self.initial_entropy;
+        state.repr = repr;
+        state
     }
 
     /// Rebuilds a network from [`to_state`](Self::to_state) output without
@@ -275,62 +239,8 @@ impl ProbabilisticNetwork {
     /// this never panics on untrusted (length/id-validated) state.
     pub fn from_state(state: &crate::persist::NetworkState) -> Result<Self, String> {
         use crate::persist::ReprState;
-        use smn_schema::{CandidateSet, CatalogBuilder, InteractionGraph, SchemaId};
-        let mut builder = CatalogBuilder::new();
-        for s in &state.schemas {
-            builder
-                .add_schema_with_attributes(s.name.clone(), s.attributes.iter().cloned())
-                .map_err(|e| format!("catalog: {e}"))?;
-        }
-        let catalog = builder.build();
-        let schema_count = catalog.schema_count();
-        if state.graph_vertices != schema_count {
-            return Err(format!(
-                "graph sized for {} vertices, catalog has {schema_count} schemas",
-                state.graph_vertices
-            ));
-        }
-        if state
-            .graph_edges
-            .iter()
-            .any(|&(a, b)| a as usize >= schema_count || b as usize >= schema_count)
-        {
-            return Err("graph edge endpoint out of range".into());
-        }
-        let graph = InteractionGraph::from_edges(
-            state.graph_vertices,
-            state.graph_edges.iter().map(|&(a, b)| (SchemaId(a), SchemaId(b))),
-        );
-        let mut candidates = CandidateSet::new(&catalog);
-        for c in &state.candidates {
-            candidates
-                .add(&catalog, Some(&graph), AttributeId(c.a), AttributeId(c.b), c.confidence)
-                .map_err(|e| format!("candidate: {e}"))?;
-        }
-        let n = candidates.len();
-        if state.pair_conflicts.len() != n {
-            return Err(format!("{} posting lists for {n} candidates", state.pair_conflicts.len()));
-        }
-        if state.pair_conflicts.iter().flatten().any(|&x| x as usize >= n)
-            || state.triples.iter().flatten().any(|&x| x as usize >= n)
-        {
-            return Err("conflict member id out of range".into());
-        }
-        let index = smn_constraints::ConflictIndex::from_parts(
-            state.constraints,
-            n,
-            state
-                .pair_conflicts
-                .iter()
-                .map(|l| l.iter().map(|&x| CandidateId(x)).collect())
-                .collect(),
-            state
-                .triples
-                .iter()
-                .map(|t| [CandidateId(t[0]), CandidateId(t[1]), CandidateId(t[2])])
-                .collect(),
-        );
-        let network = MatchingNetwork::from_parts(catalog, graph, candidates, index);
+        let network = network_from_state(state)?;
+        let n = network.candidate_count();
         let feedback = state.feedback.build(n)?;
         let repr = match &state.repr {
             ReprState::Monolithic(store) => {
@@ -1097,6 +1007,128 @@ fn best_sample<'a>(
 /// instances containing each candidate (uniform weights over the
 /// discovered set; exact Eq. 1 once the store is exhausted). One popcount
 /// pass per candidate row of the transposed sample matrix.
+/// The structural half of [`ProbabilisticNetwork::to_state`]: schemas,
+/// graph, candidates and conflict index of a bare [`MatchingNetwork`],
+/// with empty feedback, a zero entropy baseline and an empty monolithic
+/// store standing in for the sample representation. This is the
+/// *structure-only* image the distributed mode ships to bootstrap shard
+/// servers — they rebuild their owned shards from it rather than
+/// receiving sample state (see [`crate::remote`]).
+pub(crate) fn network_to_structure(
+    network: &MatchingNetwork,
+    sampler: SamplerConfig,
+    sharding: Option<ShardingConfig>,
+) -> crate::persist::NetworkState {
+    use crate::persist::*;
+    let catalog = network.catalog();
+    let index = network.index();
+    let n = index.candidate_count();
+    NetworkState {
+        schemas: catalog
+            .schemas()
+            .iter()
+            .map(|s| SchemaState {
+                name: s.name.clone(),
+                attributes: s
+                    .attributes
+                    .iter()
+                    .map(|&a| catalog.attribute(a).name.clone())
+                    .collect(),
+            })
+            .collect(),
+        graph_vertices: network.graph().vertex_count(),
+        graph_edges: network.graph().edges().iter().map(|&(a, b)| (a.0, b.0)).collect(),
+        candidates: network
+            .candidates()
+            .candidates()
+            .iter()
+            .map(|c| {
+                let [x, y] = c.corr.endpoints();
+                CandidateState { a: x.0, b: y.0, confidence: c.confidence }
+            })
+            .collect(),
+        constraints: index.config(),
+        pair_conflicts: (0..n)
+            .map(|i| index.pair_conflicts(CandidateId::from_index(i)).iter().map(|c| c.0).collect())
+            .collect(),
+        triples: index.triples().iter().map(|t| [t[0].0, t[1].0, t[2].0]).collect(),
+        feedback: FeedbackState { len: n, approved: Vec::new(), disapproved: Vec::new() },
+        sampler,
+        sharding,
+        initial_entropy: 0.0,
+        repr: ReprState::Monolithic(StoreState {
+            config: sampler,
+            candidate_count: n,
+            exhausted: false,
+            pass_epoch: 0,
+            samples: Vec::new(),
+            counts: Vec::new(),
+        }),
+    }
+}
+
+/// The structural half of [`ProbabilisticNetwork::from_state`]: rebuilds
+/// the [`MatchingNetwork`] (catalog, graph, candidates, conflict index)
+/// from a state image, validating every id and length. Shared with the
+/// remote shard host, which reconstructs structure from a bootstrap frame
+/// and then builds its owned shards itself.
+pub(crate) fn network_from_state(
+    state: &crate::persist::NetworkState,
+) -> Result<MatchingNetwork, String> {
+    use smn_schema::{CandidateSet, CatalogBuilder, InteractionGraph, SchemaId};
+    let mut builder = CatalogBuilder::new();
+    for s in &state.schemas {
+        builder
+            .add_schema_with_attributes(s.name.clone(), s.attributes.iter().cloned())
+            .map_err(|e| format!("catalog: {e}"))?;
+    }
+    let catalog = builder.build();
+    let schema_count = catalog.schema_count();
+    if state.graph_vertices != schema_count {
+        return Err(format!(
+            "graph sized for {} vertices, catalog has {schema_count} schemas",
+            state.graph_vertices
+        ));
+    }
+    if state
+        .graph_edges
+        .iter()
+        .any(|&(a, b)| a as usize >= schema_count || b as usize >= schema_count)
+    {
+        return Err("graph edge endpoint out of range".into());
+    }
+    let graph = InteractionGraph::from_edges(
+        state.graph_vertices,
+        state.graph_edges.iter().map(|&(a, b)| (SchemaId(a), SchemaId(b))),
+    );
+    let mut candidates = CandidateSet::new(&catalog);
+    for c in &state.candidates {
+        candidates
+            .add(&catalog, Some(&graph), AttributeId(c.a), AttributeId(c.b), c.confidence)
+            .map_err(|e| format!("candidate: {e}"))?;
+    }
+    let n = candidates.len();
+    if state.pair_conflicts.len() != n {
+        return Err(format!("{} posting lists for {n} candidates", state.pair_conflicts.len()));
+    }
+    if state.pair_conflicts.iter().flatten().any(|&x| x as usize >= n)
+        || state.triples.iter().flatten().any(|&x| x as usize >= n)
+    {
+        return Err("conflict member id out of range".into());
+    }
+    let index = smn_constraints::ConflictIndex::from_parts(
+        state.constraints,
+        n,
+        state.pair_conflicts.iter().map(|l| l.iter().map(|&x| CandidateId(x)).collect()).collect(),
+        state
+            .triples
+            .iter()
+            .map(|t| [CandidateId(t[0]), CandidateId(t[1]), CandidateId(t[2])])
+            .collect(),
+    );
+    Ok(MatchingNetwork::from_parts(catalog, graph, candidates, index))
+}
+
 fn recompute_monolithic(store: &SampleStore, feedback: &Feedback, probs: &mut Vec<f64>) {
     let matrix = store.matrix();
     let n = matrix.candidate_count();

@@ -216,54 +216,12 @@ impl ShardSet {
             unreachable!("an arrival always forms exactly one new component")
         };
         let sub = index.shard_component(&self.components, merged_k);
-        let m = sub.candidate_count();
-        let local = |g: CandidateId| CandidateId::from_index(self.components.local_index(g));
-        // merged local feedback: every absorbed shard's assertions remapped
-        // old-local → global → merged-local (the arrival is unasserted, and
-        // approvals of different components never conflict)
-        let mut feedback = Feedback::new(m);
-        for (members, shard) in &absorbed {
-            for lc in shard.feedback.approved().iter() {
-                feedback.approve(local(members[lc.index()]));
-            }
-            for lc in shard.feedback.disapproved().iter() {
-                feedback.disapprove(local(members[lc.index()]));
-            }
-        }
-        // sampled merges carry over cross-combined old samples: each
-        // combination is maximal over the union of the old components, so
-        // with the arrival inserted when addable (kept otherwise) it is a
-        // matching instance of the merged component; the sampler refills
-        // on top of them instead of restarting cold
-        let carried = if m > sharding.exact_threshold {
-            let cap = sampler.n_samples.max(sampler.n_min).max(1);
-            let mut combos: Vec<BitSet> = vec![BitSet::new(m)];
-            for (members, shard) in &absorbed {
-                let mut next = Vec::new();
-                'cross: for combo in &combos {
-                    for s in shard.store.samples() {
-                        let mut merged = combo.clone();
-                        for lc in s.iter() {
-                            merged.insert(local(members[lc.index()]));
-                        }
-                        next.push(merged);
-                        if next.len() >= cap {
-                            break 'cross;
-                        }
-                    }
-                }
-                combos = next;
-            }
-            let lc_new = local(c);
-            for inst in &mut combos {
-                if sub.can_add(inst, lc_new) {
-                    inst.insert(lc_new);
-                }
-            }
-            combos
-        } else {
-            Vec::new()
-        };
+        let sources: Vec<(&[CandidateId], &Feedback, &SampleStore)> = absorbed
+            .iter()
+            .map(|(members, shard)| (*members, &shard.feedback, &shard.store))
+            .collect();
+        let (feedback, carried) =
+            merged_inputs(&self.components, &sub, c, &sources, sampler, sharding);
         new_shards[merged_k] = Some(Arc::new(build_evolved_shard(
             merged_k, sub, feedback, carried, sampler, sharding,
         )));
@@ -304,48 +262,18 @@ impl ShardSet {
             }
         }
         let old_shard = dissolved.expect("the retired candidate's shard dissolves");
-        // OLD-local id of an OLD global id within the dissolved shard
-        let old_local = |g: CandidateId| {
-            CandidateId::from_index(old_comp.binary_search(&g).expect("member of the old shard"))
-        };
-        // NEW global id → OLD global id (undo the retirement compaction)
-        let unshift = |g: CandidateId| if g >= retired { CandidateId(g.0 + 1) } else { g };
         for &part_k in &evo.rebuilt {
             let sub = index.shard_component(&self.components, part_k);
-            let m = sub.candidate_count();
-            let part_members = self.components.members(part_k).to_vec(); // NEW global ids
-            let mut feedback = Feedback::new(m);
-            for (j, &g) in part_members.iter().enumerate() {
-                let ol = old_local(unshift(g));
-                let lc = CandidateId::from_index(j);
-                if old_shard.feedback.approved().contains(ol) {
-                    feedback.approve(lc);
-                } else if old_shard.feedback.disapproved().contains(ol) {
-                    feedback.disapprove(lc);
-                }
-            }
-            // sampled parts carry over the old samples, restricted to the
-            // part and greedily re-maximized: retirement can unblock
-            // candidates that conflicted only with the departed one
-            let carried = if m > sharding.exact_threshold {
-                old_shard
-                    .store
-                    .samples()
-                    .iter()
-                    .map(|s| {
-                        let mut inst = BitSet::new(m);
-                        for (j, &g) in part_members.iter().enumerate() {
-                            if s.contains(old_local(unshift(g))) {
-                                inst.insert(CandidateId::from_index(j));
-                            }
-                        }
-                        complete_greedily(&sub, &feedback, &mut inst);
-                        inst
-                    })
-                    .collect()
-            } else {
-                Vec::new()
-            };
+            let (feedback, carried) = split_inputs(
+                &self.components,
+                part_k,
+                &sub,
+                old_comp,
+                &old_shard.feedback,
+                &old_shard.store,
+                retired,
+                sharding,
+            );
             new_shards[part_k] = Some(Arc::new(build_evolved_shard(
                 part_k, sub, feedback, carried, sampler, sharding,
             )));
@@ -399,41 +327,14 @@ impl ShardSet {
         k: usize,
         events: &[Assertion],
     ) -> (Option<ShardSnapshot>, Vec<(bool, StepOutcome, bool)>) {
-        let base = &self.shards[k];
-        let mut work: Option<ShardSnapshot> = None;
-        let mut results = Vec::with_capacity(events.len());
-        for event in events {
-            let lc = CandidateId::from_index(self.components.local_index(event.candidate));
-            // lane-local mirror of `ProbabilisticNetwork::validate_assertion`:
-            // Some(would_mutate) for an acceptable verdict, None for a
-            // rejected one (contradiction or inconsistent approval)
-            let step = |snap: &ShardSnapshot, approved: bool| -> Option<bool> {
-                if snap.feedback.is_asserted(lc) {
-                    let prev = snap.feedback.approved().contains(lc);
-                    return if prev == approved { Some(false) } else { None };
-                }
-                if approved && !snap.index.can_add(snap.feedback.approved(), lc) {
-                    return None;
-                }
-                Some(true)
-            };
-            let snap = work.as_ref().unwrap_or(base);
-            let (approved, outcome, mutates) = match step(snap, event.approved) {
-                Some(m) => (event.approved, StepOutcome::Integrated, m),
-                None => match step(snap, false) {
-                    Some(m) => (false, StepOutcome::Flipped, m),
-                    None => (event.approved, StepOutcome::Skipped, false),
-                },
-            };
-            if mutates {
-                let target = work.get_or_insert_with(|| ShardSnapshot::clone(base));
-                let ShardSnapshot { index, feedback, store } = target;
-                feedback.assert(Assertion { candidate: lc, approved });
-                store.maintain_with_index(index, feedback, lc, approved);
-            }
-            results.push((approved, outcome, mutates));
-        }
-        (work, results)
+        let local: Vec<Assertion> = events
+            .iter()
+            .map(|e| Assertion {
+                candidate: CandidateId::from_index(self.components.local_index(e.candidate)),
+                approved: e.approved,
+            })
+            .collect();
+        commit_lane_local(&self.shards[k], &local)
     }
 
     /// Entropy (bits) shard `k` would carry after hypothetically
@@ -446,18 +347,218 @@ impl ShardSet {
     /// batch layer composes `H' = H − H_k + H'_k` from this without ever
     /// rebuilding the global probability vector.
     pub(crate) fn entropy_after(&self, k: usize, lc: CandidateId, approved: bool) -> f64 {
-        let mut snap = ShardSnapshot::clone(&self.shards[k]);
-        let ShardSnapshot { index, feedback, store } = &mut snap;
-        feedback.assert(Assertion { candidate: lc, approved });
-        store.maintain_with_index(index, feedback, lc, approved);
-        snapshot_entropy(&snap)
+        entropy_after_local(&self.shards[k], lc, approved)
     }
+}
+
+/// The lane ladder of [`ShardSet::commit_lane`], over *shard-local*
+/// candidate ids — the kernel shared with the remote
+/// [`ShardHost`](crate::remote::ShardHost), whose lanes arrive already
+/// localized.
+pub(crate) fn commit_lane_local(
+    base: &ShardSnapshot,
+    events: &[Assertion],
+) -> (Option<ShardSnapshot>, Vec<(bool, StepOutcome, bool)>) {
+    let mut work: Option<ShardSnapshot> = None;
+    let mut results = Vec::with_capacity(events.len());
+    for event in events {
+        let lc = event.candidate;
+        // lane-local mirror of `ProbabilisticNetwork::validate_assertion`:
+        // Some(would_mutate) for an acceptable verdict, None for a
+        // rejected one (contradiction or inconsistent approval)
+        let step = |snap: &ShardSnapshot, approved: bool| -> Option<bool> {
+            if snap.feedback.is_asserted(lc) {
+                let prev = snap.feedback.approved().contains(lc);
+                return if prev == approved { Some(false) } else { None };
+            }
+            if approved && !snap.index.can_add(snap.feedback.approved(), lc) {
+                return None;
+            }
+            Some(true)
+        };
+        let snap = work.as_ref().unwrap_or(base);
+        let (approved, outcome, mutates) = match step(snap, event.approved) {
+            Some(m) => (event.approved, StepOutcome::Integrated, m),
+            None => match step(snap, false) {
+                Some(m) => (false, StepOutcome::Flipped, m),
+                None => (event.approved, StepOutcome::Skipped, false),
+            },
+        };
+        if mutates {
+            let target = work.get_or_insert_with(|| ShardSnapshot::clone(base));
+            let ShardSnapshot { index, feedback, store } = target;
+            feedback.assert(Assertion { candidate: lc, approved });
+            store.maintain_with_index(index, feedback, lc, approved);
+        }
+        results.push((approved, outcome, mutates));
+    }
+    (work, results)
+}
+
+/// The hypothetical-integration kernel of [`ShardSet::entropy_after`],
+/// over a bare snapshot — shared with the remote shard host.
+pub(crate) fn entropy_after_local(base: &ShardSnapshot, lc: CandidateId, approved: bool) -> f64 {
+    let mut snap = ShardSnapshot::clone(base);
+    let ShardSnapshot { index, feedback, store } = &mut snap;
+    feedback.assert(Assertion { candidate: lc, approved });
+    store.maintain_with_index(index, feedback, lc, approved);
+    snapshot_entropy(&snap)
+}
+
+/// One shard's Eq. 2 probabilities in *local* id order, under the same
+/// empty-store rule as [`ShardSet::write_shard_probabilities`] — the wire
+/// shape a shard server reports, scattered into the global vector by the
+/// coordinator.
+pub(crate) fn snapshot_probabilities(snap: &ShardSnapshot) -> Vec<f64> {
+    let matrix = snap.store.matrix();
+    let total = matrix.sample_count();
+    (0..snap.index.candidate_count())
+        .map(|j| {
+            let lc = CandidateId::from_index(j);
+            if total == 0 {
+                if snap.feedback.approved().contains(lc) {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                matrix.membership_count(lc) as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+/// Merged-shard inputs for a network extension: the union feedback and the
+/// carried-over cross-combined samples of the `absorbed` source shards
+/// (each `(pre-merge member list, feedback, store)`, ascending by old
+/// component index). `components` is the *post-evolution* partition and
+/// `sub` the merged component's restricted index; `arrival` is the global
+/// id of the candidate whose arrival merged them. Shared verbatim between
+/// [`ShardSet::extend`] and the remote shard host's migration rebuild, so
+/// a distributed merge is bit-identical to the single-process one.
+pub(crate) fn merged_inputs(
+    components: &Components,
+    sub: &ConflictIndex,
+    arrival: CandidateId,
+    absorbed: &[(&[CandidateId], &Feedback, &SampleStore)],
+    sampler: SamplerConfig,
+    sharding: &ShardingConfig,
+) -> (Feedback, Vec<BitSet>) {
+    let m = sub.candidate_count();
+    let local = |g: CandidateId| CandidateId::from_index(components.local_index(g));
+    // merged local feedback: every absorbed shard's assertions remapped
+    // old-local → global → merged-local (the arrival is unasserted, and
+    // approvals of different components never conflict)
+    let mut feedback = Feedback::new(m);
+    for (members, source, _) in absorbed {
+        for lc in source.approved().iter() {
+            feedback.approve(local(members[lc.index()]));
+        }
+        for lc in source.disapproved().iter() {
+            feedback.disapprove(local(members[lc.index()]));
+        }
+    }
+    // sampled merges carry over cross-combined old samples: each
+    // combination is maximal over the union of the old components, so
+    // with the arrival inserted when addable (kept otherwise) it is a
+    // matching instance of the merged component; the sampler refills
+    // on top of them instead of restarting cold
+    let carried = if m > sharding.exact_threshold {
+        let cap = sampler.n_samples.max(sampler.n_min).max(1);
+        let mut combos: Vec<BitSet> = vec![BitSet::new(m)];
+        for (members, _, store) in absorbed {
+            let mut next = Vec::new();
+            'cross: for combo in &combos {
+                for s in store.samples() {
+                    let mut merged = combo.clone();
+                    for lc in s.iter() {
+                        merged.insert(local(members[lc.index()]));
+                    }
+                    next.push(merged);
+                    if next.len() >= cap {
+                        break 'cross;
+                    }
+                }
+            }
+            combos = next;
+        }
+        let lc_new = local(arrival);
+        for inst in &mut combos {
+            if sub.can_add(inst, lc_new) {
+                inst.insert(lc_new);
+            }
+        }
+        combos
+    } else {
+        Vec::new()
+    };
+    (feedback, carried)
+}
+
+/// One split part's inputs for a retirement: the restricted feedback and
+/// the carried-over (restricted, deterministically re-maximized) samples
+/// of the dissolved shard. `components` is the *post-retirement*
+/// partition, `sub` the part's restricted index, `old_comp` the dissolved
+/// component's OLD global ids (ascending, still containing the retiree)
+/// and `old_feedback`/`old_store` the dissolved shard's state. Shared
+/// verbatim between [`ShardSet::retire`] and the remote shard host.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn split_inputs(
+    components: &Components,
+    part_k: usize,
+    sub: &ConflictIndex,
+    old_comp: &[CandidateId],
+    old_feedback: &Feedback,
+    old_store: &SampleStore,
+    retired: CandidateId,
+    sharding: &ShardingConfig,
+) -> (Feedback, Vec<BitSet>) {
+    let m = sub.candidate_count();
+    let part_members = components.members(part_k); // NEW global ids
+                                                   // OLD-local id of an OLD global id within the dissolved shard
+    let old_local = |g: CandidateId| {
+        CandidateId::from_index(old_comp.binary_search(&g).expect("member of the old shard"))
+    };
+    // NEW global id → OLD global id (undo the retirement compaction)
+    let unshift = |g: CandidateId| if g >= retired { CandidateId(g.0 + 1) } else { g };
+    let mut feedback = Feedback::new(m);
+    for (j, &g) in part_members.iter().enumerate() {
+        let ol = old_local(unshift(g));
+        let lc = CandidateId::from_index(j);
+        if old_feedback.approved().contains(ol) {
+            feedback.approve(lc);
+        } else if old_feedback.disapproved().contains(ol) {
+            feedback.disapprove(lc);
+        }
+    }
+    // sampled parts carry over the old samples, restricted to the
+    // part and greedily re-maximized: retirement can unblock
+    // candidates that conflicted only with the departed one
+    let carried = if m > sharding.exact_threshold {
+        old_store
+            .samples()
+            .iter()
+            .map(|s| {
+                let mut inst = BitSet::new(m);
+                for (j, &g) in part_members.iter().enumerate() {
+                    if s.contains(old_local(unshift(g))) {
+                        inst.insert(CandidateId::from_index(j));
+                    }
+                }
+                complete_greedily(sub, &feedback, &mut inst);
+                inst
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    (feedback, carried)
 }
 
 /// Entropy of one shard snapshot: `Σ H(p)` over its local Eq. 2
 /// probabilities, under the same empty-store rule as
 /// [`ShardSet::write_shard_probabilities`].
-fn snapshot_entropy(snap: &ShardSnapshot) -> f64 {
+pub(crate) fn snapshot_entropy(snap: &ShardSnapshot) -> f64 {
     let matrix = snap.store.matrix();
     let total = matrix.sample_count();
     (0..snap.index.candidate_count())
@@ -479,7 +580,7 @@ fn snapshot_entropy(snap: &ShardSnapshot) -> f64 {
 
 /// Builds one shard: exact enumeration for small components, the
 /// Algorithm 3 sampler otherwise; seeded `seed + shard_id` either way.
-fn build_shard(
+pub(crate) fn build_shard(
     k: usize,
     sub: Arc<ConflictIndex>,
     sampler: SamplerConfig,
@@ -494,7 +595,7 @@ fn build_shard(
 /// the given feedback) for small components, the Algorithm 3 sampler
 /// seeded with any `carried`-over instances otherwise; shard `k` is
 /// seeded `seed + k` either way.
-fn build_evolved_shard(
+pub(crate) fn build_evolved_shard(
     k: usize,
     sub: Arc<ConflictIndex>,
     feedback: Feedback,
@@ -519,7 +620,7 @@ fn build_evolved_shard(
 /// Extends `inst` to a maximal consistent instance by scanning candidates
 /// in ascending id order — the deterministic (RNG-free) re-maximization
 /// used on carried-over samples after a retirement.
-fn complete_greedily(index: &ConflictIndex, feedback: &Feedback, inst: &mut BitSet) {
+pub(crate) fn complete_greedily(index: &ConflictIndex, feedback: &Feedback, inst: &mut BitSet) {
     for j in 0..index.candidate_count() {
         let c = CandidateId::from_index(j);
         if !inst.contains(c) && !feedback.disapproved().contains(c) && index.can_add(inst, c) {

@@ -1,0 +1,53 @@
+//! The typed error surface of the distributed mode. Nothing in this
+//! crate panics on a wire byte or a peer failure: decoders bubble
+//! [`StorageError`]s, protocol violations and remote rejections are
+//! their own variants.
+
+use smn_schema::SchemaError;
+use smn_storage::StorageError;
+
+/// Why a distributed operation failed.
+#[derive(Debug)]
+pub enum DistError {
+    /// A frame or payload failed to encode/decode, or the underlying
+    /// byte stream errored (I/O, truncation, checksum, version).
+    Storage(StorageError),
+    /// The peer spoke out of turn: an unexpected frame kind, a payload
+    /// that does not parse as its kind demands, or a closed channel.
+    Protocol(String),
+    /// The peer processed the request and answered with a typed failure
+    /// (e.g. a rebuild for a component it cannot validate).
+    Remote(String),
+    /// An evolution request the structure itself rejects (duplicate
+    /// candidate, unknown id, …) — same errors as the single-process
+    /// [`extend`](smn_core::ProbabilisticNetwork::extend)/
+    /// [`retire`](smn_core::ProbabilisticNetwork::retire), and like them
+    /// it leaves the cluster untouched.
+    Schema(SchemaError),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Storage(e) => write!(f, "wire codec: {e}"),
+            Self::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            Self::Remote(msg) => write!(f, "shard server error: {msg}"),
+            Self::Schema(e) => write!(f, "evolution rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for DistError {
+    fn from(e: StorageError) -> Self {
+        Self::Storage(e)
+    }
+}

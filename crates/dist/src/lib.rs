@@ -1,0 +1,40 @@
+//! Multi-process reconciliation: conflict-graph components placed on N
+//! shard-server processes, a thin coordinator in front.
+//!
+//! The paper's factorization (posterior and entropy decompose over
+//! conflict components) is what makes this exact rather than
+//! approximate: every per-shard computation is *identical* wherever the
+//! shard lives, so distributing the components across processes changes
+//! the wall-clock, not one bit of the answer. The crate's contract —
+//! certified by the differential suite at 1, 2 and 4 servers — is that
+//! a distributed run is byte-identical to the single-process
+//! [`ProbabilisticNetwork`](smn_core::ProbabilisticNetwork): posteriors
+//! bitwise, service reports byte for byte, through online extensions
+//! and retirements that migrate components between servers.
+//!
+//! ## Pieces
+//!
+//! * [`proto`] — the message vocabulary over `smn-storage` checksummed
+//!   frames, reusing the storage crate's snapshot / shard-state / WAL
+//!   encodings for everything stateful.
+//! * [`transport`] — the lockstep [`Transport`] trait with an
+//!   in-process channel pair (deterministic tests) and a TCP stream
+//!   (real multi-process clusters over loopback).
+//! * [`server`] — the shard-server loop: a
+//!   [`ShardHost`](smn_core::ShardHost) behind a transport.
+//! * [`coordinator`] — [`DistNetwork`], which owns routing, global
+//!   feedback and the assembled posterior, and implements
+//!   [`ServeModel`](smn_service::ServeModel) so the full
+//!   [`ReconciliationService`](smn_service::ReconciliationService)
+//!   round loop runs over a cluster unchanged.
+
+pub mod coordinator;
+pub mod error;
+pub mod proto;
+pub mod server;
+pub mod transport;
+
+pub use coordinator::DistNetwork;
+pub use error::DistError;
+pub use server::{serve, spawn_local_cluster};
+pub use transport::{channel_pair, ChannelTransport, TcpTransport, Transport};

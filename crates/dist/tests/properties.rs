@@ -1,0 +1,75 @@
+//! Random-stream differential: a distributed run must stay *bitwise*
+//! identical to the single-process network under arbitrary interleavings
+//! of assertions and retirements — including the retirement epochs that
+//! split components and migrate the rebuilt parts between servers. The
+//! fixed-scenario certificates live in `differential.rs`; this suite
+//! covers the streams nobody thought to write down (CI runs it at
+//! `PROPTEST_CASES=1024`).
+
+use proptest::prelude::*;
+use smn_core::feedback::Assertion;
+use smn_core::{ProbabilisticNetwork, ShardingConfig};
+use smn_dist::{spawn_local_cluster, DistNetwork, Transport};
+use smn_schema::CandidateId;
+use smn_service::ServeModel;
+use smn_testkit::{perturbed_network, tiny_sampler};
+
+proptest! {
+    #[test]
+    fn random_assertion_and_retirement_streams_stay_bit_identical(
+        servers in 1usize..4,
+        net_seed in 0u64..64,
+        ops in prop::collection::vec(any::<u32>(), 1..12),
+    ) {
+        let net = perturbed_network(2, 4, 0.5, 0.9, net_seed).0;
+        let sampler = tiny_sampler(3);
+        // sampled everywhere: exact-enumeration shards would certify
+        // only the routing, not seed derivation or sample shipment
+        let sharding = ShardingConfig { exact_threshold: 0, ..ShardingConfig::default() };
+        let mut pn = ProbabilisticNetwork::new_sharded(net.clone(), sampler, sharding);
+        let (links, handles) = spawn_local_cluster(servers);
+        let links: Vec<Box<dyn Transport>> =
+            links.into_iter().map(|l| Box::new(l) as Box<dyn Transport>).collect();
+        let mut dist = DistNetwork::new(net, sampler, sharding, links).expect("bootstrap");
+        prop_assert_eq!(dist.probabilities(), pn.probabilities());
+
+        for &op in &ops {
+            let pick = (op / 4) as usize;
+            if op % 4 == 3 {
+                // retire a random live candidate — the epoch path:
+                // export, broadcast, rebuild split parts on new owners
+                let count = pn.network().candidate_count();
+                if count == 0 {
+                    continue;
+                }
+                let c = CandidateId((pick % count) as u32);
+                pn.retire(c).expect("single-process retire");
+                dist.retire(c).expect("distributed retire");
+            } else {
+                let pool = pn.uncertain_candidates();
+                if pool.is_empty() {
+                    continue;
+                }
+                let assertion =
+                    Assertion { candidate: pool[pick % pool.len()], approved: op % 2 == 0 };
+                let expected = pn.assert_candidate(assertion);
+                let got = dist.assert_candidate(assertion);
+                prop_assert_eq!(format!("{got:?}"), format!("{expected:?}"));
+            }
+            prop_assert_eq!(dist.probabilities(), pn.probabilities());
+            prop_assert_eq!(ServeModel::entropy(&dist), pn.entropy());
+        }
+
+        // full query surface at the end state
+        let pool = pn.uncertain_candidates();
+        prop_assert_eq!(dist.information_gains(&pool), pn.information_gains(&pool));
+        let queries: Vec<(CandidateId, bool)> =
+            pool.iter().flat_map(|&c| [(c, true), (c, false)]).collect();
+        prop_assert_eq!(dist.what_if_batch(&queries), pn.what_if_batch(&queries));
+
+        dist.shutdown().expect("orderly shutdown");
+        for h in handles {
+            h.join().expect("server thread").expect("clean server exit");
+        }
+    }
+}

@@ -12,10 +12,10 @@
 //! components that have no lease in flight yet, so concurrent worker
 //! evaluations copy-on-write *different* shards of the base snapshot.
 
+use crate::model::ServeModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use smn_core::selection::{nth_matching, scored_argmax};
-use smn_core::ProbabilisticNetwork;
 use smn_schema::{CandidateId, Correspondence};
 use std::collections::HashSet;
 
@@ -63,9 +63,9 @@ impl Dispatcher {
     ///
     /// Returns fewer leases (possibly none) when the network runs out of
     /// unasserted candidates.
-    pub fn lease_round(
+    pub fn lease_round<M: ServeModel>(
         &mut self,
-        pn: &ProbabilisticNetwork,
+        pn: &M,
         batch: usize,
         workers: usize,
         redundancy: usize,
@@ -103,9 +103,9 @@ impl Dispatcher {
     /// 1e-12 broken by one RNG draw; random unasserted fallback when no
     /// uncertainty is left. `leased_shards` steers (but never forces) the
     /// pick towards components without an in-flight lease.
-    fn pick(
+    fn pick<M: ServeModel>(
         &mut self,
-        pn: &ProbabilisticNetwork,
+        pn: &M,
         excluded: &[CandidateId],
         leased_shards: &HashSet<usize>,
     ) -> Option<(CandidateId, Option<f64>)> {
@@ -145,7 +145,7 @@ mod tests {
     use super::*;
     use smn_core::selection::SelectionStrategy;
     use smn_core::shard::ShardingConfig;
-    use smn_core::{InformationGainSelection, SamplerConfig};
+    use smn_core::{InformationGainSelection, ProbabilisticNetwork, SamplerConfig};
     use smn_testkit::{fig1_network, tiny_sampler};
 
     fn sharded(seed: u64) -> ProbabilisticNetwork {

@@ -56,6 +56,7 @@
 pub mod aggregate;
 pub mod dispatch;
 pub mod event;
+pub mod model;
 pub mod serve;
 pub mod service;
 pub mod session;
@@ -64,9 +65,14 @@ pub mod worker;
 pub use aggregate::{aggregate, Aggregation, Verdict, Vote};
 pub use dispatch::{Dispatcher, Lease};
 pub use event::{IngressError, IngressQueue, ServiceEvent, StampedEvent};
-pub use serve::{LatencySummary, ServeCommit, ServeConfig, ServeReport, ServingCore};
+pub use model::ServeModel;
+pub use serve::{
+    LatencySummary, ReplayError, ServeCommit, ServeConfig, ServeConfigError, ServeReport,
+    ServingCore,
+};
 pub use service::{
-    CommitRecord, ReconciliationService, RoundStats, Scheduler, ServiceConfig, ServiceReport,
+    CommitRecord, DurabilityError, ReconciliationService, RoundStats, Scheduler, ServiceConfig,
+    ServiceReport,
 };
 pub use session::SessionManager;
 pub use worker::{WorkerPool, WorkerProfile, WorkerStats};

@@ -60,8 +60,83 @@ use smn_core::{
 use smn_schema::{CandidateId, Correspondence};
 use smn_storage::{DurableStore, LaneSinks, StorageError};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
+
+/// A rejected serving configuration — every variant is a condition that
+/// would otherwise surface later as a panic deep inside the event loop
+/// (remote-triggerable once events arrive over a network boundary), so
+/// [`ServingCore::new`] refuses it up front instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeConfigError {
+    /// `error_rates` was empty: with no crowd workers, answer events
+    /// would divide by the crowd size and clamp redundancy into an
+    /// empty range.
+    EmptyCrowd,
+}
+
+impl fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyCrowd => {
+                write!(f, "serving requires at least one crowd worker (error_rates was empty)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
+/// A failed [`ServingCore::replay`] — the log could not be re-accepted
+/// exactly as recorded, so the replayed run would not be byte-identical
+/// to the live one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The replay configuration itself was rejected.
+    Config(ServeConfigError),
+    /// The replay ingress rejected a log event: its capacity (after the
+    /// ≥ 1 clamp) is smaller than the recording run required at this
+    /// point of the log.
+    CapacityExceeded {
+        /// The replay queue's effective capacity.
+        capacity: usize,
+        /// The log clock of the event that could not be re-accepted.
+        clock: u64,
+    },
+    /// An accepted event was stamped with a different clock than the log
+    /// recorded — the log is not a gapless prefix-faithful recording
+    /// (truncated from the front, spliced, or hand-edited).
+    ClockDrift {
+        /// The clock the log recorded.
+        expected: u64,
+        /// The clock the replay ingress issued.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "replay configuration rejected: {e}"),
+            Self::CapacityExceeded { capacity, clock } => write!(
+                f,
+                "replay ingress (capacity {capacity}) rejected the log event at clock {clock}"
+            ),
+            Self::ClockDrift { expected, got } => {
+                write!(f, "replay clock drifted from the log: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<ServeConfigError> for ReplayError {
+    fn from(e: ServeConfigError) -> Self {
+        Self::Config(e)
+    }
+}
 
 /// Configuration of the request-driven serving core.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,6 +181,16 @@ impl Default for ServeConfig {
             flush_every: 64,
             max_forks: 8_192,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The ingress capacity actually used: the configured value clamped
+    /// to ≥ 1 at the *config* level, so a zero-capacity config can never
+    /// produce a queue that rejects every submission (which would turn
+    /// [`ServingCore::replay`] of any nonempty log into an error).
+    pub fn effective_capacity(&self) -> usize {
+        self.capacity.max(1)
     }
 }
 
@@ -163,7 +248,7 @@ impl LatencySummary {
             count: sorted.len() as u64,
             p50: q(0.50),
             p99: q(0.99),
-            max: *sorted.last().expect("nonempty"),
+            max: sorted[sorted.len() - 1],
             mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
         }
     }
@@ -284,23 +369,33 @@ impl ServingCore {
     /// under `config.sampler`/`config.sharding`), a simulated crowd with
     /// the given per-worker error rates answering against `truth`, and
     /// an empty ingress.
+    ///
+    /// An empty `error_rates` is rejected with
+    /// [`ServeConfigError::EmptyCrowd`] *before* any sampling happens:
+    /// a crowdless core would otherwise panic on the first answer event
+    /// (worker selection divides by the crowd size, and redundancy
+    /// clamps into the empty `1..=0` range).
     pub fn new(
         network: MatchingNetwork,
         truth: Vec<Correspondence>,
         error_rates: impl IntoIterator<Item = f64>,
         config: ServeConfig,
-    ) -> Self {
+    ) -> Result<Self, ServeConfigError> {
+        let rates: Vec<f64> = error_rates.into_iter().collect();
+        if rates.is_empty() {
+            return Err(ServeConfigError::EmptyCrowd);
+        }
         let base = ProbabilisticNetwork::new_sharded(network, config.sampler, config.sharding);
         // same derived stream as the round-mode service, so a serve run
         // and a round run over the same seed share their crowd coins
         let crowd = WorkerPool::new(
-            error_rates,
+            rates,
             truth.iter().copied(),
             config.seed.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(1),
         );
         let published = Arc::new(base.fork());
         let published_generation = base.generation();
-        Self {
+        Ok(Self {
             base,
             published,
             published_generation,
@@ -308,7 +403,7 @@ impl ServingCore {
             crowd,
             truth,
             config,
-            ingress: IngressQueue::new(config.capacity),
+            ingress: IngressQueue::new(config.effective_capacity()),
             open: HashMap::new(),
             open_fifo: VecDeque::new(),
             assignments: HashMap::new(),
@@ -328,7 +423,14 @@ impl ServingCore {
             publications: 0,
             epochs: 0,
             durability: None,
-        }
+        })
+    }
+
+    /// The effective redundancy `k`: the configured value clamped into
+    /// `1..=crowd.len()`. The crowd is never empty (construction rejects
+    /// that), so the clamp range is always nonempty.
+    fn redundancy(&self) -> usize {
+        self.config.redundancy.clamp(1, self.crowd.len())
     }
 
     /// Attaches a durable store under `dir`: the current base and
@@ -440,23 +542,33 @@ impl ServingCore {
     }
 
     /// Replays an accepted-event log through a fresh core: each event is
-    /// submitted and applied one at a time (the queue never fills, so no
-    /// backpressure can occur), reproducing the live run that emitted
-    /// the log byte for byte.
+    /// submitted and applied one at a time (so the queue holds at most
+    /// one event regardless of capacity), reproducing the live run that
+    /// emitted the log byte for byte.
+    ///
+    /// Never panics on hostile input: a rejected configuration, an
+    /// ingress that cannot re-accept a log event, or a log whose clocks
+    /// do not match the replay's gapless stamping all return a typed
+    /// [`ReplayError`] instead.
     pub fn replay(
         network: MatchingNetwork,
         truth: Vec<Correspondence>,
         error_rates: impl IntoIterator<Item = f64>,
         config: ServeConfig,
         log: &[StampedEvent],
-    ) -> Self {
-        let mut core = Self::new(network, truth, error_rates, config);
+    ) -> Result<Self, ReplayError> {
+        let mut core = Self::new(network, truth, error_rates, config)?;
         for stamped in log {
-            let clock = core.submit(stamped.event).expect("replay queue never fills");
-            debug_assert_eq!(clock, stamped.clock, "replay clock drifted from the log");
+            let clock = core.submit(stamped.event).map_err(|_| ReplayError::CapacityExceeded {
+                capacity: config.effective_capacity(),
+                clock: stamped.clock,
+            })?;
+            if clock != stamped.clock {
+                return Err(ReplayError::ClockDrift { expected: stamped.clock, got: clock });
+            }
             core.pump();
         }
-        core
+        Ok(core)
     }
 
     /// Applies one accepted event.
@@ -502,7 +614,7 @@ impl ServingCore {
             self.questions_leased += 1; // re-issue of the outstanding lease
             return;
         }
-        let k = self.config.redundancy.clamp(1, self.crowd.len());
+        let k = self.redundancy();
         // compact the join queue: a question that was decided or whose k
         // seats all filled never becomes joinable again (seats only fill,
         // and a decided candidate cannot reopen before an epoch clears
@@ -573,9 +685,9 @@ impl ServingCore {
         self.crowd.record(worker, corr, approved);
         self.questions_asked += 1;
         self.sessions.observe(session, Assertion { candidate, approved });
+        let k = self.redundancy();
         let Some(q) = self.open.get_mut(&candidate) else { return };
         q.votes.push(Vote { worker, approved, expected_entropy: 0.0 });
-        let k = self.config.redundancy.clamp(1, self.crowd.len());
         if q.votes.len() < k {
             return;
         }
@@ -749,7 +861,7 @@ impl ServingCore {
         ServeReport {
             sessions: self.sessions_seen.len() as u64,
             workers: self.crowd.len(),
-            redundancy: self.config.redundancy.clamp(1, self.crowd.len()),
+            redundancy: self.redundancy(),
             aggregation: self.config.aggregation.label().to_string(),
             worker_error_rates: self.crowd.profiles().iter().map(|p| p.error_rate).collect(),
             events_accepted: self.log.len() as u64,

@@ -30,6 +30,7 @@
 
 use crate::aggregate::{aggregate, Aggregation, Verdict, Vote};
 use crate::dispatch::{Dispatcher, Lease};
+use crate::model::ServeModel;
 use crate::worker::{WorkerPool, WorkerStats};
 use serde::Serialize;
 use smn_constraints::BitSet;
@@ -196,6 +197,37 @@ pub struct ServiceReport {
     pub durability_error: Option<String>,
 }
 
+/// Why durability could not be attached to the service.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// The serving model is not an in-process
+    /// [`ProbabilisticNetwork`] (e.g. a distributed coordinator):
+    /// snapshot publication needs the concrete network, so remote-backed
+    /// services journal at their shard servers instead.
+    RemoteModel,
+    /// Opening the durable store failed.
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RemoteModel => {
+                write!(f, "durability requires an in-process network model")
+            }
+            Self::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<StorageError> for DurabilityError {
+    fn from(e: StorageError) -> Self {
+        Self::Storage(e)
+    }
+}
+
 /// The attached durability state: a [`DurableStore`] the service journals
 /// committed assertions into, a publication cadence, and the first storage
 /// error if one ever occurred (after which journaling stops — the service
@@ -206,9 +238,13 @@ struct Durability {
     error: Option<StorageError>,
 }
 
-/// The concurrent multi-worker reconciliation service.
-pub struct ReconciliationService {
-    base: ProbabilisticNetwork,
+/// The concurrent multi-worker reconciliation service, generic over the
+/// [`ServeModel`] it drives (the in-process
+/// [`ProbabilisticNetwork`] by default; a distributed coordinator slots
+/// in through [`with_model`](Self::with_model) without changing the
+/// round loop, the lease schedule or the report format).
+pub struct ReconciliationService<M: ServeModel = ProbabilisticNetwork> {
+    base: M,
     pool: WorkerPool,
     dispatcher: Dispatcher,
     config: ServiceConfig,
@@ -231,6 +267,21 @@ impl ReconciliationService {
         config: ServiceConfig,
     ) -> Self {
         let base = ProbabilisticNetwork::new_sharded(network, config.sampler, config.sharding);
+        Self::with_model(base, truth, error_rates, config)
+    }
+}
+
+impl<M: ServeModel> ReconciliationService<M> {
+    /// Builds the service around an already-constructed model — the
+    /// generic entry point behind [`new`](ReconciliationService::new);
+    /// `config.sampler`/`config.sharding` are kept for the record but
+    /// the model arrives sampled.
+    pub fn with_model(
+        base: M,
+        truth: Vec<Correspondence>,
+        error_rates: impl IntoIterator<Item = f64>,
+        config: ServiceConfig,
+    ) -> Self {
         // the worker-noise seed is derived, not shared: dispatcher
         // tie-breaks and worker coins must be independent streams
         let pool = WorkerPool::new(
@@ -264,14 +315,26 @@ impl ReconciliationService {
     /// failures: the first one is latched (see
     /// [`durability_error`](Self::durability_error)) and journaling
     /// stops.
+    ///
+    /// Only in-process models can attach: snapshot publication needs the
+    /// concrete [`ProbabilisticNetwork`], so a remote-backed model (one
+    /// whose [`ServeModel::as_local`] is `None`) gets
+    /// [`DurabilityError::RemoteModel`] instead of silently journaling
+    /// nothing.
     pub fn attach_durability(
         &mut self,
         dir: impl AsRef<Path>,
         snapshot_every: usize,
-    ) -> Result<(), StorageError> {
-        let assertions = self.assertions();
-        let store =
-            DurableStore::open(dir.as_ref(), &self.base, &assertions, assertions.len() as u64)?;
+    ) -> Result<(), DurabilityError> {
+        let Some(local) = self.base.as_local() else {
+            return Err(DurabilityError::RemoteModel);
+        };
+        let assertions: Vec<Assertion> = self
+            .history
+            .iter()
+            .map(|t| Assertion { candidate: t.candidate, approved: t.approved })
+            .collect();
+        let store = DurableStore::open(dir.as_ref(), local, &assertions, assertions.len() as u64)?;
         self.durability =
             Some(Durability { store, snapshot_every: snapshot_every.max(1), error: None });
         Ok(())
@@ -310,24 +373,35 @@ impl ReconciliationService {
         if d.error.is_some() {
             return;
         }
-        let result = if self.rounds.len() % d.snapshot_every == 0 {
-            let assertions: Vec<Assertion> = self
-                .history
-                .iter()
-                .map(|t| Assertion { candidate: t.candidate, approved: t.approved })
-                .collect();
-            d.store.publish(&self.base, &assertions).map(|_| ())
-        } else {
-            d.store.sync()
+        // attachment is gated on `as_local`, so a publishing round always
+        // finds the concrete network; the defensive fallback still fsyncs
+        let result = match (self.rounds.len() % d.snapshot_every == 0, self.base.as_local()) {
+            (true, Some(local)) => {
+                let assertions: Vec<Assertion> = self
+                    .history
+                    .iter()
+                    .map(|t| Assertion { candidate: t.candidate, approved: t.approved })
+                    .collect();
+                d.store.publish(local, &assertions).map(|_| ())
+            }
+            _ => d.store.sync(),
         };
         if let Err(e) = result {
             d.error = Some(e);
         }
     }
 
-    /// The base probabilistic network.
-    pub fn base(&self) -> &ProbabilisticNetwork {
+    /// The base model (the probabilistic network in the default
+    /// in-process configuration).
+    pub fn base(&self) -> &M {
         &self.base
+    }
+
+    /// Consumes the service and returns its model — how a caller gets a
+    /// remote-backed model back for an orderly cluster shutdown after
+    /// the run (dropping it instead just closes the links).
+    pub fn into_model(self) -> M {
+        self.base
     }
 
     /// The committed assertions as a [`TracePoint`] sequence — directly
@@ -489,8 +563,8 @@ impl ReconciliationService {
 /// [`Scheduler`]. Every query's value is a pure function of the base and
 /// the query, so neither the grouping nor the scheduler changes the
 /// outcome: votes assembled by slot are identical at any thread count.
-fn collect_votes(
-    base: &ProbabilisticNetwork,
+fn collect_votes<M: ServeModel>(
+    base: &M,
     pool: &WorkerPool,
     leases: &[Lease],
     threads: usize,
@@ -544,8 +618,8 @@ fn collect_votes(
 /// and the hypothetical shard entropy, all pure functions of the base —
 /// so the sequential whole-batch call is the differential reference for
 /// both parallel paths.
-fn evaluate_branches(
-    base: &ProbabilisticNetwork,
+fn evaluate_branches<M: ServeModel>(
+    base: &M,
     queries: &[(CandidateId, bool)],
     threads: usize,
     scheduler: Scheduler,

@@ -229,6 +229,30 @@ mod tests {
     }
 
     #[test]
+    fn max_forks_one_evicts_then_readmits_with_consistent_selection() {
+        // the eviction loop boundary: at max_forks = 1 every admission
+        // evicts the single holder, and re-admitting an evicted session
+        // must select exactly what it selected before
+        let base = published();
+        let mut mgr = SessionManager::new(1);
+        let first = mgr.select(0, &base, 0, &|_| false).expect("uncertain candidates exist");
+        assert_eq!(mgr.live_forks(), 1);
+        // admitting session 1 evicts session 0's fork but still selects
+        let other = mgr.select(1, &base, 0, &|_| false).expect("selection survives eviction");
+        assert_eq!(mgr.live_forks(), 1, "the cap holds through eviction");
+        assert_eq!(first, other, "fresh forks of the same base select identically");
+        // re-admission of the evicted session: same base, same answer
+        let again = mgr.select(0, &base, 0, &|_| false).expect("re-admission selects");
+        assert_eq!(first, again, "eviction then re-admission keeps selection consistent");
+        assert_eq!(mgr.live_forks(), 1);
+        // and the re-admitted fork is live: its private echo steers it
+        mgr.observe(0, Assertion { candidate: CandidateId(2), approved: true });
+        let steered = mgr.select(0, &base, 0, &|c| c == CandidateId(0)).expect("still uncertain");
+        assert_ne!(steered, CandidateId(2));
+        assert_ne!(steered, CandidateId(4));
+    }
+
+    #[test]
     fn reset_drops_every_fork() {
         let base = published();
         let mut mgr = SessionManager::new(4);

@@ -19,7 +19,8 @@ use proptest::prelude::*;
 use smn_datasets::SessionAction;
 use smn_schema::{AttributeId, CandidateId};
 use smn_service::{
-    Aggregation, IngressError, Scheduler, ServeConfig, ServeReport, ServiceEvent, ServingCore,
+    Aggregation, IngressError, ReplayError, Scheduler, ServeConfig, ServeConfigError, ServeReport,
+    ServiceEvent, ServingCore, StampedEvent,
 };
 use smn_storage::DurableStore;
 use smn_testkit::{fig1_network, fig1_truth, serve_workload, tiny_sampler, webform_federation};
@@ -51,7 +52,8 @@ fn serve_config(threads: usize, scheduler: Scheduler) -> ServeConfig {
 /// open-loop workload.
 fn federation_run(threads: usize, scheduler: Scheduler) -> (ServeReport, Vec<f64>) {
     let (net, truth) = webform_federation(4, 11);
-    let mut core = ServingCore::new(net, truth, vec![0.1; 4], serve_config(threads, scheduler));
+    let mut core = ServingCore::new(net, truth, vec![0.1; 4], serve_config(threads, scheduler))
+        .expect("serving config");
     core.run_events(serve_workload(32, 160, 7).into_iter().map(|a| to_event(a.action)));
     let report = core.finish();
     (report, core.base().probabilities().to_vec())
@@ -92,11 +94,13 @@ fn serving_runs_are_byte_identical_across_schedulers() {
 fn replaying_the_accepted_log_reproduces_the_live_run() {
     let (net, truth) = webform_federation(4, 11);
     let config = serve_config(4, Scheduler::Pool);
-    let mut live = ServingCore::new(net.clone(), truth.clone(), vec![0.1; 4], config);
+    let mut live =
+        ServingCore::new(net.clone(), truth.clone(), vec![0.1; 4], config).expect("serving config");
     live.run_events(serve_workload(32, 160, 7).into_iter().map(|a| to_event(a.action)));
     let live_report = live.finish();
 
-    let mut replayed = ServingCore::replay(net, truth, vec![0.1; 4], config, live.event_log());
+    let mut replayed =
+        ServingCore::replay(net, truth, vec![0.1; 4], config, live.event_log()).expect("replay");
     let replay_report = replayed.finish();
     assert_eq!(
         serde_json::to_string(&live_report).unwrap(),
@@ -115,7 +119,8 @@ fn a_full_ingress_returns_the_typed_error_and_preserves_accepted_events() {
         truth,
         vec![0.0; 2],
         ServeConfig { capacity: 2, redundancy: 1, ..serve_config(1, Scheduler::Inline) },
-    );
+    )
+    .expect("serving config");
     assert_eq!(core.submit(ServiceEvent::Question { session: 0 }), Ok(0));
     assert_eq!(core.submit(ServiceEvent::Question { session: 1 }), Ok(1));
     assert_eq!(
@@ -142,7 +147,8 @@ fn a_perfect_crowd_reconciles_fig1_completely() {
         truth,
         vec![0.0; 2],
         ServeConfig { redundancy: 1, flush_every: 2, ..serve_config(2, Scheduler::Pool) },
-    );
+    )
+    .expect("serving config");
     core.run_events(serve_workload(2, 24, 3).into_iter().map(|a| to_event(a.action)));
     let report = core.finish();
     assert_eq!(report.final_effort, 1.0, "enough questions must assert every candidate");
@@ -156,7 +162,8 @@ fn a_perfect_crowd_reconciles_fig1_completely() {
 fn evolution_takes_an_epoch_and_stays_replayable() {
     let (net, truth) = (fig1_network(), fig1_truth());
     let config = ServeConfig { redundancy: 1, flush_every: 3, ..serve_config(2, Scheduler::Pool) };
-    let mut live = ServingCore::new(net.clone(), truth.clone(), vec![0.0; 2], config);
+    let mut live =
+        ServingCore::new(net.clone(), truth.clone(), vec![0.0; 2], config).expect("serving config");
     let mut events: Vec<ServiceEvent> =
         serve_workload(2, 8, 3).into_iter().map(|a| to_event(a.action)).collect();
     // a mid-stream arrival and a retirement, each an exclusive epoch
@@ -168,7 +175,8 @@ fn evolution_takes_an_epoch_and_stays_replayable() {
     assert_eq!(live_report.epochs, 2, "extend and retire each take one epoch");
     assert!(live_report.publications > 0, "epochs republish the snapshot");
 
-    let mut replayed = ServingCore::replay(net, truth, vec![0.0; 2], config, live.event_log());
+    let mut replayed =
+        ServingCore::replay(net, truth, vec![0.0; 2], config, live.event_log()).expect("replay");
     let replay_report = replayed.finish();
     assert_eq!(
         serde_json::to_string(&live_report).unwrap(),
@@ -183,11 +191,12 @@ fn serving_durability_recovers_the_live_base_exactly() {
     let (net, truth) = webform_federation(4, 11);
     let config = serve_config(4, Scheduler::Pool);
 
-    let mut plain = ServingCore::new(net.clone(), truth.clone(), vec![0.1; 4], config);
+    let mut plain =
+        ServingCore::new(net.clone(), truth.clone(), vec![0.1; 4], config).expect("serving config");
     plain.run_events(serve_workload(16, 80, 7).into_iter().map(|a| to_event(a.action)));
     let plain_report = plain.finish();
 
-    let mut durable = ServingCore::new(net, truth, vec![0.1; 4], config);
+    let mut durable = ServingCore::new(net, truth, vec![0.1; 4], config).expect("serving config");
     durable.attach_durability(&dir).expect("attach");
     durable.run_events(serve_workload(16, 80, 7).into_iter().map(|a| to_event(a.action)));
     let report = durable.finish();
@@ -215,7 +224,8 @@ fn serving_storage_faults_latch_and_surface_in_the_report() {
         truth,
         vec![0.0; 2],
         ServeConfig { redundancy: 1, ..serve_config(2, Scheduler::Pool) },
-    );
+    )
+    .expect("serving config");
     core.attach_durability(&dir).expect("attach");
     // yank the store directory: the final snapshot publication fails, the
     // fault latches, and the report carries it verbatim
@@ -224,6 +234,90 @@ fn serving_storage_faults_latch_and_surface_in_the_report() {
     let report = core.finish();
     let latched = core.durability_error().expect("the publish failure must latch");
     assert_eq!(report.durability_error.as_deref(), Some(latched.to_string().as_str()));
+}
+
+#[test]
+fn an_empty_crowd_is_a_typed_construction_error() {
+    // regression: this used to build fine and then panic on the first
+    // answer event (`session % crowd.len()` and `redundancy.clamp(1, 0)`)
+    let err = ServingCore::new(
+        fig1_network(),
+        fig1_truth(),
+        Vec::<f64>::new(),
+        serve_config(1, Scheduler::Inline),
+    )
+    .err()
+    .expect("an empty crowd must be rejected at construction");
+    assert_eq!(err, ServeConfigError::EmptyCrowd);
+    assert!(err.to_string().contains("crowd worker"), "the error must explain itself");
+}
+
+#[test]
+fn finishing_a_zero_commit_run_reports_zeroed_latency() {
+    // regression: the percentile helper used to `expect("nonempty")` on
+    // runs that never flushed a commit
+    let mut core = ServingCore::new(
+        fig1_network(),
+        fig1_truth(),
+        vec![0.0; 2],
+        serve_config(1, Scheduler::Inline),
+    )
+    .expect("serving config");
+    // questions only — nothing ever decides, so nothing ever commits
+    for s in 0..4 {
+        core.submit(ServiceEvent::Question { session: s }).expect("capacity");
+    }
+    core.pump();
+    let report = core.finish();
+    assert!(report.commits.is_empty(), "no answers means no commits");
+    assert_eq!(report.latency.count, 0);
+    assert_eq!(report.latency.p50, 0);
+    assert_eq!(report.latency.p99, 0);
+    assert_eq!(report.latency.max, 0);
+    assert_eq!(report.latency.mean, 0.0);
+}
+
+#[test]
+fn replay_clamps_zero_capacity_and_rejects_drifted_logs() {
+    // regression: replay used to `expect("replay queue never fills")`.
+    // A zero-capacity replay config is clamped to 1 at the config level
+    // and succeeds (replay pumps after every submit)...
+    let (net, truth) = (fig1_network(), fig1_truth());
+    let config = ServeConfig { redundancy: 1, ..serve_config(1, Scheduler::Inline) };
+    let mut live =
+        ServingCore::new(net.clone(), truth.clone(), vec![0.0; 2], config).expect("serving config");
+    live.run_events(serve_workload(2, 12, 3).into_iter().map(|a| to_event(a.action)));
+    let live_report = live.finish();
+
+    let zero_capacity = ServeConfig { capacity: 0, ..config };
+    assert_eq!(zero_capacity.effective_capacity(), 1, "capacity clamps at the config level");
+    let mut replayed = ServingCore::replay(
+        net.clone(),
+        truth.clone(),
+        vec![0.0; 2],
+        zero_capacity,
+        live.event_log(),
+    )
+    .expect("a clamped zero-capacity replay must succeed");
+    assert_eq!(
+        serde_json::to_string(&live_report).unwrap(),
+        serde_json::to_string(&replayed.finish()).unwrap(),
+        "the clamped replay reproduces the live run byte for byte"
+    );
+
+    // ...while a log whose clocks don't match the gapless stamping is a
+    // typed error, not a debug assertion
+    let drifted = vec![StampedEvent { clock: 5, event: ServiceEvent::Question { session: 0 } }];
+    let err = ServingCore::replay(net.clone(), truth.clone(), vec![0.0; 2], config, &drifted)
+        .err()
+        .expect("a drifted log must be rejected");
+    assert_eq!(err, ReplayError::ClockDrift { expected: 5, got: 0 });
+
+    // ...and a rejected configuration surfaces through replay too
+    let err = ServingCore::replay(net, truth, Vec::<f64>::new(), config, &[])
+        .err()
+        .expect("an empty crowd must surface through replay");
+    assert_eq!(err, ReplayError::Config(ServeConfigError::EmptyCrowd));
 }
 
 /// Decodes one opcode into a valid fig1 serving event: mostly
@@ -264,7 +358,8 @@ proptest! {
             fig1_truth(),
             vec![0.0; 2],
             ServeConfig { capacity, redundancy: 1, ..serve_config(1, Scheduler::Inline) },
-        );
+        )
+        .expect("serving config");
         let mut rejections = 0u32;
         for &event in &events {
             if core.submit(event).is_err() {
@@ -300,8 +395,8 @@ proptest! {
             flush_every: 4,
             ..serve_config(2, Scheduler::Pool)
         };
-        let mut live =
-            ServingCore::new(fig1_network(), fig1_truth(), vec![0.05; 3], config);
+        let mut live = ServingCore::new(fig1_network(), fig1_truth(), vec![0.05; 3], config)
+            .expect("serving config");
         live.run_events(events.iter().copied());
         let live_report = live.finish();
 
@@ -311,7 +406,8 @@ proptest! {
             vec![0.05; 3],
             config,
             live.event_log(),
-        );
+        )
+        .expect("replay");
         let replay_report = replayed.finish();
         prop_assert_eq!(
             serde_json::to_string(&live_report).unwrap(),

@@ -320,6 +320,30 @@ impl<'a> Dec<'a> {
     }
 }
 
+// ---------------------------------------------------------- shard state
+
+/// Encodes one shard's plain-data state — its local feedback and sample
+/// store, exactly the per-shard slice of snapshot section 8 — as a
+/// standalone payload. This is the shard-shipment encoding of the
+/// distributed mode: migrating a component between shard servers ships
+/// these bytes inside a [`frame`](crate::frame).
+pub fn encode_shard_state(s: &ShardState) -> Vec<u8> {
+    let mut b = Vec::new();
+    put_feedback(&mut b, &s.feedback);
+    put_store(&mut b, &s.store);
+    b
+}
+
+/// Decodes a standalone shard-state payload. Strict and panic-free on
+/// any byte string; trailing bytes are an error.
+pub fn decode_shard_state(bytes: &[u8]) -> Result<ShardState, StorageError> {
+    let mut d = Dec::new(bytes);
+    let feedback = d.feedback()?;
+    let store = d.store()?;
+    d.finish("shard state")?;
+    Ok(ShardState { feedback, store })
+}
+
 // ------------------------------------------------------------- snapshot
 
 /// Encodes a network state image, the session history and the WAL

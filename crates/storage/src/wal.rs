@@ -82,6 +82,35 @@ pub fn encode_record_into(buf: &mut Vec<u8>, seq: u64, event: &NetworkEvent) {
     buf.extend_from_slice(&payload);
 }
 
+/// Encodes exactly one framed record as a standalone buffer — the
+/// command-stream payload of the distributed mode (one event per wire
+/// frame, same bytes a WAL append would write).
+pub fn encode_record(seq: u64, event: &NetworkEvent) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(33);
+    encode_record_into(&mut buf, seq, event);
+    buf
+}
+
+/// Decodes exactly one standalone framed record (the inverse of
+/// [`encode_record`]). Strict: trailing bytes, a failed checksum or a
+/// malformed payload are typed errors; an empty buffer is
+/// [`TruncatedRecord`](StorageError::TruncatedRecord).
+pub fn decode_record(bytes: &[u8]) -> Result<(u64, NetworkEvent), StorageError> {
+    let mut dec = Dec::new(bytes);
+    let record = next_record(&mut dec)?.ok_or(StorageError::TruncatedRecord {
+        what: "wal record frame",
+        needed: 12,
+        available: 0,
+    })?;
+    if dec.remaining() != 0 {
+        return Err(StorageError::Invalid(format!(
+            "wal record: {} trailing bytes after the frame",
+            dec.remaining()
+        )));
+    }
+    Ok(record)
+}
+
 fn decode_payload(payload: &[u8]) -> Result<(u64, NetworkEvent), StorageError> {
     let mut d = Dec::new(payload);
     let seq = d.u64("wal record seq")?;

@@ -1,0 +1,59 @@
+//! Incremental gain-cache selection: per-question selection cost of the
+//! cached argmax against the fresh full scan on sharded federations up
+//! to `|C| ≈ 10⁴`, every point self-certifying that both paths asked
+//! the identical questions — the numbers checked in as
+//! `BENCH_select.json`.
+//!
+//! Run: `cargo run --release -p smn-bench --bin exp_select -- [label]`
+//! (`SMN_BENCH_FAST=1` drops repetitions).
+
+use smn_bench::select::measure;
+use smn_bench::{save_json, Table};
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "run".into());
+    // min-over-iters filters scheduler noise; the fresh side re-prices
+    // the whole pool per question, so repetitions are capped lower than
+    // exp_speed's to keep the |C| ≈ 10⁴ point affordable
+    let iters = if std::env::var("SMN_BENCH_FAST").is_ok_and(|v| v == "1") { 1 } else { 5 };
+    let report = measure(iters);
+
+    let mut table = Table::new([
+        "groups",
+        "|C|",
+        "shards",
+        "questions",
+        "fresh (ms/q)",
+        "cached (ms/q)",
+        "speedup",
+        "identical traces",
+    ]);
+    for p in &report.points {
+        table.row([
+            p.groups.to_string(),
+            p.candidates.to_string(),
+            p.components.to_string(),
+            p.questions.to_string(),
+            format!("{:.3}", p.fresh_per_question_ms),
+            format!("{:.3}", p.cached_per_question_ms),
+            format!("{:.1}x", p.speedup),
+            p.identical_traces.to_string(),
+        ]);
+    }
+    println!("Cached vs fresh-scan selection (per-question cost over {} questions)", {
+        report.points.first().map_or(0, |p| p.questions)
+    });
+    table.print();
+
+    for p in &report.points {
+        assert!(
+            p.identical_traces,
+            "groups={}: the gain cache changed the question trace",
+            p.groups
+        );
+    }
+
+    if let Ok(path) = save_json(&format!("select_{label}"), &report) {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -19,6 +19,7 @@
 //! | `exp_service` | concurrent multi-worker reconciliation: fork/commit costs, worker × error × redundancy grid |
 //! | `exp_serve` | request-driven serving: sustained answers/s and commit-lane latency at 10⁴–10⁶ open-loop sessions |
 //! | `exp_speed` | single-node speed ceiling: hot paths vs the PR-2 baseline, batched what-if, federation scale |
+//! | `exp_select` | incremental gain-cache selection: cached vs fresh-scan question cost, trace-identical by construction |
 //! | `exp_dist` | multi-process shard servers: 1/2/4-server scaling on a 240-cluster federation |
 //!
 //! Binaries print the paper's rows/series to stdout and write
@@ -32,6 +33,7 @@ pub mod hotpaths;
 pub mod persist;
 pub mod report;
 pub mod runner;
+pub mod select;
 pub mod serve;
 pub mod service;
 pub mod setup;

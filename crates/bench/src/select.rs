@@ -1,0 +1,182 @@
+//! Incremental gain-cache selection measurements behind
+//! `BENCH_select.json`.
+//!
+//! The scenario is the paper's question loop (Algorithm 1) on a sharded
+//! federation: select the argmax-gain candidate, integrate a
+//! deterministic verdict, repeat. Two strategies run the *same* loop
+//! from the same seed:
+//!
+//! * **fresh** — [`InformationGainSelection::without_cache`], the
+//!   pre-cache behaviour: every question re-prices the whole uncertain
+//!   pool, `O(|C|)` per question regardless of what the last answer
+//!   touched.
+//! * **cached** — the default cache-enabled strategy: per-shard epochs
+//!   mark the one component the last assertion dirtied, the refresh
+//!   re-prices only that component, and the argmax walks the lazily
+//!   maintained per-shard maxima (see `docs/SELECTION.md`).
+//!
+//! Each point records the per-question selection cost of both paths and
+//! — the part that makes the number trustworthy — replays both traces
+//! and requires them identical: same candidate, same score bits, same
+//! verdict at every step. A cache that drifted by one tie-break would
+//! flunk `identical_traces` before it could flatter `speedup`.
+//!
+//! The `exp_select` binary prints the table and writes
+//! `results/select_<label>.json`; `benches/select.rs` wraps the same
+//! loop in criterion. Every non-timing field is a pure function of the
+//! seeds (`SMN_SCRUB_TIMINGS=1` zeroes the rest), so the CI determinism
+//! smoke covers this report too.
+
+use crate::sharding::{bench_sampler, bench_sharding, federation_network};
+use crate::speed::FEDERATION_GROUPS;
+use serde::Serialize;
+use smn_core::feedback::Assertion;
+use smn_core::selection::SelectionStrategy;
+use smn_core::{InformationGainSelection, ProbabilisticNetwork};
+use smn_schema::CandidateId;
+use std::time::Instant;
+
+/// Questions per reconciliation run — enough to amortize the cached
+/// path's one cold full scan and to touch many distinct components.
+pub const QUESTIONS: usize = 64;
+
+/// Strategy seed shared by both paths (tie-breaks must replay).
+pub const STRATEGY_SEED: u64 = 11;
+
+/// One `(candidate, score bits, verdict)` step of a reconciliation run.
+pub type TraceStep = (CandidateId, Option<u64>, bool);
+
+/// One federation point of the selection comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct SelectPoint {
+    /// Fused sub-networks in the scenario.
+    pub groups: usize,
+    /// Candidate-set size `|C|`.
+    pub candidates: usize,
+    /// Conflict components (= shards).
+    pub components: usize,
+    /// Questions asked per run.
+    pub questions: usize,
+    /// Milliseconds of *selection* per question for the fresh full scan
+    /// (min over iters of the run's select-time total / questions).
+    pub fresh_per_question_ms: f64,
+    /// Milliseconds of selection per question for the cached path,
+    /// including its cold first scan.
+    pub cached_per_question_ms: f64,
+    /// `fresh_per_question_ms / cached_per_question_ms`.
+    pub speedup: f64,
+    /// Whether the two traces agreed step for step, score bits included.
+    pub identical_traces: bool,
+    /// FNV-1a over the shared trace — the replayable identity of the run.
+    pub trace_fingerprint: u64,
+}
+
+/// The full `BENCH_select.json` report.
+#[derive(Debug, Clone, Serialize)]
+pub struct SelectReport {
+    pub points: Vec<SelectPoint>,
+}
+
+/// Runs the question loop once and returns `(trace, select_ms_total)`.
+/// Only the `select_with_score` calls are timed — integration cost is
+/// identical on both paths and measured elsewhere (`exp_speed`).
+fn run_loop(
+    pn: &mut ProbabilisticNetwork,
+    strategy: &mut InformationGainSelection,
+) -> (Vec<TraceStep>, f64) {
+    let mut trace = Vec::with_capacity(QUESTIONS);
+    let mut select_s = 0.0;
+    for _ in 0..QUESTIONS {
+        let start = Instant::now();
+        let picked = strategy.select_with_score(pn);
+        select_s += start.elapsed().as_secs_f64();
+        let Some((candidate, score)) = picked else { break };
+        // deterministic verdict: approve the likely, with a disapprove
+        // fallback when an approval would contradict standing feedback
+        // (disapproving an unasserted candidate is always consistent)
+        let mut approved = pn.probability(candidate) > 0.5;
+        if pn.assert_candidate(Assertion { candidate, approved }).is_err() {
+            approved = false;
+            pn.assert_candidate(Assertion { candidate, approved }).expect("disapproval");
+        }
+        trace.push((candidate, score.map(f64::to_bits), approved));
+    }
+    (trace, select_s * 1e3)
+}
+
+fn fingerprint(trace: &[TraceStep]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &(c, score, approved) in trace {
+        for w in [c.0 as u64, score.unwrap_or(u64::MAX), approved as u64] {
+            h ^= w;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Measures one federation point: both paths run the identical loop from
+/// a freshly built network (the cached run starts cold and pays its own
+/// first full scan), min-over-iters on the per-question selection cost.
+pub fn measure_point(groups: usize, iters: usize) -> SelectPoint {
+    let net = federation_network(groups, 7);
+    let sampler = bench_sampler(3);
+    let sharding = bench_sharding();
+
+    let mut fresh_best = f64::INFINITY;
+    let mut cached_best = f64::INFINITY;
+    let mut fresh_trace = Vec::new();
+    let mut cached_trace = Vec::new();
+    for _ in 0..iters.max(1) {
+        // a fresh build per run: each network carries its own (cold)
+        // gain cache, so no warmth leaks between iterations
+        let mut pn = ProbabilisticNetwork::new_sharded(net.clone(), sampler, sharding);
+        let mut strategy = InformationGainSelection::new(STRATEGY_SEED).without_cache();
+        let (trace, ms) = run_loop(&mut pn, &mut strategy);
+        fresh_best = fresh_best.min(ms);
+        fresh_trace = trace;
+
+        let mut pn = ProbabilisticNetwork::new_sharded(net.clone(), sampler, sharding);
+        let mut strategy = InformationGainSelection::new(STRATEGY_SEED);
+        let (trace, ms) = run_loop(&mut pn, &mut strategy);
+        cached_best = cached_best.min(ms);
+        cached_trace = trace;
+    }
+
+    let identical = fresh_trace == cached_trace;
+    let questions = fresh_trace.len();
+    let fresh_ms = fresh_best / questions.max(1) as f64;
+    let cached_ms = cached_best / questions.max(1) as f64;
+    SelectPoint {
+        groups,
+        candidates: net.candidate_count(),
+        components: {
+            let pn = ProbabilisticNetwork::new_sharded(net.clone(), sampler, sharding);
+            pn.shard_count()
+        },
+        questions,
+        fresh_per_question_ms: fresh_ms,
+        cached_per_question_ms: cached_ms,
+        speedup: fresh_ms / cached_ms,
+        identical_traces: identical,
+        trace_fingerprint: fingerprint(&fresh_trace),
+    }
+}
+
+/// Measures the whole report.
+pub fn measure(iters: usize) -> SelectReport {
+    SelectReport { points: FEDERATION_GROUPS.iter().map(|&g| measure_point(g, iters)).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_and_fresh_traces_agree_on_a_small_federation() {
+        let p = measure_point(8, 1);
+        assert!(p.identical_traces, "gain cache changed the question trace");
+        assert!(p.questions > 0 && p.candidates > 0);
+        assert!(p.fresh_per_question_ms > 0.0 && p.cached_per_question_ms > 0.0);
+    }
+}

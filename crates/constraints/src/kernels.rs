@@ -22,6 +22,18 @@
 /// Words per unrolled block (4 × u64 = 256 bits).
 pub const LANES: usize = 4;
 
+/// Slice length (in words) below which [`and_count`] — the innermost
+/// loop of the Eq. 4/5 gain split, called once per (candidate, row)
+/// pair — takes a fused scalar loop instead of the unrolled block walk.
+/// Under two full blocks the 4-accumulator prologue/epilogue costs more
+/// than it saves (the 400-sample stores of the standard benchmarks have
+/// 7-word rows, which is exactly where `BENCH_speed.json` showed the
+/// wide path 2–12% *behind* the PR-2 scalar baseline at |C| ≤ 352); at
+/// or above two blocks the independent dependency chains win. Both
+/// paths compute the identical integer, so the cutover can never change
+/// a value.
+pub const AND_COUNT_SCALAR_BELOW: usize = 2 * LANES;
+
 /// Popcount of `a` — `Σ count_ones(a[i])`.
 #[inline]
 pub fn count(a: &[u64]) -> usize {
@@ -37,10 +49,14 @@ pub fn count(a: &[u64]) -> usize {
     c0 + c1 + c2 + c3 + tail
 }
 
-/// Popcount of `a & b`.
+/// Popcount of `a & b`. Short slices (see [`AND_COUNT_SCALAR_BELOW`])
+/// take a fused scalar loop; the result is the same integer either way.
 #[inline]
 pub fn and_count(a: &[u64], b: &[u64]) -> usize {
     debug_assert_eq!(a.len(), b.len());
+    if a.len() < AND_COUNT_SCALAR_BELOW {
+        return a.iter().zip(b).map(|(x, y)| (x & y).count_ones() as usize).sum();
+    }
     let mut ca = a.chunks_exact(LANES);
     let mut cb = b.chunks_exact(LANES);
     let (mut c0, mut c1, mut c2, mut c3) = (0usize, 0usize, 0usize, 0usize);

@@ -41,6 +41,7 @@ pub mod entropy;
 pub mod exact;
 pub mod feedback;
 pub mod fenwick;
+pub mod gains;
 pub mod instance;
 pub mod instantiate;
 pub mod metrics;
@@ -68,6 +69,7 @@ pub(crate) mod testutil;
 pub use engine::{Question, Session, SessionConfig, Strategy};
 pub use entropy::{binary_entropy, entropy_of};
 pub use feedback::{Assertion, Feedback};
+pub use gains::{GainCache, GainSource};
 pub use instantiate::{Instantiation, InstantiationConfig};
 pub use metrics::{kl_divergence, kl_ratio, PrecisionRecall};
 pub use network::MatchingNetwork;
@@ -79,6 +81,6 @@ pub use remote::ShardHost;
 pub use sampling::SamplerConfig;
 pub use selection::{
     ConfidenceOrderSelection, InformationGainSelection, MaxEntropySelection, RandomSelection,
-    SelectionStrategy,
+    SelectionStrategy, TIE_EPSILON,
 };
 pub use shard::ShardingConfig;

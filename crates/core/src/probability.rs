@@ -21,6 +21,7 @@
 
 use crate::entropy::{binary_entropy, entropy_of};
 use crate::feedback::{Assertion, Feedback};
+use crate::gains::{GainCache, GainSource};
 use crate::network::MatchingNetwork;
 use crate::pool;
 use crate::reconcile::StepOutcome;
@@ -30,6 +31,7 @@ use smn_constraints::BitSet;
 use smn_schema::{AttributeId, CandidateId, SchemaError};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// Why [`ProbabilisticNetwork::assert_candidate`] (and with it
 /// [`Session::answer`](crate::Session::answer)) rejected an assertion.
@@ -135,6 +137,17 @@ pub struct ProbabilisticNetwork {
     /// compare generations to skip re-forking an unchanged base. Not
     /// serialized — a restored network restarts at 0.
     generation: u64,
+    /// Per-shard mutation epochs for the gain cache: globally unique
+    /// values from [`crate::gains::next_epoch`], re-stamped whenever the
+    /// shard's state actually changes. Indexed by shard id (one entry
+    /// for the monolithic representation).
+    shard_epochs: Vec<u64>,
+    /// The structural epoch: refreshed wholesale by extend / retire,
+    /// which renumber shards. See [`crate::gains`].
+    structure_epoch: u64,
+    /// The shared Eq. 5 gain cache — shared across forks on purpose
+    /// (epoch uniqueness makes stale hits impossible), never serialized.
+    gain_cache: Arc<Mutex<GainCache>>,
 }
 
 impl ProbabilisticNetwork {
@@ -177,6 +190,11 @@ impl ProbabilisticNetwork {
             Repr::Monolithic(store) => recompute_monolithic(store, &feedback, &mut probs),
             Repr::Sharded(set) => set.write_all_probabilities(&mut probs),
         }
+        let epoch = crate::gains::next_epoch();
+        let shards = match &repr {
+            Repr::Monolithic(_) => 1,
+            Repr::Sharded(set) => set.components.count(),
+        };
         let mut pn = Self {
             network,
             feedback,
@@ -186,6 +204,9 @@ impl ProbabilisticNetwork {
             sampler,
             sharding,
             generation: 0,
+            shard_epochs: vec![epoch; shards],
+            structure_epoch: epoch,
+            gain_cache: Arc::new(Mutex::new(GainCache::default())),
         };
         pn.initial_entropy = pn.entropy();
         pn
@@ -303,6 +324,11 @@ impl ProbabilisticNetwork {
             Repr::Monolithic(store) => recompute_monolithic(store, &feedback, &mut probs),
             Repr::Sharded(set) => set.write_all_probabilities(&mut probs),
         }
+        let epoch = crate::gains::next_epoch();
+        let shards = match &repr {
+            Repr::Monolithic(_) => 1,
+            Repr::Sharded(set) => set.components.count(),
+        };
         Ok(Self {
             network,
             feedback,
@@ -312,6 +338,9 @@ impl ProbabilisticNetwork {
             sampler: state.sampler,
             sharding: state.sharding,
             generation: 0,
+            shard_epochs: vec![epoch; shards],
+            structure_epoch: epoch,
+            gain_cache: Arc::new(Mutex::new(GainCache::default())),
         })
     }
 
@@ -547,6 +576,19 @@ impl ProbabilisticNetwork {
         }
     }
 
+    /// The candidates shard `k` owns, ascending id — every candidate for
+    /// the monolithic representation (its single store owns everything).
+    /// The serving layer uses this to overlay exactly the shards a
+    /// session echoed answers into.
+    pub fn shard_members(&self, k: usize) -> Vec<CandidateId> {
+        match &self.repr {
+            Repr::Monolithic(_) => {
+                (0..self.network.candidate_count()).map(CandidateId::from_index).collect()
+            }
+            Repr::Sharded(set) => set.components.members(k).to_vec(),
+        }
+    }
+
     /// Integrates a user assertion: checks it against the standing
     /// feedback and the approval constraints, then updates the feedback,
     /// view-maintains the samples and recomputes `P` — only the owning
@@ -562,6 +604,7 @@ impl ProbabilisticNetwork {
             return Ok(()); // same-way re-assertion: successful no-op
         }
         let Assertion { candidate, approved } = assertion;
+        let k = self.shard_of(candidate);
         self.feedback.assert(assertion);
         match &mut self.repr {
             Repr::Monolithic(store) => {
@@ -571,6 +614,7 @@ impl ProbabilisticNetwork {
             Repr::Sharded(set) => set.assert(candidate, approved, &mut self.probs),
         }
         self.generation += 1;
+        self.shard_epochs[k] = crate::gains::next_epoch();
         Ok(())
     }
 
@@ -671,6 +715,7 @@ impl ProbabilisticNetwork {
                     // feedback so effort / is_asserted stay coherent
                     self.feedback.assert(Assertion { candidate, approved });
                     self.generation += 1;
+                    self.shard_epochs[*k] = crate::gains::next_epoch();
                 }
                 out[pos] = Some(CommitOutcome { candidate, approved, outcome, shard: *k, mutated });
             }
@@ -747,6 +792,7 @@ impl ProbabilisticNetwork {
             }
         }
         self.generation += 1;
+        self.bump_structure();
         self.refresh_entropy_baseline();
         Ok(id)
     }
@@ -780,8 +826,22 @@ impl ProbabilisticNetwork {
             }
         }
         self.generation += 1;
+        self.bump_structure();
         self.refresh_entropy_baseline();
         Ok(())
+    }
+
+    /// Re-stamps the structural epoch and every shard epoch after an
+    /// evolution step: extend / retire renumber conflict components, so
+    /// nothing previously cached may be trusted by shard id again.
+    fn bump_structure(&mut self) {
+        let epoch = crate::gains::next_epoch();
+        let shards = match &self.repr {
+            Repr::Monolithic(_) => 1,
+            Repr::Sharded(set) => set.components.count(),
+        };
+        self.structure_epoch = epoch;
+        self.shard_epochs = vec![epoch; shards];
     }
 
     /// Keeps [`normalized_entropy`](Self::normalized_entropy) meaningful
@@ -814,8 +874,15 @@ impl ProbabilisticNetwork {
     /// Monolithic networks run the `gains_within` kernel on the global
     /// sample matrix; sharded ones on the owning shard only — candidates
     /// outside `c`'s component are independent of it, so their
-    /// co-occurrence terms contribute zero gain.
+    /// co-occurrence terms contribute zero gain. When the shared gain
+    /// cache already holds `c`'s shard at the current epoch the value is
+    /// served from it — bit-identical by construction (the cache is
+    /// filled through the same kernel) — and a cold cache is left cold:
+    /// this point query never triggers a batch refresh.
     pub fn information_gain(&self, c: CandidateId) -> f64 {
+        if let Some(gain) = self.warm_cached_gain(c) {
+            return gain;
+        }
         match &self.repr {
             Repr::Monolithic(store) => gains_within(store.matrix(), &self.probs, &[c.index()])[0],
             Repr::Sharded(_) => self.sharded_gain(c),
@@ -854,9 +921,9 @@ impl ProbabilisticNetwork {
                 // probs), so contiguous pool chunks evaluate independently
                 // on the worker pool and concatenate in chunk order — the
                 // values are identical to the sequential scan no matter how
-                // the chunks are scheduled. The per-chunk denominator
-                // tables are rebuilt from the same closed form, so they
-                // cost O(S) each without affecting any value.
+                // the chunks are scheduled. The denominator tables are
+                // memoized per worker thread from the same closed form
+                // (see ENTROPY_TABLES), so they cannot affect any value.
                 let threads = crate::pool::global().threads();
                 let work = locals.len() * store.matrix().candidate_count();
                 if threads > 1 && locals.len() >= 2 && work > 1 << 16 {
@@ -978,6 +1045,44 @@ pub(crate) fn better_instance(
         std::cmp::Ordering::Greater => true,
         std::cmp::Ordering::Less => false,
         std::cmp::Ordering::Equal => use_likelihood && cand_ll > best_ll,
+    }
+}
+
+impl GainSource for ProbabilisticNetwork {
+    fn gain_cache(&self) -> &Mutex<GainCache> {
+        &self.gain_cache
+    }
+
+    fn gain_structure_epoch(&self) -> u64 {
+        self.structure_epoch
+    }
+
+    fn gain_shard_epochs(&self) -> &[u64] {
+        &self.shard_epochs
+    }
+
+    fn gain_shard_of(&self, c: CandidateId) -> usize {
+        self.shard_of(c)
+    }
+
+    fn gain_shard_uncertain(&self, k: usize) -> Vec<CandidateId> {
+        match &self.repr {
+            Repr::Monolithic(_) => self.uncertain_candidates(),
+            Repr::Sharded(set) => set
+                .components
+                .members(k)
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    let p = self.probs[c.index()];
+                    p > 0.0 && p < 1.0
+                })
+                .collect(),
+        }
+    }
+
+    fn compute_gains(&self, pool: &[CandidateId]) -> Vec<f64> {
+        self.information_gains(pool)
     }
 }
 
@@ -1147,6 +1252,32 @@ fn recompute_monolithic(store: &SampleStore, feedback: &Feedback, probs: &mut Ve
     );
 }
 
+thread_local! {
+    /// Memoized `H(k/w)` tables, indexed by denominator `w`: entry `w`
+    /// holds `[H(0/w), …, H(w/w)]`. Each table is a pure function of `w`
+    /// alone, so memoizing across gain scans (and across networks) can
+    /// never change a value — it only stops every `information_gains`
+    /// call from re-deriving the same logarithms. At 400-sample stores
+    /// the rebuild was ~1 ms per call, the dominant cost of the scan at
+    /// small `|C|`. Thread-local so pool workers warm their own copy
+    /// without synchronization; worst-case footprint is O(S²) floats.
+    static ENTROPY_TABLES: std::cell::RefCell<Vec<Option<std::rc::Rc<[f64]>>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The memoized `[H(k/w); k = 0..=w]` table for denominator `w`.
+fn entropy_table(w: usize) -> std::rc::Rc<[f64]> {
+    ENTROPY_TABLES.with(|cell| {
+        let mut tables = cell.borrow_mut();
+        if tables.len() <= w {
+            tables.resize(w + 1, None);
+        }
+        tables[w]
+            .get_or_insert_with(|| (0..=w).map(|k| binary_entropy(k as f64 / w as f64)).collect())
+            .clone()
+    })
+}
+
 /// The batch information-gain kernel over one sample matrix (Eq. 4/5):
 /// for each pool candidate `c`, split the samples on membership of `c`
 /// and measure the expected entropy drop across the matrix's *uncertain*
@@ -1173,13 +1304,6 @@ pub(crate) fn gains_within(matrix: &SampleMatrix, probs: &[f64], pool: &[usize])
     let uncertain: Vec<usize> = (0..n).filter(|&i| totals[i] > 0 && totals[i] < s_total).collect();
     // H over the uncertain rows — certain rows add exactly 0 bits
     let h_total: f64 = uncertain.iter().map(|&i| binary_entropy(probs[i])).sum();
-    // entropy_table[w][k] = H(k/w), built once per distinct denominator
-    let mut entropy_tables: Vec<Option<Vec<f64>>> = vec![None; s_total + 1];
-    let table = |w: usize, tables: &mut Vec<Option<Vec<f64>>>| {
-        if tables[w].is_none() {
-            tables[w] = Some((0..=w).map(|k| binary_entropy(k as f64 / w as f64)).collect());
-        }
-    };
     // Process pool candidates in blocks: the inner pass streams every
     // uncertain row through the cache once per *block* instead of once per
     // candidate, which cuts the scan's memory traffic by the block width.
@@ -1209,8 +1333,6 @@ pub(crate) fn gains_within(matrix: &SampleMatrix, probs: &[f64], pool: &[usize])
             let w_plus = totals[ci];
             // certain candidate: one branch is empty, the gain is 0
             if w_plus > 0 && w_plus < s_total {
-                table(w_plus, &mut entropy_tables);
-                table(s_total - w_plus, &mut entropy_tables);
                 active.push(chunk_idx * BLOCK + j);
             }
         }
@@ -1245,8 +1367,8 @@ pub(crate) fn gains_within(matrix: &SampleMatrix, probs: &[f64], pool: &[usize])
             let ci = pool[pos];
             let t_c = totals[ci];
             let base = slot * slot_span;
-            let t_plus = entropy_tables[t_c].as_deref().expect("built");
-            let t_minus = entropy_tables[s_total - t_c].as_deref().expect("built");
+            let t_plus = entropy_table(t_c);
+            let t_minus = entropy_table(s_total - t_c);
             let mut h_plus = 0.0f64;
             for (k, &cnt) in hist[base..base + t_c + 1].iter().enumerate() {
                 if cnt != 0 {
@@ -1281,6 +1403,74 @@ mod tests {
 
     fn sharded_pn() -> ProbabilisticNetwork {
         ProbabilisticNetwork::new_sharded(fig1_network(), sampler(), ShardingConfig::default())
+    }
+
+    #[test]
+    fn warm_information_gain_matches_the_batch_path() {
+        // satellite regression: once the cache is warm, the singular
+        // information_gain(c) must serve the cached value, and that value
+        // must stay ≡ the batch path within 1e-12 (bit-identical in fact:
+        // the cache is filled through the same kernel)
+        for pn in [pn(), sharded_pn()] {
+            let pool = pn.uncertain_candidates();
+            let fresh = pn.information_gains(&pool);
+            // cold: the point query must not warm the cache by itself
+            assert_eq!(pn.warm_cached_gain(pool[0]), None, "point queries leave a cold cache cold");
+            let cold: Vec<f64> = pool.iter().map(|&c| pn.information_gain(c)).collect();
+            pn.refresh_gain_cache();
+            for (i, &c) in pool.iter().enumerate() {
+                let warm = pn.information_gain(c);
+                assert_eq!(
+                    pn.warm_cached_gain(c),
+                    Some(warm),
+                    "after a refresh the cache must hold {c}"
+                );
+                assert!((warm - fresh[i]).abs() <= 1e-12, "warm {warm} vs batch {}", fresh[i]);
+                assert_eq!(warm.to_bits(), fresh[i].to_bits(), "cache fills through the kernel");
+                assert_eq!(warm.to_bits(), cold[i].to_bits(), "cold and warm point paths agree");
+            }
+        }
+    }
+
+    #[test]
+    fn gain_cache_invalidates_per_shard_and_on_evolution() {
+        let mut pn = sharded_pn();
+        pn.refresh_gain_cache();
+        pn.assert_candidate(Assertion { candidate: CandidateId(2), approved: true }).unwrap();
+        // the cached window after the mutation must equal a fresh scan
+        let pool = pn.uncertain_candidates();
+        let fresh = pn.information_gains(&pool);
+        let (window, gains) = pn.cached_gain_window();
+        let max = fresh.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for (&c, &g) in window.iter().zip(&gains) {
+            let pos = pool.iter().position(|&p| p == c).expect("window ⊆ uncertain pool");
+            assert_eq!(g.to_bits(), fresh[pos].to_bits());
+            assert!(g >= max - 2e-12, "window holds only near-maximal gains");
+        }
+        // every near-maximal pool candidate is in the window
+        for (i, &c) in pool.iter().enumerate() {
+            if fresh[i] >= max - 2e-12 {
+                assert!(window.contains(&c), "{c} (gain {}) missing from window", fresh[i]);
+            }
+        }
+        // evolution renumbers shards: the cache must survive via the
+        // structure epoch and keep matching fresh scans (fig1 is fully
+        // populated, so free a pair by retirement before re-extending it)
+        let freed = pn.network().corr(CandidateId(0));
+        pn.retire(CandidateId(0)).unwrap();
+        let pool = pn.uncertain_candidates();
+        let fresh = pn.information_gains(&pool);
+        let cached = pn.cached_gains(&pool);
+        for (f, c) in fresh.iter().zip(&cached) {
+            assert_eq!(f.to_bits(), c.to_bits(), "post-retire cache must re-derive");
+        }
+        pn.extend(freed.a(), freed.b(), 0.6).unwrap();
+        let pool = pn.uncertain_candidates();
+        let fresh = pn.information_gains(&pool);
+        let cached = pn.cached_gains(&pool);
+        for (f, c) in fresh.iter().zip(&cached) {
+            assert_eq!(f.to_bits(), c.to_bits(), "post-extend cache must re-derive");
+        }
     }
 
     #[test]

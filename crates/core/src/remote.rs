@@ -12,9 +12,9 @@
 //! image) plus the sample state of the components this process owns.
 //!
 //! Determinism contract: every kernel a `ShardHost` runs is the *same
-//! function* the single-process [`ShardSet`](crate::shard::ShardSet)
+//! function* the single-process `ShardSet`
 //! runs — shard `k` is seeded `seed + k` wherever it lives, evolution
-//! rebuilds go through the shared [`merged_inputs`]/[`split_inputs`]
+//! rebuilds go through the shared `merged_inputs`/`split_inputs`
 //! helpers, and exported shard state re-imports bit-identically through
 //! the same [`persist`](crate::persist) re-recording path the snapshot
 //! loader uses. A distributed run over any number of shard servers is
@@ -55,7 +55,7 @@ pub struct ShardHost {
 impl ShardHost {
     /// Builds a host owning the listed components: the partition and every
     /// sub-index derive from `network` exactly as
-    /// [`ShardSet::build`](crate::shard::ShardSet) derives them, and each
+    /// `ShardSet::build` derives them, and each
     /// owned shard is built by the same seeded builder — so the union of
     /// the hosts' shards across servers is bit-identical to the
     /// single-process shard set. Sampled fills of distinct owned shards
@@ -176,7 +176,7 @@ impl ShardHost {
 
     /// Integrates a coordinator-validated assertion into the owning shard
     /// — the same copy-on-write feedback + view-maintenance step as
-    /// [`ShardSet::assert`](crate::shard::ShardSet) — and returns the
+    /// `ShardSet::assert` — and returns the
     /// shard's new probabilities. `None` if this host does not own the
     /// candidate's component.
     pub fn assert_unchecked(&mut self, candidate: CandidateId, approved: bool) -> Option<Vec<f64>> {
@@ -191,7 +191,7 @@ impl ShardHost {
 
     /// Applies a lane of decided assertions (global ids, all of component
     /// `k`, in decision order) through the same validate/fallback ladder
-    /// as [`ShardSet::commit_lane`](crate::shard::ShardSet), installs the
+    /// as `ShardSet::commit_lane`, installs the
     /// mutated snapshot and returns the per-event
     /// `(standing verdict, outcome, mutated)` triples plus the shard's
     /// probabilities when anything changed.
@@ -324,7 +324,7 @@ impl ShardHost {
     /// Rebuilds the merged component `k` after an extension from the
     /// absorbed sources' shipped states, each paired with its pre-merge
     /// member list and given in ascending *old* component order — the
-    /// exact cross-combination order [`ShardSet::extend`](crate::shard::ShardSet)
+    /// exact cross-combination order `ShardSet::extend`
     /// uses, which the carried-sample cap makes order-sensitive. Must run
     /// after [`apply_extend`](Self::apply_extend).
     pub fn rebuild_merged(
@@ -364,7 +364,7 @@ impl ShardHost {
     /// shard's shipped state (`old_members` is its pre-event member list,
     /// ascending, still containing the retiree) — the same restrict +
     /// greedily-re-maximize carry-over as
-    /// [`ShardSet::retire`](crate::shard::ShardSet). Must run after
+    /// `ShardSet::retire`. Must run after
     /// [`apply_retire`](Self::apply_retire); every part owner receives the
     /// same old state.
     pub fn rebuild_part(

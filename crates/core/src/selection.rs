@@ -12,6 +12,7 @@
 //! * [`ConfidenceOrderSelection`] — ablation: ascending matcher confidence,
 //!   the classic pairwise post-matching review order.
 
+use crate::gains::GainSource;
 use crate::probability::ProbabilisticNetwork;
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
@@ -45,11 +46,18 @@ fn random_unasserted(pn: &ProbabilisticNetwork, rng: &mut StdRng) -> Option<Cand
     nth_matching(n, rng, |c| !pn.feedback().is_asserted(c))
 }
 
+/// The tie tolerance of [`scored_argmax`]: scores within this of the
+/// running best count as tied. Shared with the gain cache's lazy argmax
+/// window ([`crate::gains::GainSource::cached_gain_window`]), whose
+/// `2 · TIE_EPSILON` cut is what makes window selection provably replay
+/// the full-pool scan.
+pub const TIE_EPSILON: f64 = 1e-12;
+
 /// Argmax with random tie-breaking over a scored pool: collects every
-/// candidate whose score lies within 1e-12 of the maximum and resolves
-/// with exactly one RNG draw — the paper's "if the highest information
-/// gain is observed for multiple correspondences, one is randomly
-/// chosen".
+/// candidate whose score lies within [`TIE_EPSILON`] of the maximum and
+/// resolves with exactly one RNG draw — the paper's "if the highest
+/// information gain is observed for multiple correspondences, one is
+/// randomly chosen".
 ///
 /// This is the single definition of the selection kernel: both
 /// [`InformationGainSelection`] and the `smn-service` dispatcher (whose
@@ -66,11 +74,11 @@ pub fn scored_argmax(
     let mut best_score = f64::NEG_INFINITY;
     let mut best: Vec<CandidateId> = Vec::new();
     for (&c, &score) in pool.iter().zip(scores) {
-        if score > best_score + 1e-12 {
+        if score > best_score + TIE_EPSILON {
             best_score = score;
             best.clear();
             best.push(c);
-        } else if (score - best_score).abs() <= 1e-12 {
+        } else if (score - best_score).abs() <= TIE_EPSILON {
             best.push(c);
         }
     }
@@ -142,6 +150,14 @@ impl SelectionStrategy for RandomSelection {
 }
 
 /// Maximal information gain (the paper's heuristic, §IV-D).
+///
+/// Selection runs through the network's shared gain cache by default
+/// ([`crate::gains::GainSource`]): only shards dirtied since the last
+/// pick are re-priced and the argmax runs over the cached tie window —
+/// `O(|C_dirty| + window)` instead of a full `O(|C|)` gain scan — with
+/// picks, scores and RNG stream identical to the fresh scan by
+/// construction. [`without_cache`](Self::without_cache) keeps the fresh
+/// scan available as the differential reference.
 #[derive(Debug, Clone)]
 pub struct InformationGainSelection {
     rng: StdRng,
@@ -149,17 +165,30 @@ pub struct InformationGainSelection {
     /// candidates with the highest marginal entropy. `None` evaluates all
     /// uncertain candidates, as the paper does.
     pub limit: Option<usize>,
+    /// `true` bypasses the gain cache and rescans the full pool every
+    /// pick — the reference the differential suites compare against.
+    fresh_scan: bool,
 }
 
 impl InformationGainSelection {
     /// Creates the strategy with a deterministic tie-breaking seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), limit: None }
+        Self { rng: StdRng::seed_from_u64(seed), limit: None, fresh_scan: false }
     }
 
     /// Caps the number of gain evaluations per step (scaling knob).
     pub fn with_limit(mut self, limit: usize) -> Self {
         self.limit = Some(limit);
+        self
+    }
+
+    /// Disables the gain cache: every pick rescans the full uncertain
+    /// pool. Trace-identical to the cached default (that is the cache's
+    /// contract, and what the differential suites certify) — this is the
+    /// reference implementation, and a fallback should the cache ever
+    /// need ruling out.
+    pub fn without_cache(mut self) -> Self {
+        self.fresh_scan = true;
         self
     }
 }
@@ -188,16 +217,28 @@ impl SelectionStrategy for InformationGainSelection {
         }
         if let Some(limit) = self.limit {
             if pool.len() > limit {
+                // a truncated pool is not "all uncertain candidates", so
+                // the cached window does not apply — price it directly
                 pool.sort_by(|&a, &b| {
                     let ha = crate::entropy::binary_entropy(pn.probability(a));
                     let hb = crate::entropy::binary_entropy(pn.probability(b));
                     hb.total_cmp(&ha).then(a.cmp(&b))
                 });
                 pool.truncate(limit);
+                let gains = pn.information_gains(&pool);
+                return scored_argmax(&pool, &gains, &mut self.rng)
+                    .map(|(c, gain)| (c, Some(gain)));
             }
         }
-        let gains = pn.information_gains(&pool);
-        scored_argmax(&pool, &gains, &mut self.rng).map(|(c, gain)| (c, Some(gain)))
+        if self.fresh_scan {
+            let gains = pn.information_gains(&pool);
+            return scored_argmax(&pool, &gains, &mut self.rng).map(|(c, gain)| (c, Some(gain)));
+        }
+        // incremental path: re-price dirty shards only, then argmax over
+        // the cached tie window — same picks, same RNG draws (see
+        // crate::gains for why this replays the full scan exactly)
+        let (window, gains) = pn.cached_gain_window();
+        scored_argmax(&window, &gains, &mut self.rng).map(|(c, gain)| (c, Some(gain)))
     }
 
     fn clone_box(&self) -> Box<dyn SelectionStrategy> {

@@ -17,10 +17,10 @@
 use proptest::prelude::*;
 use smn_constraints::ConstraintConfig;
 use smn_core::feedback::Assertion;
-use smn_core::selection::RandomSelection;
+use smn_core::selection::{RandomSelection, SelectionStrategy};
 use smn_core::{
-    reconcile, MatchingNetwork, ProbabilisticNetwork, ReconciliationGoal, SamplerConfig,
-    ShardingConfig,
+    reconcile, InformationGainSelection, MatchingNetwork, ProbabilisticNetwork, ReconciliationGoal,
+    SamplerConfig, ShardingConfig,
 };
 use smn_schema::{
     AttributeId, CandidateId, CandidateSet, Catalog, CatalogBuilder, Correspondence,
@@ -258,4 +258,146 @@ fn arrival_stream_from_empty_reaches_the_batch_network() {
     assert_eq!(pn.probabilities(), batch.probabilities());
     assert_eq!(pn.shard_count(), batch.shard_count());
     assert_eq!(pn.entropy(), batch.entropy());
+}
+
+/// The cached-selection mirror of [`Session`]: a fresh-scan
+/// [`InformationGainSelection`] (via
+/// [`without_cache`](InformationGainSelection::without_cache)) plus a
+/// hand-rolled replica of the session's undo/fork bookkeeping. Driving it
+/// in lockstep with a real (cache-enabled) session pins the tentpole
+/// contract — the gain cache must never change a question, a score bit,
+/// or an RNG draw, through any interleaving of answers, arrivals,
+/// retirements, undos and forks.
+struct FreshReference {
+    pn: ProbabilisticNetwork,
+    strategy: InformationGainSelection,
+    undo_stack: Vec<ProbabilisticNetwork>,
+}
+
+impl FreshReference {
+    fn next_question(&mut self) -> Option<(CandidateId, Option<u64>)> {
+        let (c, score) = self.strategy.select_with_score(&self.pn)?;
+        Some((c, score.map(f64::to_bits)))
+    }
+
+    /// Mirror of [`Session::answer`]: validate first, snapshot only
+    /// before an assertion that will really integrate.
+    fn answer(&mut self, candidate: CandidateId, approved: bool) {
+        let assertion = Assertion { candidate, approved };
+        if !matches!(self.pn.validate_assertion(assertion), Ok(true)) {
+            return;
+        }
+        let snapshot = self.pn.fork();
+        self.pn.assert_candidate(assertion).expect("validated assertion integrates");
+        if self.undo_stack.len() >= smn_core::Session::UNDO_DEPTH {
+            self.undo_stack.remove(0);
+        }
+        self.undo_stack.push(snapshot);
+    }
+}
+
+proptest! {
+    /// Cached selection ≡ fresh scan, byte for byte, across evolution,
+    /// undo and forks. The real session runs the (default) cache-enabled
+    /// [`InformationGainSelection`]; the reference recomputes every gain
+    /// from scratch. Every question — candidate id *and* score bits —
+    /// must agree at every step, which also proves the two sides consume
+    /// identical RNG streams (one divergent draw would desynchronise all
+    /// later tie-breaks). Undo restores forks whose shard epochs predate
+    /// cache entries shared through the [`Session::fork`] `Arc` — the
+    /// aliasing case the globally unique epochs exist for.
+    #[test]
+    fn cached_session_trace_equals_fresh_scan_through_evolution_and_undo(
+        sizes in prop::array::uniform3(1usize..4),
+        seed in any::<u64>(),
+        ops in prop::collection::vec(any::<u32>(), 1..24),
+    ) {
+        let (cat, graph) = three_schema_catalog(sizes);
+        let pool = pair_pool(&cat);
+        let mut cs = CandidateSet::new(&cat);
+        for &(x, y) in pool.iter().take(pool.len().div_ceil(2)) {
+            cs.add(&cat, Some(&graph), x, y, 0.5).unwrap();
+        }
+        let net =
+            MatchingNetwork::new(cat.clone(), graph.clone(), cs, ConstraintConfig::default());
+        let mut session = smn_core::Session::new(
+            net.clone(),
+            smn_core::SessionConfig {
+                sampler: sampler(),
+                strategy: smn_core::Strategy::InformationGain,
+                strategy_seed: seed,
+                sharding: exact_sharding(),
+            },
+        );
+        let mut fresh = FreshReference {
+            pn: ProbabilisticNetwork::new_sharded(net, sampler(), exact_sharding()),
+            strategy: InformationGainSelection::new(seed).without_cache(),
+            undo_stack: Vec::new(),
+        };
+        for &op in &ops {
+            // lockstep question — the observable the cache must not move
+            let question = session.next_question();
+            let expected = fresh.next_question();
+            prop_assert_eq!(
+                question.as_ref().map(|q| (q.candidate, q.score.map(f64::to_bits))),
+                expected,
+                "cached and fresh questions diverged"
+            );
+            let pick = (op >> 3) as usize;
+            match op % 8 {
+                0..=3 => {
+                    let Some(q) = question else { continue };
+                    let approved = q.probability > 0.5;
+                    let _ = session.answer(q.candidate, approved);
+                    fresh.answer(q.candidate, approved);
+                }
+                4 => {
+                    let undone = session.undo();
+                    let reference = fresh.undo_stack.pop();
+                    prop_assert_eq!(undone.is_some(), reference.is_some());
+                    if let Some(pn) = reference {
+                        fresh.pn = pn;
+                    }
+                }
+                5 => {
+                    let free: Vec<(AttributeId, AttributeId)> = pool
+                        .iter()
+                        .filter(|(x, y)| {
+                            session.network().network().candidates().find(*x, *y).is_none()
+                        })
+                        .copied()
+                        .collect();
+                    if free.is_empty() {
+                        continue;
+                    }
+                    let (x, y) = free[pick % free.len()];
+                    session.extend(x, y, 0.5).unwrap();
+                    fresh.pn.extend(x, y, 0.5).unwrap();
+                    fresh.undo_stack.clear();
+                }
+                6 => {
+                    let n = session.network().network().candidate_count();
+                    if n == 0 {
+                        continue;
+                    }
+                    let c = CandidateId::from_index(pick % n);
+                    session.retire(c).unwrap();
+                    fresh.pn.retire(c).unwrap();
+                    fresh.undo_stack.clear();
+                }
+                _ => {
+                    // branch both sides: the fork shares the parent's
+                    // gain cache through the Arc, on purpose
+                    session = session.fork();
+                    fresh = FreshReference {
+                        pn: fresh.pn.fork(),
+                        strategy: fresh.strategy.clone(),
+                        undo_stack: Vec::new(),
+                    };
+                }
+            }
+        }
+        // final posterior parity: the cache never touched the model
+        prop_assert_eq!(session.network().probabilities(), fresh.pn.probabilities());
+    }
 }

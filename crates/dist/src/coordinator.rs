@@ -2,7 +2,8 @@
 //! [`proto`](crate::proto) protocol to N shard servers.
 //!
 //! [`DistNetwork`] mirrors exactly the *cheap* state of a single-process
-//! [`ProbabilisticNetwork`] — the network structure (via a zero-owned
+//! [`ProbabilisticNetwork`](smn_core::ProbabilisticNetwork) — the
+//! network structure (via a zero-owned
 //! [`ShardHost`]), the global feedback, the global probability vector
 //! and the entropy baseline — while every sample store lives on exactly
 //! one shard server. Each operation routes to the owners and composes
@@ -49,14 +50,14 @@ use smn_core::entropy::{binary_entropy, entropy_of};
 use smn_core::feedback::{Assertion, Feedback};
 use smn_core::persist::NetworkEvent;
 use smn_core::shard::ShardingConfig;
-use smn_core::{AssertError, MatchingNetwork, SamplerConfig, ShardHost};
+use smn_core::{AssertError, GainCache, GainSource, MatchingNetwork, SamplerConfig, ShardHost};
 use smn_schema::{AttributeId, CandidateId};
 use smn_service::ServeModel;
 use smn_storage::format::encode_snapshot;
 use smn_storage::wal::encode_record;
 use smn_storage::Frame;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The multi-process probabilistic network: full structure and global
 /// bookkeeping here, sample state distributed over shard servers.
@@ -83,6 +84,15 @@ pub struct DistNetwork {
     links: Vec<Mutex<Box<dyn Transport>>>,
     /// WAL-style sequence stamping of the command stream.
     seq: u64,
+    /// Per-component mutation epochs for the coordinator-side gain
+    /// cache — same discipline as the single-process network: a routed
+    /// assert re-stamps only the owning component, so a selection
+    /// refresh fans out to that component's server alone.
+    shard_epochs: Vec<u64>,
+    /// Structural epoch, reset wholesale by extend / retire.
+    structure_epoch: u64,
+    /// The coordinator-side Eq. 5 gain cache (see [`smn_core::gains`]).
+    gain_cache: Arc<Mutex<GainCache>>,
 }
 
 impl DistNetwork {
@@ -108,6 +118,7 @@ impl DistNetwork {
         let placement = Placement::new(links.len());
         let owner = placement.assign(count);
         let image = encode_snapshot(&mirror.structure(), &[], 0);
+        let epoch = smn_core::gains::next_epoch();
         let mut this = Self {
             mirror,
             feedback: Feedback::new(n),
@@ -118,6 +129,9 @@ impl DistNetwork {
             owner,
             links: links.into_iter().map(Mutex::new).collect(),
             seq: 0,
+            shard_epochs: vec![epoch; count],
+            structure_epoch: epoch,
+            gain_cache: Arc::new(Mutex::new(GainCache::default())),
         };
         // every server builds its owned shards concurrently — the point
         // of the cluster; replies scatter afterwards in server order
@@ -252,6 +266,8 @@ impl DistNetwork {
         for (rk, local) in entries {
             scatter(&mut self.probs, self.mirror.components().members(rk), rk, &local)
                 .unwrap_or_else(|e| panic!("assert reply malformed: {e}"));
+            // only the touched component's cached gains go stale
+            self.shard_epochs[rk] = smn_core::gains::next_epoch();
         }
         self.generation += 1;
         Ok(())
@@ -438,6 +454,7 @@ impl DistNetwork {
             scatter(&mut self.probs, self.mirror.components().members(rk), rk, &local)?;
         }
         self.generation += 1;
+        self.bump_structure();
         if self.initial_entropy == 0.0 {
             self.initial_entropy = entropy_of(&self.probs);
         }
@@ -479,10 +496,21 @@ impl DistNetwork {
         }
         self.feedback.retire(c);
         self.generation += 1;
+        self.bump_structure();
         if self.initial_entropy == 0.0 {
             self.initial_entropy = entropy_of(&self.probs);
         }
         Ok(())
+    }
+
+    /// Re-stamps the structural epoch and every component epoch after an
+    /// evolution step — components were renumbered, nothing cached by
+    /// component id may be trusted again (same contract as the
+    /// single-process network).
+    fn bump_structure(&mut self) {
+        let epoch = smn_core::gains::next_epoch();
+        self.structure_epoch = epoch;
+        self.shard_epochs = vec![epoch; self.mirror.component_count()];
     }
 
     /// Orderly cluster shutdown: every server acknowledges and exits its
@@ -514,6 +542,43 @@ fn scatter(
         probs[g.index()] = p;
     }
     Ok(())
+}
+
+impl GainSource for DistNetwork {
+    fn gain_cache(&self) -> &Mutex<GainCache> {
+        &self.gain_cache
+    }
+
+    fn gain_structure_epoch(&self) -> u64 {
+        self.structure_epoch
+    }
+
+    fn gain_shard_epochs(&self) -> &[u64] {
+        &self.shard_epochs
+    }
+
+    fn gain_shard_of(&self, c: CandidateId) -> usize {
+        self.mirror.component_of(c)
+    }
+
+    fn gain_shard_uncertain(&self, k: usize) -> Vec<CandidateId> {
+        self.mirror
+            .components()
+            .members(k)
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let p = self.probs[c.index()];
+                p > 0.0 && p < 1.0
+            })
+            .collect()
+    }
+
+    fn compute_gains(&self, pool: &[CandidateId]) -> Vec<f64> {
+        // buckets by component and batches per owning server — a refresh
+        // of one dirty component therefore speaks to one server only
+        DistNetwork::information_gains(self, pool)
+    }
 }
 
 impl ServeModel for DistNetwork {

@@ -306,3 +306,69 @@ fn a_tcp_cluster_matches_the_channel_cluster() {
     drive_assertions(&mut pn, &mut dist, 3, "tcp");
     teardown(dist, handles);
 }
+
+/// The cached-selection certificate over a cluster: a [`Dispatcher`]
+/// leasing from the [`DistNetwork`] — whose gain cache refreshes dirty
+/// components through a *single-server* fan-out — must replay, pick for
+/// pick and score bit for score bit, a fresh-scan
+/// [`smn_core::InformationGainSelection`] over the single-process
+/// network, through a stream that asserts, extends and retires
+/// mid-flight. Runs at 1, 2 and 4 servers.
+#[test]
+fn cached_dispatch_over_a_cluster_matches_a_fresh_single_process_scan() {
+    use smn_core::selection::SelectionStrategy;
+    use smn_core::InformationGainSelection;
+    use smn_service::Dispatcher;
+
+    let (net, _) = webform_federation(3, 42);
+    for servers in [1usize, 2, 4] {
+        let ctx = format!("cached dispatch/{servers} servers");
+        let sampler = fast_sampler(5);
+        let cfg = ShardingConfig::default();
+        let mut pn = ProbabilisticNetwork::new_sharded(net.clone(), sampler, cfg);
+        let (mut dist, handles) = cluster(net.clone(), sampler, cfg, servers);
+        let mut fresh = InformationGainSelection::new(7).without_cache();
+        let mut dispatcher = Dispatcher::new(7);
+        let mut driven = 0usize;
+        for step in 0..18 {
+            let expected = fresh.select_with_score(&pn);
+            let leases = dispatcher.lease_round(&dist, 1, 1, 1, step);
+            let got = leases.first().map(|l| (l.candidate, l.score.map(f64::to_bits)));
+            assert_eq!(
+                got,
+                expected.map(|(c, s)| (c, s.map(f64::to_bits))),
+                "{ctx} step {step}: lease vs fresh scan"
+            );
+            let Some((candidate, _)) = expected else { break };
+            driven += 1;
+            // deterministic verdict, identical on both models
+            let approved = pn.probability(candidate) > 0.5;
+            let assertion = Assertion { candidate, approved };
+            let a = pn.assert_candidate(assertion);
+            let b = dist.assert_candidate(assertion);
+            assert_eq!(format!("{b:?}"), format!("{a:?}"), "{ctx} step {step}: outcome");
+            // evolution mid-stream: the structure epoch must flush the
+            // cache identically on both sides
+            if step == 5 {
+                let cat = pn.network().catalog().clone();
+                let free = (0..cat.attribute_count())
+                    .flat_map(|x| ((x + 1)..cat.attribute_count()).map(move |y| (x, y)))
+                    .map(|(x, y)| (AttributeId::from_index(x), AttributeId::from_index(y)))
+                    .find(|&(x, y)| {
+                        cat.schema_of(x) != cat.schema_of(y)
+                            && pn.network().candidates().find(x, y).is_none()
+                    })
+                    .expect("the federation leaves cross-schema pairs open");
+                pn.extend(free.0, free.1, 0.5).unwrap();
+                dist.extend(free.0, free.1, 0.5).unwrap();
+            }
+            if step == 11 {
+                pn.retire(CandidateId(0)).unwrap();
+                dist.retire(CandidateId(0)).unwrap();
+            }
+            assert_eq!(dist.probabilities(), pn.probabilities(), "{ctx} step {step}: posterior");
+        }
+        assert!(driven >= 13, "{ctx}: stream ended early after {driven} picks");
+        teardown(dist, handles);
+    }
+}

@@ -120,6 +120,14 @@ impl Dispatcher {
             })
             .map(|c| (c, None));
         }
+        if excluded.is_empty() && leased_shards.is_empty() {
+            // the unfiltered first pick of a round is exactly the
+            // strategy's pick: argmax over all uncertain candidates, so
+            // the cached tie window applies — dirty shards re-price, the
+            // rest serve from cache, RNG stream unchanged
+            let (window, gains) = pn.cached_gain_window();
+            return scored_argmax(&window, &gains, &mut self.rng).map(|(c, gain)| (c, Some(gain)));
+        }
         // shard-aware spreading: concurrent what-if forks then
         // copy-on-write disjoint shards (no-op for the first pick, so the
         // 1-worker schedule stays strategy-identical)
@@ -133,7 +141,10 @@ impl Dispatcher {
                 pool = fresh;
             }
         }
-        let gains = pn.information_gains(&pool);
+        // a filtered pool is not the full argmax window, but its gains
+        // still come from the cache — identical values, zero rescans of
+        // clean shards
+        let gains = pn.cached_gains(&pool);
         // the shared selection kernel — same tie window, same single RNG
         // draw as InformationGainSelection, by construction
         scored_argmax(&pool, &gains, &mut self.rng).map(|(c, gain)| (c, Some(gain)))

@@ -16,7 +16,7 @@
 //! contract the distributed differential suite certifies.
 
 use smn_core::feedback::{Assertion, Feedback};
-use smn_core::{AssertError, MatchingNetwork, ProbabilisticNetwork};
+use smn_core::{AssertError, GainSource, MatchingNetwork, ProbabilisticNetwork};
 use smn_schema::CandidateId;
 
 /// The query/commit surface a reconciliation service drives.
@@ -24,8 +24,12 @@ use smn_schema::CandidateId;
 /// `Sync` is a supertrait because branch evaluations fan out across the
 /// worker pool sharing one `&M`; implementations over external
 /// connections guard them internally (e.g. a mutex per shard-server
-/// link).
-pub trait ServeModel: Sync {
+/// link). [`GainSource`] is a supertrait because the dispatcher selects
+/// through the model's incremental gain cache — a model that can price
+/// gains can always price them incrementally, and the epoch contract
+/// (globally unique stamps per real mutation) is implementable by
+/// construction wherever the mutation entry points are.
+pub trait ServeModel: Sync + GainSource {
     /// The matching network being reconciled.
     fn network(&self) -> &MatchingNetwork;
 

@@ -20,19 +20,55 @@
 //! `|p − ½|`, so the scan compares `|p − ½|` directly — same argmax,
 //! no `log2` per candidate — and breaks ties toward the lowest id,
 //! making the choice a pure function of the (deterministic) snapshot.
+//!
+//! The per-question scan is served from a **shared base-snapshot
+//! cache**: the `(|p − ½|, id)`-sorted entry list of the published
+//! snapshot is built once per published generation and shared by every
+//! session, and each session overlays only the shards it privately
+//! echoed answers into (a fork diverges from its base exactly there —
+//! a sharded assertion rewrites the owning component's probabilities
+//! and nothing else). Selection then walks the merged streams best
+//! first and stops at the first available candidate, instead of
+//! rescanning all `|C|` probabilities per question. The merge is
+//! provably the same argmin over the same candidate set, so it picks
+//! identically to the plain scan [`select_on`] — which stays public as
+//! the differential reference.
 
 use smn_core::feedback::Assertion;
 use smn_core::ProbabilisticNetwork;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use smn_schema::CandidateId;
 
-/// One session's private view: a fork of the published base and the
-/// generation it was forked at.
+/// One session's private view: a fork of the published base, the
+/// generation it was forked at, and the private-echo overlay — the
+/// shards (and their member ids) where the fork's probabilities have
+/// diverged from the base.
 struct SessionSlot {
     fork: ProbabilisticNetwork,
     generation: u64,
+    /// Shards this session echoed a *mutating* answer into.
+    echoed: BTreeSet<usize>,
+    /// Ascending candidate ids of the echoed shards — the domain where
+    /// the shared entry list must be masked and the fork consulted.
+    overlay: Vec<u32>,
+}
+
+impl SessionSlot {
+    fn fresh(fork: ProbabilisticNetwork, generation: u64) -> Self {
+        Self { fork, generation, echoed: BTreeSet::new(), overlay: Vec::new() }
+    }
+}
+
+/// The shared selection-entry cache of one published snapshot:
+/// `(|p − ½|, id)` for every uncertain candidate, ascending — best
+/// question first. Built once per published generation, shared by all
+/// sessions.
+#[derive(Default)]
+struct SharedEntries {
+    generation: Option<u64>,
+    entries: Vec<(f64, u32)>,
 }
 
 /// Multiplexes concurrent sessions over the shared published snapshot.
@@ -40,12 +76,18 @@ pub struct SessionManager {
     slots: HashMap<u64, SessionSlot>,
     fork_fifo: VecDeque<u64>,
     max_forks: usize,
+    shared: SharedEntries,
 }
 
 impl SessionManager {
     /// A manager keeping at most `max_forks` live session forks (min 1).
     pub fn new(max_forks: usize) -> Self {
-        Self { slots: HashMap::new(), fork_fifo: VecDeque::new(), max_forks: max_forks.max(1) }
+        Self {
+            slots: HashMap::new(),
+            fork_fifo: VecDeque::new(),
+            max_forks: max_forks.max(1),
+            shared: SharedEntries::default(),
+        }
     }
 
     /// Live session forks currently held.
@@ -58,7 +100,9 @@ impl SessionManager {
     /// ties to the lowest id) among those with `0 < p < 1` that the
     /// caller's `unavailable` filter admits; falls back to the first
     /// available unasserted candidate when every probability is pinned;
-    /// `None` when nothing is available at all.
+    /// `None` when nothing is available at all. Exactly [`select_on`]
+    /// over the session's fork, served from the shared entry cache plus
+    /// the session's private-echo overlay.
     ///
     /// Lazily forks the published snapshot for the session (refreshing a
     /// fork whose `generation` fell behind `published_generation`); at
@@ -75,17 +119,14 @@ impl SessionManager {
             Some(slot) if slot.generation >= published_generation => {}
             Some(_) => {
                 // stale fork: the base has moved — refresh from published
+                // (and drop the overlay: the new fork has no echoes yet)
                 let slot = self.slots.get_mut(&session).expect("checked above");
-                slot.fork = published.as_ref().fork();
-                slot.generation = published_generation;
+                *slot = SessionSlot::fresh(published.as_ref().fork(), published_generation);
             }
             None if self.slots.len() < self.max_forks => {
                 self.slots.insert(
                     session,
-                    SessionSlot {
-                        fork: published.as_ref().fork(),
-                        generation: published_generation,
-                    },
+                    SessionSlot::fresh(published.as_ref().fork(), published_generation),
                 );
                 self.fork_fifo.push_back(session);
             }
@@ -101,39 +142,135 @@ impl SessionManager {
                 }
                 self.slots.insert(
                     session,
-                    SessionSlot {
-                        fork: published.as_ref().fork(),
-                        generation: published_generation,
-                    },
+                    SessionSlot::fresh(published.as_ref().fork(), published_generation),
                 );
                 self.fork_fifo.push_back(session);
             }
         }
-        let view: &ProbabilisticNetwork =
-            self.slots.get(&session).map_or(published.as_ref(), |s| &s.fork);
-        select_on(view, unavailable)
+        if self.shared.generation != Some(published_generation) {
+            self.shared.entries = sorted_entries_of(published.probabilities(), None);
+            self.shared.generation = Some(published_generation);
+        }
+        let Some(slot) = self.slots.get(&session) else {
+            // defensive: no fork admitted — plain scan on the base
+            return select_on(published.as_ref(), unavailable);
+        };
+        // overlay stream: the echoed shards priced from the fork
+        let overlay = sorted_entries_of(slot.fork.probabilities(), Some(&slot.overlay));
+        // merged best-first walk — first available candidate wins; base
+        // entries inside the overlay domain are masked (stale there)
+        let mut shared = self
+            .shared
+            .entries
+            .iter()
+            .filter(|&&(_, id)| slot.overlay.binary_search(&id).is_err())
+            .peekable();
+        let mut private = overlay.iter().peekable();
+        loop {
+            let take_shared = match (shared.peek(), private.peek()) {
+                (Some(&&s), Some(&&p)) => (s.0, s.1) <= (p.0, p.1),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let &(_, id) =
+                if take_shared { shared.next().unwrap() } else { private.next().unwrap() };
+            let c = CandidateId(id);
+            if !unavailable(c) {
+                return Some(c);
+            }
+        }
+        // all pinned: validate the first available unasserted candidate
+        let view = &slot.fork;
+        (0..view.probabilities().len())
+            .map(CandidateId::from_index)
+            .find(|&c| !view.feedback().is_asserted(c) && !unavailable(c))
     }
 
     /// Applies `assertion` to the session's private fork (if it holds
     /// one), so its next selection sees its own answer immediately. The
     /// authoritative integration happens in the commit lanes; a rejected
-    /// or redundant private echo is simply dropped.
+    /// or redundant private echo is simply dropped. A *mutating* echo
+    /// records the owning shard in the session's overlay — its
+    /// probabilities now diverge from the published base there.
     pub fn observe(&mut self, session: u64, assertion: Assertion) {
         if let Some(slot) = self.slots.get_mut(&session) {
+            let before = slot.fork.generation();
             let _ = slot.fork.assert_candidate(assertion);
+            if slot.fork.generation() != before {
+                let shard = slot.fork.shard_of(assertion.candidate);
+                if slot.echoed.insert(shard) {
+                    let members: Vec<u32> =
+                        slot.fork.shard_members(shard).iter().map(|c| c.0).collect();
+                    slot.overlay = merge_sorted(&slot.overlay, &members);
+                }
+            }
         }
     }
 
     /// Drops every session fork — the evolution-epoch reset: ids may
-    /// have been renumbered, so private views are all invalid.
+    /// have been renumbered, so private views (and the shared entry
+    /// cache) are all invalid.
     pub fn reset(&mut self) {
         self.slots.clear();
         self.fork_fifo.clear();
+        self.shared = SharedEntries::default();
     }
 }
 
-/// The selection scan on one view; see [`SessionManager::select`].
-fn select_on(
+/// The `(|p − ½|, id)` entries of the uncertain candidates, ascending —
+/// over all of `probs`, or restricted to the (sorted) `domain` ids.
+fn sorted_entries_of(probs: &[f64], domain: Option<&[u32]>) -> Vec<(f64, u32)> {
+    let entry = |id: u32| {
+        let p = probs[id as usize];
+        (p > 0.0 && p < 1.0).then(|| ((p - 0.5).abs(), id))
+    };
+    let mut entries: Vec<(f64, u32)> = match domain {
+        Some(ids) => ids.iter().filter_map(|&id| entry(id)).collect(),
+        None => (0..probs.len() as u32).filter_map(entry).collect(),
+    };
+    entries.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    entries
+}
+
+/// Merges two ascending id lists into one (deduplicating).
+fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                i += 1;
+                j += 1;
+                x
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                i += 1;
+                x
+            }
+            (Some(_), Some(&y)) => {
+                j += 1;
+                y
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!("loop condition"),
+        };
+        out.push(next);
+    }
+    out
+}
+
+/// The plain selection scan on one view — the reference implementation
+/// [`SessionManager::select`]'s cached merge must (and, per the
+/// differential suite, does) reproduce pick for pick.
+pub fn select_on(
     view: &ProbabilisticNetwork,
     unavailable: &dyn Fn(CandidateId) -> bool,
 ) -> Option<CandidateId> {
@@ -262,5 +399,35 @@ mod tests {
         assert!(mgr.live_forks() > 0);
         mgr.reset();
         assert_eq!(mgr.live_forks(), 0);
+    }
+
+    #[test]
+    fn cached_merge_matches_the_plain_scan_through_random_echo_streams() {
+        // differential: the shared-entries + overlay merge must pick
+        // exactly what a plain select_on over the session's fork picks,
+        // through arbitrary interleavings of echoes and masks — here a
+        // deterministic pseudo-random stream over two sessions
+        let base = published();
+        let mut mgr = SessionManager::new(8);
+        let mut reference: HashMap<u64, ProbabilisticNetwork> = HashMap::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for step in 0..40u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let session = state % 2;
+            let view = reference.entry(session).or_insert_with(|| base.as_ref().fork()) as &mut _;
+            let mask = CandidateId((state >> 17) as u32 % 5);
+            let masked = move |c: CandidateId| c == mask;
+            let got = mgr.select(session, &base, 0, &masked);
+            let want = select_on(view, &masked);
+            assert_eq!(got, want, "step {step}: cached merge diverged from the plain scan");
+            if state & 4 != 0 {
+                let echo = Assertion {
+                    candidate: CandidateId((state >> 23) as u32 % 5),
+                    approved: state & 8 != 0,
+                };
+                mgr.observe(session, echo);
+                let _ = view.assert_candidate(echo);
+            }
+        }
     }
 }
